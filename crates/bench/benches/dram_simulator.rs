@@ -1,0 +1,53 @@
+//! Benchmarks the raw speed of the cycle-accurate DRAM model (simulated
+//! bursts per second of wall-clock time) for friendly and hostile access
+//! patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tbi_dram::{DramConfig, DramStandard, MemorySystem, Request};
+
+const REQUESTS: u64 = 20_000;
+
+fn bench_dram_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(REQUESTS));
+
+    for (standard, rate) in [(DramStandard::Ddr4, 3200u32), (DramStandard::Lpddr5, 8533)] {
+        let config = DramConfig::preset(standard, rate).expect("preset exists");
+
+        group.bench_with_input(
+            BenchmarkId::new("sequential_writes", config.label()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut system = MemorySystem::new(config.clone()).expect("valid config");
+                    system.run_trace(
+                        (0..REQUESTS).map(|i| Request::write(config.decode_linear(i))),
+                    )
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("random_reads", config.label()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    let total = config.geometry.total_bursts();
+                    let mut system = MemorySystem::new(config.clone()).expect("valid config");
+                    system.run_trace(
+                        (0..REQUESTS)
+                            .map(|_| Request::read(config.decode_linear(rng.gen_range(0..total)))),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram_simulator);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks the satcom substrate: Reed–Solomon encode/decode throughput and
+//! the end-to-end link pipeline with and without interleaving (DESIGN.md
+//! experiment A2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tbi_satcom::channel::GilbertElliott;
+use tbi_satcom::link::{InterleaverChoice, LinkConfig, LinkSimulation};
+use tbi_satcom::ReedSolomon;
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let rs = ReedSolomon::ccsds();
+    let mut rng = StdRng::seed_from_u64(5);
+    let data: Vec<u8> = (0..rs.data_len()).map(|_| rng.gen()).collect();
+    let codeword = rs.encode(&data).expect("encoding succeeds");
+    let mut corrupted = codeword.clone();
+    for i in 0..rs.correction_capability() {
+        corrupted[i * 9] ^= 0x3C;
+    }
+
+    let mut group = c.benchmark_group("reed_solomon");
+    group.throughput(Throughput::Bytes(rs.code_len() as u64));
+    group.bench_function("encode_255_223", |b| {
+        b.iter(|| rs.encode(&data).expect("encoding succeeds"));
+    });
+    group.bench_function("decode_clean", |b| {
+        b.iter(|| rs.decode(&codeword).expect("decoding succeeds"));
+    });
+    group.bench_function("decode_16_errors", |b| {
+        b.iter(|| rs.decode(&corrupted).expect("decoding succeeds"));
+    });
+    group.finish();
+}
+
+fn bench_link_pipeline(c: &mut Criterion) {
+    let channel = GilbertElliott::optical_downlink(0.05);
+    let mut group = c.benchmark_group("link_pipeline");
+    group.sample_size(10);
+    for (name, interleaver) in [
+        ("without_interleaver", InterleaverChoice::None),
+        ("with_triangular_interleaver", InterleaverChoice::Triangular),
+    ] {
+        let config = LinkConfig {
+            codewords: 32,
+            interleaver,
+            ..LinkConfig::default()
+        };
+        let simulation = LinkSimulation::new(config).expect("valid link config");
+        group.throughput(Throughput::Bytes(
+            (config.codewords * config.rs_code_len) as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &simulation,
+            |b, simulation| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(99);
+                    simulation.run(&channel, &mut rng).expect("link run succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reed_solomon, bench_link_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmark for the ablation study (DESIGN.md experiment A1):
+//! evaluates every mapping scheme on the most bandwidth-sensitive
+//! configuration (DDR4-3200) and reports simulated-bursts-per-second, so the
+//! relative cost of each scheme's address arithmetic and access pattern is
+//! visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tbi_dram::{DramConfig, DramStandard};
+use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
+
+const BURSTS: u64 = 20_000;
+
+fn bench_mapping_ablation(c: &mut Criterion) {
+    let dram = DramConfig::preset(DramStandard::Ddr4, 3200).expect("preset exists");
+    let mut group = c.benchmark_group("mapping_ablation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * BURSTS));
+    for kind in MappingKind::ALL {
+        let evaluator =
+            ThroughputEvaluator::new(dram.clone(), InterleaverSpec::from_burst_count(BURSTS));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &evaluator,
+            |b, evaluator| {
+                b.iter(|| evaluator.evaluate(kind).expect("evaluation succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Microbenchmarks of the address-mapping functions themselves: nanoseconds
+//! per mapped position.  The paper argues the optimized mapping is cheap
+//! enough for hardware (additions, shifts and bit operations only); this
+//! benchmark confirms the software model is in the same spirit.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tbi_dram::{DramConfig, DramStandard};
+use tbi_interleaver::MappingKind;
+
+fn bench_mapping_functions(c: &mut Criterion) {
+    let dram = DramConfig::preset(DramStandard::Ddr5, 6400).expect("preset exists");
+    let n = 4096u32;
+    let mut group = c.benchmark_group("mapping_functions");
+    group.throughput(Throughput::Elements(u64::from(n)));
+    for kind in MappingKind::ALL {
+        let mapping = kind.build(&dram, n).expect("mapping builds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &mapping,
+            |b, mapping| {
+                b.iter(|| {
+                    let mut accumulator = 0u64;
+                    for k in 0..n {
+                        let addr = mapping.map(black_box(k % 2048), black_box((k * 7) % 2048));
+                        accumulator = accumulator
+                            .wrapping_add(u64::from(addr.row))
+                            .wrapping_add(u64::from(addr.column));
+                    }
+                    accumulator
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping_functions);
+criterion_main!(benches);

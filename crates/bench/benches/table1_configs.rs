@@ -1,0 +1,42 @@
+//! Criterion benchmark behind Table I: times the full write+read phase
+//! simulation of the row-major and optimized mappings for every DRAM
+//! configuration (the utilization numbers themselves are printed by the
+//! `table1` binary; this benchmark tracks how fast the harness regenerates
+//! them).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tbi_dram::DramConfig;
+use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
+
+const BURSTS: u64 = 20_000;
+
+fn bench_table1_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2 * BURSTS));
+    for (standard, rate) in tbi_dram::standards::ALL_CONFIGS {
+        let dram = DramConfig::preset(*standard, *rate).expect("preset exists");
+        let label = dram.label();
+        for kind in MappingKind::TABLE1 {
+            let evaluator = ThroughputEvaluator::new(
+                dram.clone(),
+                InterleaverSpec::from_burst_count(BURSTS),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), &label),
+                &evaluator,
+                |b, evaluator| {
+                    b.iter(|| {
+                        let report = evaluator.evaluate(kind).expect("evaluation succeeds");
+                        assert!(report.min_utilization() > 0.0);
+                        report
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_configs);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation study (not in the paper, but called out in DESIGN.md): how much
+//! each of the three optimizations contributes, per DRAM configuration.
+//!
+//! ```text
+//! cargo run --release -p tbi-bench --bin ablation [-- --bursts <n> | --no-refresh | --full]
+//! ```
+
+use tbi_bench::HarnessOptions;
+use tbi_dram::DramConfig;
+use tbi_interleaver::MappingKind;
+
+fn main() {
+    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: ablation [--full] [--bursts <n>] [--no-refresh]");
+            std::process::exit(2);
+        }
+    };
+
+    println!("Ablation: minimum-phase bandwidth utilization per mapping scheme");
+    println!("(interleaver of {} bursts)", options.bursts);
+    println!();
+    print!("{:<14}", "DRAM");
+    for kind in MappingKind::ALL {
+        print!(" {:>21}", kind.name());
+    }
+    println!();
+    println!("{}", "-".repeat(14 + 22 * MappingKind::ALL.len()));
+
+    for (standard, rate) in tbi_dram::standards::ALL_CONFIGS {
+        let dram = DramConfig::preset(*standard, *rate).expect("preset exists");
+        let label = dram.label();
+        let evaluator = options.evaluator(dram);
+        print!("{label:<14}");
+        for kind in MappingKind::ALL {
+            let report = evaluator.evaluate(kind).expect("evaluation succeeds");
+            print!(" {:>19.2} %", report.min_utilization() * 100.0);
+        }
+        println!();
+    }
+}

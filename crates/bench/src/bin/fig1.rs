@@ -1,0 +1,71 @@
+//! Regenerates **Figure 1** of the paper: the mapping schemes rendered as a
+//! small text grid over the top-left corner of the index space.
+//!
+//! ```text
+//! cargo run -p tbi-bench --bin fig1 [-- a|b|c|d [rows cols]]
+//! ```
+//!
+//! * `a` — bank round-robin only (Fig. 1a)
+//! * `b` — page tiling only (Fig. 1b)
+//! * `c` — banks + columns + rows combined, no stagger (Fig. 1c)
+//! * `d` — the full optimized mapping with the bank-dependent offset (Fig. 1d)
+//!
+//! The paper's figure uses a miniature device with two banks and four-column
+//! pages; the same miniature geometry is used here so the printed pattern is
+//! directly comparable.
+
+use tbi_dram::DeviceGeometry;
+use tbi_interleaver::mapping::{
+    render_grid, BankRoundRobinMapping, DramMapping, OptimizedMapping, TiledMapping,
+};
+
+/// The miniature geometry used in the paper's Figure 1: two banks (in two
+/// bank groups) and four bursts per page.
+fn figure_geometry() -> DeviceGeometry {
+    DeviceGeometry {
+        bank_groups: 2,
+        banks_per_group: 1,
+        rows: 1 << 10,
+        columns_per_row: 4,
+        burst_length: 8,
+        bus_width_bits: 64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let rows: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cols: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let geometry = figure_geometry();
+    let n = 64;
+
+    let print = |title: &str, mapping: &dyn DramMapping| {
+        println!("{title}");
+        println!("{}", render_grid(mapping, rows, cols));
+    };
+
+    if matches!(which, "a" | "all") {
+        let mapping = BankRoundRobinMapping::new(geometry, n).expect("figure geometry fits");
+        print("Fig. 1a — bank round-robin (diagonal) pattern:", &mapping);
+    }
+    if matches!(which, "b" | "all") {
+        let mapping = TiledMapping::new(geometry, n).expect("figure geometry fits");
+        print("Fig. 1b — page tiling (one page per rectangle):", &mapping);
+    }
+    if matches!(which, "c" | "all") {
+        let mapping = OptimizedMapping::without_stagger(geometry, n).expect("figure geometry fits");
+        print("Fig. 1c — banks, columns and rows combined:", &mapping);
+    }
+    if matches!(which, "d" | "all") {
+        let mapping = OptimizedMapping::new(geometry, n).expect("figure geometry fits");
+        print(
+            "Fig. 1d — full optimized mapping with bank-dependent column offset:",
+            &mapping,
+        );
+    }
+    if !matches!(which, "a" | "b" | "c" | "d" | "all") {
+        eprintln!("usage: fig1 [a|b|c|d|all] [rows cols]");
+        std::process::exit(2);
+    }
+}

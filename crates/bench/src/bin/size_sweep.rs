@@ -1,0 +1,63 @@
+//! Reproduces the paper's in-text claim that results for other interleaver
+//! dimensions "differ only slightly": sweeps the interleaver size and prints
+//! the minimum-phase utilization of both Table I mappings.
+//!
+//! ```text
+//! cargo run --release -p tbi-bench --bin size_sweep [-- --no-refresh]
+//! ```
+
+use tbi_bench::HarnessOptions;
+use tbi_dram::{DramConfig, DramStandard};
+use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
+
+const SIZES: &[u64] = &[100_000, 400_000, 1_600_000, 6_400_000];
+
+fn main() {
+    let mut options = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: size_sweep [--no-refresh]");
+            std::process::exit(2);
+        }
+    };
+
+    // The sweep focuses on the most bandwidth-sensitive configurations.
+    let configs = [
+        (DramStandard::Ddr4, 3200),
+        (DramStandard::Lpddr4, 4266),
+        (DramStandard::Lpddr5, 8533),
+    ];
+
+    println!("Interleaver-size sweep: minimum-phase utilization");
+    println!();
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "DRAM", "bursts", "row-major", "optimized"
+    );
+    println!("{}", "-".repeat(54));
+    for (standard, rate) in configs {
+        let dram = DramConfig::preset(standard, rate).expect("preset exists");
+        for &size in SIZES {
+            options.bursts = size;
+            let evaluator = ThroughputEvaluator::with_controller(
+                dram.clone(),
+                InterleaverSpec::from_burst_count(size),
+                options.controller(),
+            );
+            let row_major = evaluator
+                .evaluate(MappingKind::RowMajor)
+                .expect("row-major evaluation");
+            let optimized = evaluator
+                .evaluate(MappingKind::Optimized)
+                .expect("optimized evaluation");
+            println!(
+                "{:<14} {:>12} {:>10.2} % {:>10.2} %",
+                dram.label(),
+                size,
+                row_major.min_utilization() * 100.0,
+                optimized.min_utilization() * 100.0
+            );
+        }
+    }
+}

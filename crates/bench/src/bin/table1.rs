@@ -1,0 +1,63 @@
+//! Regenerates **Table I** of the paper: DRAM bandwidth utilization of the
+//! row-major and the optimized mapping, write and read phase, for all ten
+//! DRAM configurations.
+//!
+//! ```text
+//! cargo run --release -p tbi-bench --bin table1 [-- --full | --bursts <n> | --no-refresh]
+//! ```
+
+use tbi_bench::{format_table1_row, run_table1, HarnessOptions};
+
+fn main() {
+    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: table1 [--full] [--bursts <n>] [--no-refresh]");
+            std::process::exit(2);
+        }
+    };
+
+    println!("Table I: DRAM bandwidth utilizations");
+    println!(
+        "(triangular block interleaver, {} bursts{})",
+        options.bursts,
+        if options.no_refresh {
+            ", refresh disabled"
+        } else {
+            ""
+        }
+    );
+    println!();
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>10}",
+        "DRAM", "RowMaj Wr", "RowMaj Rd", "Optim Wr", "Optim Rd"
+    );
+    println!("{}", "-".repeat(62));
+
+    let mut improvements = Vec::new();
+    for (label, row_major, optimized) in run_table1(&options) {
+        println!("{}", format_table1_row(&label, &row_major, &optimized));
+        improvements.push((
+            label,
+            row_major.min_utilization(),
+            optimized.min_utilization(),
+        ));
+    }
+
+    println!();
+    println!("Minimum (throughput-limiting) utilization per configuration:");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "DRAM", "Row-Major", "Optimized", "Speedup"
+    );
+    println!("{}", "-".repeat(48));
+    for (label, base, opt) in improvements {
+        println!(
+            "{label:<14} {:>8.2} % {:>8.2} % {:>7.2}x",
+            base * 100.0,
+            opt * 100.0,
+            opt / base.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared helpers for the `tbi-bench` table/figure regeneration binaries and
+//! Criterion benchmarks.
+
+use tbi_dram::{ControllerConfig, DramConfig, RefreshMode};
+use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator, UtilizationReport};
+
+/// Default interleaver size (in DRAM bursts) used by the harness binaries.
+///
+/// The paper uses 12.5 M elements; the default here is smaller so that the
+/// full table regenerates in seconds.  Utilization converges quickly with
+/// size (see the `size_sweep` binary), and `--full` switches to the paper's
+/// exact size.
+pub const DEFAULT_BURSTS: u64 = 1 << 20;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessOptions {
+    /// Interleaver size in bursts.
+    pub bursts: u64,
+    /// Disable refresh (the paper's in-text experiment).
+    pub no_refresh: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            bursts: DEFAULT_BURSTS,
+            no_refresh: false,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses options from command-line arguments.
+    ///
+    /// Supported flags: `--full` (12.5 M bursts as in the paper),
+    /// `--bursts <n>`, `--no-refresh`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable error message for unknown flags or malformed
+    /// numbers.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut options = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => options.bursts = 12_500_000,
+                "--no-refresh" => options.no_refresh = true,
+                "--bursts" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--bursts requires a value".to_string())?;
+                    options.bursts = value
+                        .parse()
+                        .map_err(|e| format!("invalid burst count `{value}`: {e}"))?;
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(options)
+    }
+
+    /// The controller configuration implied by the options.
+    #[must_use]
+    pub fn controller(&self) -> ControllerConfig {
+        ControllerConfig {
+            refresh_mode: self.no_refresh.then_some(RefreshMode::Disabled),
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Builds a [`ThroughputEvaluator`] for one DRAM configuration.
+    #[must_use]
+    pub fn evaluator(&self, dram: DramConfig) -> ThroughputEvaluator {
+        ThroughputEvaluator::with_controller(
+            dram,
+            InterleaverSpec::from_burst_count(self.bursts),
+            self.controller(),
+        )
+    }
+}
+
+/// Formats one Table-I-style row: configuration, write/read utilization for
+/// the row-major and the optimized mapping.
+#[must_use]
+pub fn format_table1_row(
+    label: &str,
+    row_major: &UtilizationReport,
+    optimized: &UtilizationReport,
+) -> String {
+    format!(
+        "{label:<14} {:>8.2} % {:>8.2} % {:>10.2} % {:>8.2} %",
+        row_major.write_utilization() * 100.0,
+        row_major.read_utilization() * 100.0,
+        optimized.write_utilization() * 100.0,
+        optimized.read_utilization() * 100.0,
+    )
+}
+
+/// Runs the Table I pair for every preset configuration and returns the
+/// reports in the paper's row order.
+///
+/// # Panics
+///
+/// Panics if a preset cannot be evaluated (all presets are sized to fit).
+#[must_use]
+pub fn run_table1(options: &HarnessOptions) -> Vec<(String, UtilizationReport, UtilizationReport)> {
+    tbi_dram::standards::ALL_CONFIGS
+        .iter()
+        .map(|(standard, rate)| {
+            let dram = DramConfig::preset(*standard, *rate).expect("preset exists");
+            let label = dram.label();
+            let evaluator = options.evaluator(dram);
+            let row_major = evaluator
+                .evaluate(MappingKind::RowMajor)
+                .expect("row-major evaluation");
+            let optimized = evaluator
+                .evaluate(MappingKind::Optimized)
+                .expect("optimized evaluation");
+            (label, row_major, optimized)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let options = HarnessOptions::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(options.bursts, DEFAULT_BURSTS);
+        assert!(!options.no_refresh);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let options =
+            HarnessOptions::parse(["--no-refresh", "--bursts", "4096"].map(String::from)).unwrap();
+        assert!(options.no_refresh);
+        assert_eq!(options.bursts, 4096);
+        let full = HarnessOptions::parse(["--full"].map(String::from)).unwrap();
+        assert_eq!(full.bursts, 12_500_000);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_malformed() {
+        assert!(HarnessOptions::parse(["--nope"].map(String::from)).is_err());
+        assert!(HarnessOptions::parse(["--bursts"].map(String::from)).is_err());
+        assert!(HarnessOptions::parse(["--bursts", "abc"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn controller_reflects_refresh_flag() {
+        let mut options = HarnessOptions::default();
+        assert_eq!(options.controller().refresh_mode, None);
+        options.no_refresh = true;
+        assert_eq!(
+            options.controller().refresh_mode,
+            Some(tbi_dram::RefreshMode::Disabled)
+        );
+    }
+
+    #[test]
+    fn format_row_contains_all_four_numbers() {
+        let options = HarnessOptions {
+            bursts: 5_000,
+            no_refresh: true,
+        };
+        let dram = DramConfig::preset(tbi_dram::DramStandard::Ddr3, 800).unwrap();
+        let evaluator = options.evaluator(dram);
+        let a = evaluator.evaluate(MappingKind::RowMajor).unwrap();
+        let b = evaluator.evaluate(MappingKind::Optimized).unwrap();
+        let row = format_table1_row("DDR3-800", &a, &b);
+        assert!(row.starts_with("DDR3-800"));
+        assert_eq!(row.matches('%').count(), 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! Per-bank state machine and timing bookkeeping.
+
+use crate::timing::TimingParams;
+
+/// Flat bank identifier: `bank_group * banks_per_group + bank`.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::BankId;
+///
+/// let id = BankId::from_parts(2, 3, 4); // bank group 2, bank 3, 4 banks per group
+/// assert_eq!(id.index(), 11);
+/// assert_eq!(id.bank_group(4), 2);
+/// assert_eq!(id.bank_in_group(4), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BankId(pub u32);
+
+impl BankId {
+    /// Builds a flat bank id from bank group, bank and the number of banks
+    /// per group.
+    #[must_use]
+    pub fn from_parts(bank_group: u32, bank: u32, banks_per_group: u32) -> Self {
+        BankId(bank_group * banks_per_group + bank)
+    }
+
+    /// The flat index.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The bank group this bank belongs to.
+    #[must_use]
+    pub fn bank_group(self, banks_per_group: u32) -> u32 {
+        self.0 / banks_per_group
+    }
+
+    /// The bank index within its bank group.
+    #[must_use]
+    pub fn bank_in_group(self, banks_per_group: u32) -> u32 {
+        self.0 % banks_per_group
+    }
+}
+
+/// State of one DRAM bank: the open row (if any) plus the earliest cycle at
+/// which the next activate, column or precharge command may be issued.
+///
+/// The controller uses these "earliest issue" registers instead of an explicit
+/// state enum; a bank is *idle* when [`BankState::open_row`] is `None` and
+/// *active* otherwise.  All transition methods take the current cycle and the
+/// timing parameter set and update the registers according to JEDEC rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankState {
+    /// The currently open row, or `None` if the bank is precharged.
+    pub open_row: Option<u32>,
+    /// Earliest cycle an ACT command may be issued to this bank.
+    pub act_allowed_at: u64,
+    /// Earliest cycle a RD/WR command may be issued to this bank.
+    pub col_allowed_at: u64,
+    /// Earliest cycle a PRE command may be issued to this bank.
+    pub pre_allowed_at: u64,
+    /// Number of activates seen by this bank (statistics).
+    pub activate_count: u64,
+}
+
+impl Default for BankState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BankState {
+    /// Creates a bank in the precharged (idle) state with no timing debts.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            open_row: None,
+            act_allowed_at: 0,
+            col_allowed_at: 0,
+            pre_allowed_at: 0,
+            activate_count: 0,
+        }
+    }
+
+    /// Whether the bank currently has `row` open.
+    #[must_use]
+    pub fn is_row_open(&self, row: u32) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Whether the bank is precharged (no open row).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.open_row.is_none()
+    }
+
+    /// Records an ACT command issued at `now` opening `row`.
+    pub fn record_activate(&mut self, now: u64, row: u32, t: &TimingParams) {
+        debug_assert!(self.open_row.is_none(), "activate on an active bank");
+        debug_assert!(now >= self.act_allowed_at, "activate issued too early");
+        self.open_row = Some(row);
+        self.col_allowed_at = now + t.t_rcd;
+        self.pre_allowed_at = self.pre_allowed_at.max(now + t.t_ras);
+        self.act_allowed_at = self.act_allowed_at.max(now + t.t_rc);
+        self.activate_count += 1;
+    }
+
+    /// Records a PRE command issued at `now`.
+    pub fn record_precharge(&mut self, now: u64, t: &TimingParams) {
+        debug_assert!(now >= self.pre_allowed_at, "precharge issued too early");
+        self.open_row = None;
+        self.act_allowed_at = self.act_allowed_at.max(now + t.t_rp);
+    }
+
+    /// Records a RD command issued at `now` (burst of `burst_cycles`).
+    pub fn record_read(&mut self, now: u64, burst_cycles: u64, t: &TimingParams) {
+        debug_assert!(self.open_row.is_some(), "read on an idle bank");
+        debug_assert!(now >= self.col_allowed_at, "read issued too early");
+        let _ = burst_cycles;
+        self.pre_allowed_at = self.pre_allowed_at.max(now + t.t_rtp);
+    }
+
+    /// Records a WR command issued at `now` (burst of `burst_cycles`).
+    pub fn record_write(&mut self, now: u64, burst_cycles: u64, t: &TimingParams) {
+        debug_assert!(self.open_row.is_some(), "write on an idle bank");
+        debug_assert!(now >= self.col_allowed_at, "write issued too early");
+        // Write recovery starts after the last data beat.
+        self.pre_allowed_at = self
+            .pre_allowed_at
+            .max(now + t.cwl + burst_cycles + t.t_wr);
+    }
+
+    /// Records a refresh (all-bank or per-bank) that keeps this bank busy for
+    /// `busy_cycles` starting at `now`.
+    pub fn record_refresh(&mut self, now: u64, busy_cycles: u64) {
+        debug_assert!(self.open_row.is_none(), "refresh on an active bank");
+        self.act_allowed_at = self.act_allowed_at.max(now + busy_cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standards::{DramConfig, DramStandard};
+
+    fn timing() -> TimingParams {
+        DramConfig::preset(DramStandard::Ddr4, 3200).unwrap().timing
+    }
+
+    #[test]
+    fn bank_id_round_trip() {
+        for bg in 0..4 {
+            for b in 0..4 {
+                let id = BankId::from_parts(bg, b, 4);
+                assert_eq!(id.bank_group(4), bg);
+                assert_eq!(id.bank_in_group(4), b);
+            }
+        }
+    }
+
+    #[test]
+    fn new_bank_is_idle() {
+        let b = BankState::new();
+        assert!(b.is_idle());
+        assert!(!b.is_row_open(0));
+        assert_eq!(b.act_allowed_at, 0);
+    }
+
+    #[test]
+    fn activate_opens_row_and_sets_timings() {
+        let t = timing();
+        let mut b = BankState::new();
+        b.record_activate(100, 42, &t);
+        assert!(b.is_row_open(42));
+        assert!(!b.is_row_open(43));
+        assert_eq!(b.col_allowed_at, 100 + t.t_rcd);
+        assert_eq!(b.pre_allowed_at, 100 + t.t_ras);
+        assert_eq!(b.act_allowed_at, 100 + t.t_rc);
+        assert_eq!(b.activate_count, 1);
+    }
+
+    #[test]
+    fn precharge_closes_row_and_blocks_activate_for_trp() {
+        let t = timing();
+        let mut b = BankState::new();
+        b.record_activate(0, 7, &t);
+        let pre_time = b.pre_allowed_at;
+        b.record_precharge(pre_time, &t);
+        assert!(b.is_idle());
+        assert!(b.act_allowed_at >= pre_time + t.t_rp);
+    }
+
+    #[test]
+    fn write_extends_precharge_beyond_read() {
+        let t = timing();
+        let mut rd_bank = BankState::new();
+        let mut wr_bank = BankState::new();
+        rd_bank.record_activate(0, 1, &t);
+        wr_bank.record_activate(0, 1, &t);
+        let when = rd_bank.col_allowed_at;
+        rd_bank.record_read(when, 4, &t);
+        wr_bank.record_write(when, 4, &t);
+        assert!(
+            wr_bank.pre_allowed_at > rd_bank.pre_allowed_at,
+            "write recovery must delay precharge more than read-to-precharge"
+        );
+    }
+
+    #[test]
+    fn refresh_blocks_activation() {
+        let t = timing();
+        let mut b = BankState::new();
+        b.record_refresh(50, t.t_rfc_ab);
+        assert_eq!(b.act_allowed_at, 50 + t.t_rfc_ab);
+    }
+}

@@ -1,0 +1,229 @@
+//! A builder for custom DRAM configurations.
+//!
+//! The ten presets in [`crate::standards`] cover the paper's Table I; this
+//! builder lets downstream users model other devices (different page sizes,
+//! bank counts, timings or bus widths) while keeping the validation rules in
+//! one place.
+
+use crate::address::DecodeScheme;
+use crate::controller::RefreshMode;
+use crate::error::ConfigError;
+use crate::standards::{DramConfig, DramStandard};
+use crate::timing::{ns_to_cycles, TimingParams};
+
+/// Builder for [`DramConfig`] values that are not covered by the presets.
+///
+/// The builder starts from an existing preset (so all fields have sensible
+/// values) and lets individual aspects be overridden before validation.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{DramConfigBuilder, DramStandard};
+///
+/// # fn main() -> Result<(), tbi_dram::ConfigError> {
+/// // A hypothetical DDR4-3200 channel with twice the usual page size.
+/// let config = DramConfigBuilder::from_preset(DramStandard::Ddr4, 3200)?
+///     .columns_per_row(256)
+///     .rows(1 << 15)
+///     .build()?;
+/// assert_eq!(config.geometry.page_bytes(), 16384);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramConfigBuilder {
+    config: DramConfig,
+}
+
+impl DramConfigBuilder {
+    /// Starts from one of the paper's preset configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnknownPreset`] for an unknown
+    /// standard/data-rate pair.
+    pub fn from_preset(standard: DramStandard, data_rate_mtps: u32) -> Result<Self, ConfigError> {
+        Ok(Self {
+            config: DramConfig::preset(standard, data_rate_mtps)?,
+        })
+    }
+
+    /// Starts from an existing configuration.
+    #[must_use]
+    pub fn from_config(config: DramConfig) -> Self {
+        Self { config }
+    }
+
+    /// Overrides the data rate (MT/s).  Timing values in cycles are *not*
+    /// rescaled automatically; use [`DramConfigBuilder::scale_core_timings`]
+    /// to re-derive them from nanosecond values.
+    #[must_use]
+    pub fn data_rate_mtps(mut self, data_rate_mtps: u32) -> Self {
+        self.config.data_rate_mtps = data_rate_mtps;
+        self
+    }
+
+    /// Overrides the number of bank groups.
+    #[must_use]
+    pub fn bank_groups(mut self, bank_groups: u32) -> Self {
+        self.config.geometry.bank_groups = bank_groups;
+        self
+    }
+
+    /// Overrides the number of banks per bank group.
+    #[must_use]
+    pub fn banks_per_group(mut self, banks_per_group: u32) -> Self {
+        self.config.geometry.banks_per_group = banks_per_group;
+        self
+    }
+
+    /// Overrides the number of rows per bank.
+    #[must_use]
+    pub fn rows(mut self, rows: u32) -> Self {
+        self.config.geometry.rows = rows;
+        self
+    }
+
+    /// Overrides the page size in bursts.
+    #[must_use]
+    pub fn columns_per_row(mut self, columns_per_row: u32) -> Self {
+        self.config.geometry.columns_per_row = columns_per_row;
+        self
+    }
+
+    /// Overrides the data-bus width in bits.
+    #[must_use]
+    pub fn bus_width_bits(mut self, bus_width_bits: u32) -> Self {
+        self.config.geometry.bus_width_bits = bus_width_bits;
+        self
+    }
+
+    /// Overrides the full timing parameter set.
+    #[must_use]
+    pub fn timing(mut self, timing: TimingParams) -> Self {
+        self.config.timing = timing;
+        self
+    }
+
+    /// Overrides the default refresh mode.
+    #[must_use]
+    pub fn refresh_mode(mut self, mode: RefreshMode) -> Self {
+        self.config.default_refresh = mode;
+        self
+    }
+
+    /// Overrides the linear-address decode scheme used for the row-major
+    /// baseline.
+    #[must_use]
+    pub fn decode_scheme(mut self, scheme: DecodeScheme) -> Self {
+        self.config.decode_scheme = scheme;
+        self
+    }
+
+    /// Re-derives the nanosecond-constant core timings (tRCD, tRP, tRAS, tRC,
+    /// tWR, tRFC, tREFI) for a new data rate, keeping the clock-cycle-constant
+    /// parameters (tCCD, burst length) unchanged.  This mimics moving to a
+    /// faster speed grade of the same die.
+    #[must_use]
+    pub fn scale_core_timings(mut self, from_mtps: u32, to_mtps: u32) -> Self {
+        let from_clock = f64::from(from_mtps) / 2.0;
+        let to_clock = f64::from(to_mtps) / 2.0;
+        let rescale = |cycles: u64| -> u64 {
+            let ns = cycles as f64 / from_clock * 1000.0;
+            ns_to_cycles(ns, to_clock).max(1)
+        };
+        let t = &mut self.config.timing;
+        t.cl = rescale(t.cl);
+        t.cwl = rescale(t.cwl);
+        t.t_rcd = rescale(t.t_rcd);
+        t.t_rp = rescale(t.t_rp);
+        t.t_ras = rescale(t.t_ras);
+        // Independent ceil-rounding can leave t_rc one cycle short of
+        // t_ras + t_rp; keep the invariant explicitly.
+        t.t_rc = rescale(t.t_rc).max(t.t_ras + t.t_rp);
+        t.t_rrd_s = rescale(t.t_rrd_s);
+        t.t_rrd_l = rescale(t.t_rrd_l);
+        t.t_faw = rescale(t.t_faw);
+        t.t_wr = rescale(t.t_wr);
+        t.t_wtr_s = rescale(t.t_wtr_s);
+        t.t_wtr_l = rescale(t.t_wtr_l);
+        t.t_rtp = rescale(t.t_rtp);
+        t.t_rfc_ab = rescale(t.t_rfc_ab);
+        t.t_rfc_pb = rescale(t.t_rfc_pb);
+        t.t_refi = rescale(t.t_refi);
+        self.config.data_rate_mtps = to_mtps;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if geometry or timing validation fails.
+    pub fn build(self) -> Result<DramConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_a_preset() {
+        let preset = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let rebuilt = DramConfigBuilder::from_config(preset.clone()).build().unwrap();
+        assert_eq!(rebuilt, preset);
+    }
+
+    #[test]
+    fn builder_overrides_geometry() {
+        let config = DramConfigBuilder::from_preset(DramStandard::Ddr3, 1600)
+            .unwrap()
+            .banks_per_group(16)
+            .columns_per_row(64)
+            .bus_width_bits(32)
+            .build()
+            .unwrap();
+        assert_eq!(config.geometry.total_banks(), 16);
+        assert_eq!(config.geometry.burst_bytes(), 32);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_geometry() {
+        let result = DramConfigBuilder::from_preset(DramStandard::Ddr4, 1600)
+            .unwrap()
+            .banks_per_group(3)
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scaling_core_timings_keeps_nanosecond_values() {
+        let base = DramConfig::preset(DramStandard::Ddr4, 1600).unwrap();
+        let scaled = DramConfigBuilder::from_config(base.clone())
+            .scale_core_timings(1600, 3200)
+            .build()
+            .unwrap();
+        assert_eq!(scaled.data_rate_mtps, 3200);
+        // Doubling the clock roughly doubles the cycle counts of
+        // nanosecond-constant parameters.
+        assert!(scaled.timing.t_rcd >= base.timing.t_rcd * 2 - 1);
+        assert!(scaled.timing.t_rcd <= base.timing.t_rcd * 2 + 1);
+        assert!(scaled.timing.t_rfc_ab >= base.timing.t_rfc_ab * 2 - 2);
+    }
+
+    #[test]
+    fn refresh_and_decode_overrides_apply() {
+        let config = DramConfigBuilder::from_preset(DramStandard::Lpddr4, 2133)
+            .unwrap()
+            .refresh_mode(RefreshMode::Disabled)
+            .decode_scheme(DecodeScheme::RowBankBankGroupColumn)
+            .build()
+            .unwrap();
+        assert_eq!(config.default_refresh, RefreshMode::Disabled);
+        assert_eq!(config.decode_scheme, DecodeScheme::RowBankBankGroupColumn);
+    }
+}

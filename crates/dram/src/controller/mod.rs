@@ -1,0 +1,896 @@
+//! The memory controller: transaction queues, command scheduling, timing
+//! enforcement and refresh.
+//!
+//! The controller models a single-channel DRAM controller with per-bank
+//! transaction queues, an FR-FCFS (first-ready, first-come-first-served)
+//! scheduler with an open-page policy by default, and a refresh engine.  It
+//! advances an internal clock and issues at most one command per cycle, while
+//! enforcing the JEDEC constraints defined in
+//! [`TimingParams`](crate::TimingParams).
+//!
+//! Most users drive the controller through [`MemorySystem`](crate::sim::MemorySystem)
+//! rather than using it directly.
+
+mod queue;
+mod refresh;
+
+pub use queue::{CommandQueues, QueuedRequest};
+pub use refresh::{RefreshEngine, RefreshMode};
+
+use std::collections::VecDeque;
+
+use crate::bank::{BankId, BankState};
+use crate::command::{Command, CommandKind};
+use crate::error::ConfigError;
+use crate::request::{Request, RequestKind};
+use crate::standards::DramConfig;
+use crate::stats::Stats;
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PagePolicy {
+    /// Keep rows open after an access (best for access streams with
+    /// row-buffer locality).
+    #[default]
+    Open,
+    /// Precharge a bank as soon as its queue runs dry.
+    Closed,
+}
+
+/// Command scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SchedulingPolicy {
+    /// First-ready, first-come-first-served: the oldest *issuable* command
+    /// wins, allowing reordering across banks.
+    #[default]
+    FrFcfs,
+    /// Strict in-order service of the oldest request (no cross-bank
+    /// reordering); useful as an ablation baseline.
+    Fcfs,
+}
+
+/// Controller configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ControllerConfig {
+    /// Total number of outstanding requests accepted by the transaction
+    /// queues.
+    pub queue_capacity: usize,
+    /// Row-buffer policy.
+    pub page_policy: PagePolicy,
+    /// Scheduling policy.
+    pub scheduling: SchedulingPolicy,
+    /// Refresh mode; `None` selects the standard's default
+    /// ([`DramConfig::default_refresh`]).
+    pub refresh_mode: Option<RefreshMode>,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            page_policy: PagePolicy::Open,
+            scheduling: SchedulingPolicy::FrFcfs,
+            refresh_mode: None,
+        }
+    }
+}
+
+/// What the scheduler decided for the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScheduleOutcome {
+    /// Issue this command for the request queued on `flat_bank` (if a column
+    /// command, the head request of that bank is retired).
+    Issue { command: Command, flat_bank: usize },
+    /// Nothing can be issued before the contained cycle.
+    Wait(u64),
+    /// Nothing to do at all (queues empty, no refresh owed).
+    Idle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LastColumn {
+    time: u64,
+    bank_group: u32,
+}
+
+/// A single-channel DRAM memory controller.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    config: DramConfig,
+    ctrl: ControllerConfig,
+    banks: Vec<BankState>,
+    queues: CommandQueues,
+    refresh: RefreshEngine,
+    stats: Stats,
+    now: u64,
+    window_start: u64,
+    last_completion: u64,
+    // Channel-level timing state.
+    last_act_any: Option<u64>,
+    last_act_per_group: Vec<Option<u64>>,
+    act_window: VecDeque<u64>,
+    last_column: Option<LastColumn>,
+    last_write_data_end: Option<(u64, u32)>,
+    data_bus_free_at: u64,
+    last_data_was_write: Option<bool>,
+}
+
+impl Controller {
+    /// Creates a controller for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the DRAM configuration or the controller
+    /// configuration is invalid.
+    pub fn new(config: DramConfig, ctrl: ControllerConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if ctrl.queue_capacity == 0 {
+            return Err(ConfigError::InvalidController {
+                field: "queue_capacity",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        let total_banks = config.geometry.total_banks() as usize;
+        let refresh_mode = ctrl.refresh_mode.unwrap_or(config.default_refresh);
+        let refresh = RefreshEngine::new(refresh_mode, &config.timing, total_banks as u32);
+        Ok(Self {
+            banks: vec![BankState::new(); total_banks],
+            queues: CommandQueues::new(total_banks, ctrl.queue_capacity),
+            refresh,
+            stats: Stats::new(),
+            now: 0,
+            window_start: 0,
+            last_completion: 0,
+            last_act_any: None,
+            last_act_per_group: vec![None; config.geometry.bank_groups as usize],
+            act_window: VecDeque::with_capacity(4),
+            last_column: None,
+            last_write_data_end: None,
+            data_bus_free_at: 0,
+            last_data_was_write: None,
+            config,
+            ctrl,
+        })
+    }
+
+    /// The DRAM configuration simulated by this controller.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The controller configuration.
+    #[must_use]
+    pub fn controller_config(&self) -> &ControllerConfig {
+        &self.ctrl
+    }
+
+    /// The effective refresh mode.
+    #[must_use]
+    pub fn refresh_mode(&self) -> RefreshMode {
+        self.refresh.mode()
+    }
+
+    /// Current simulation time in device clock cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of requests currently queued.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Whether another request can be accepted right now.
+    #[must_use]
+    pub fn can_accept(&self) -> bool {
+        self.queues.has_space()
+    }
+
+    /// Statistics for the current measurement window.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// State of the bank identified by `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range for the configured geometry.
+    #[must_use]
+    pub fn bank_state(&self, bank: BankId) -> &BankState {
+        &self.banks[bank.index() as usize]
+    }
+
+    /// Resets the statistics window to the current cycle.  Bank and queue
+    /// state are preserved, so a write phase can be followed by a read phase
+    /// with an independent measurement.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new();
+        self.window_start = self.now;
+        self.last_completion = self.now;
+    }
+
+    /// Enqueues a request.  Returns `false` if the transaction queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request address is outside the configured geometry (in
+    /// debug builds).
+    pub fn enqueue(&mut self, request: Request) -> bool {
+        debug_assert!(
+            request.address.is_valid_for(&self.config.geometry),
+            "request address {} outside geometry",
+            request.address
+        );
+        let flat = request.address.flat_bank(&self.config.geometry) as usize;
+        self.queues.push(flat, request)
+    }
+
+    /// Advances the controller by one scheduling step (one cycle, or a jump
+    /// to the next cycle where any command can be issued).
+    ///
+    /// Returns `true` if any work remains (queued requests or owed refresh).
+    pub fn tick(&mut self) -> bool {
+        self.refresh.tick(self.now);
+        let outcome = self.schedule();
+        match outcome {
+            ScheduleOutcome::Issue { command, flat_bank } => {
+                self.issue(command, flat_bank);
+                self.now += 1;
+            }
+            ScheduleOutcome::Wait(at) => {
+                debug_assert!(at > self.now);
+                self.stats.stall_cycles += at - self.now;
+                self.now = at;
+            }
+            ScheduleOutcome::Idle => {
+                self.now += 1;
+            }
+        }
+        !self.queues.is_empty() || self.refresh.is_pending()
+    }
+
+    /// Runs until all queued requests have been issued and all owed refreshes
+    /// have been performed.
+    pub fn drain(&mut self) {
+        while self.tick() {}
+        // Account for the tail of the last data burst.
+        self.finalize_elapsed();
+    }
+
+    fn finalize_elapsed(&mut self) {
+        let end = self.last_completion.max(self.window_start);
+        self.stats.elapsed_cycles = end - self.window_start;
+    }
+
+    // ----------------------------------------------------------------- //
+    // Scheduling
+    // ----------------------------------------------------------------- //
+
+    fn schedule(&self) -> ScheduleOutcome {
+        let mut best_issue: Option<(u8, u64, Command, usize)> = None; // (priority, seq, cmd, bank)
+        let mut earliest_wait: Option<u64> = None;
+
+        let consider = |priority: u8,
+                            seq: u64,
+                            ready_at: u64,
+                            command: Command,
+                            flat_bank: usize,
+                            now: u64,
+                            best_issue: &mut Option<(u8, u64, Command, usize)>,
+                            earliest_wait: &mut Option<u64>| {
+            if ready_at <= now {
+                let candidate = (priority, seq, command, flat_bank);
+                let better = match best_issue {
+                    None => true,
+                    Some((p, s, _, _)) => (priority, seq) < (*p, *s),
+                };
+                if better {
+                    *best_issue = Some(candidate);
+                }
+            } else {
+                *earliest_wait = Some(earliest_wait.map_or(ready_at, |w: u64| w.min(ready_at)));
+            }
+        };
+
+        // Refresh handling gets dedicated candidates.
+        let (block_all_acts, blocked_bank) = match (self.refresh.is_pending(), self.refresh.mode())
+        {
+            (true, RefreshMode::AllBank) => (true, None),
+            (true, RefreshMode::PerBank) => (false, Some(self.refresh.target_bank() as usize)),
+            _ => (false, None),
+        };
+
+        if self.refresh.is_pending() {
+            match self.refresh.mode() {
+                RefreshMode::AllBank => {
+                    // Precharge any open bank, then refresh when everything is idle.
+                    if self.banks.iter().all(BankState::is_idle) {
+                        let ready = self
+                            .banks
+                            .iter()
+                            .map(|b| b.act_allowed_at)
+                            .max()
+                            .unwrap_or(self.now);
+                        let cmd = Command {
+                            kind: CommandKind::RefreshAll,
+                            address: Default::default(),
+                        };
+                        consider(
+                            0,
+                            0,
+                            ready,
+                            cmd,
+                            0,
+                            self.now,
+                            &mut best_issue,
+                            &mut earliest_wait,
+                        );
+                    } else {
+                        for (i, bank) in self.banks.iter().enumerate() {
+                            if !bank.is_idle() {
+                                let addr = self.bank_address(i);
+                                consider(
+                                    0,
+                                    i as u64,
+                                    bank.pre_allowed_at,
+                                    Command::precharge(addr),
+                                    i,
+                                    self.now,
+                                    &mut best_issue,
+                                    &mut earliest_wait,
+                                );
+                            }
+                        }
+                    }
+                }
+                RefreshMode::PerBank => {
+                    let target = self.refresh.target_bank() as usize;
+                    let bank = &self.banks[target];
+                    let addr = self.bank_address(target);
+                    if bank.is_idle() {
+                        let cmd = Command {
+                            kind: CommandKind::RefreshBank,
+                            address: addr,
+                        };
+                        consider(
+                            0,
+                            0,
+                            bank.act_allowed_at,
+                            cmd,
+                            target,
+                            self.now,
+                            &mut best_issue,
+                            &mut earliest_wait,
+                        );
+                    } else {
+                        consider(
+                            0,
+                            0,
+                            bank.pre_allowed_at,
+                            Command::precharge(addr),
+                            target,
+                            self.now,
+                            &mut best_issue,
+                            &mut earliest_wait,
+                        );
+                    }
+                }
+                RefreshMode::Disabled => {}
+            }
+        }
+
+        // Regular request service.
+        let oldest = self.queues.oldest_seq();
+        for flat_bank in self.queues.active_banks() {
+            if block_all_acts && self.banks[flat_bank].is_idle() {
+                // During an all-bank refresh drain no new rows may be opened.
+                continue;
+            }
+            let head = self.queues.head(flat_bank).expect("active bank has a head");
+            if self.ctrl.scheduling == SchedulingPolicy::Fcfs && Some(head.seq) != oldest {
+                continue;
+            }
+            let addr = head.request.address;
+            let bank = &self.banks[flat_bank];
+            let is_write = head.request.is_write();
+
+            if bank.is_row_open(addr.row) {
+                let ready = self.earliest_column(flat_bank, addr.bank_group, is_write);
+                let cmd = if is_write {
+                    Command::write(addr)
+                } else {
+                    Command::read(addr)
+                };
+                consider(
+                    1,
+                    head.seq,
+                    ready,
+                    cmd,
+                    flat_bank,
+                    self.now,
+                    &mut best_issue,
+                    &mut earliest_wait,
+                );
+            } else if bank.is_idle() {
+                if blocked_bank == Some(flat_bank) {
+                    // This bank is about to be refreshed; do not reopen it.
+                    continue;
+                }
+                let ready = self.earliest_activate(flat_bank, addr.bank_group);
+                consider(
+                    2,
+                    head.seq,
+                    ready,
+                    Command::activate(addr),
+                    flat_bank,
+                    self.now,
+                    &mut best_issue,
+                    &mut earliest_wait,
+                );
+            } else {
+                // Row conflict: precharge first.
+                let ready = self.banks[flat_bank].pre_allowed_at;
+                consider(
+                    3,
+                    head.seq,
+                    ready,
+                    Command::precharge(addr),
+                    flat_bank,
+                    self.now,
+                    &mut best_issue,
+                    &mut earliest_wait,
+                );
+            }
+        }
+
+        // Closed-page policy: proactively close banks whose queues ran dry.
+        if self.ctrl.page_policy == PagePolicy::Closed {
+            for (i, bank) in self.banks.iter().enumerate() {
+                if !bank.is_idle() && self.queues.head(i).is_none() {
+                    let addr = self.bank_address(i);
+                    consider(
+                        4,
+                        u64::MAX,
+                        bank.pre_allowed_at,
+                        Command::precharge(addr),
+                        i,
+                        self.now,
+                        &mut best_issue,
+                        &mut earliest_wait,
+                    );
+                }
+            }
+        }
+
+        if let Some((_, _, command, flat_bank)) = best_issue {
+            ScheduleOutcome::Issue { command, flat_bank }
+        } else if let Some(at) = earliest_wait {
+            ScheduleOutcome::Wait(at.max(self.now + 1))
+        } else if self.refresh.is_pending() {
+            ScheduleOutcome::Wait(self.now + 1)
+        } else if self.queues.is_empty() {
+            ScheduleOutcome::Idle
+        } else {
+            ScheduleOutcome::Wait(self.now + 1)
+        }
+    }
+
+    fn bank_address(&self, flat_bank: usize) -> crate::address::PhysicalAddress {
+        let banks_per_group = self.config.geometry.banks_per_group;
+        crate::address::PhysicalAddress {
+            bank_group: flat_bank as u32 / banks_per_group,
+            bank: flat_bank as u32 % banks_per_group,
+            row: self.banks[flat_bank].open_row.unwrap_or(0),
+            column: 0,
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Timing
+    // ----------------------------------------------------------------- //
+
+    fn earliest_activate(&self, flat_bank: usize, bank_group: u32) -> u64 {
+        let t = &self.config.timing;
+        let mut ready = self.banks[flat_bank].act_allowed_at;
+        if let Some(last) = self.last_act_any {
+            ready = ready.max(last + t.t_rrd_s);
+        }
+        if let Some(Some(last)) = self.last_act_per_group.get(bank_group as usize) {
+            ready = ready.max(*last + t.t_rrd_l);
+        }
+        if self.act_window.len() >= 4 {
+            let fourth_last = self.act_window[self.act_window.len() - 4];
+            ready = ready.max(fourth_last + t.t_faw);
+        }
+        ready
+    }
+
+    fn earliest_column(&self, flat_bank: usize, bank_group: u32, is_write: bool) -> u64 {
+        let t = &self.config.timing;
+        let burst = self.config.geometry.burst_cycles();
+        let mut ready = self.banks[flat_bank].col_allowed_at;
+        if let Some(col) = self.last_column {
+            let gap = if col.bank_group == bank_group {
+                t.t_ccd_l
+            } else {
+                t.t_ccd_s
+            };
+            ready = ready.max(col.time + gap);
+        }
+        if !is_write {
+            if let Some((wr_data_end, wr_group)) = self.last_write_data_end {
+                let gap = if wr_group == bank_group {
+                    t.t_wtr_l
+                } else {
+                    t.t_wtr_s
+                };
+                ready = ready.max(wr_data_end + gap);
+            }
+        }
+        // Data bus availability.
+        let latency = if is_write { t.cwl } else { t.cl };
+        let mut bus_free = self.data_bus_free_at;
+        if let Some(last_write) = self.last_data_was_write {
+            if last_write != is_write {
+                bus_free += t.t_bus_turn;
+            }
+        }
+        ready = ready.max(bus_free.saturating_sub(latency));
+        let _ = burst;
+        ready
+    }
+
+    // ----------------------------------------------------------------- //
+    // Issue
+    // ----------------------------------------------------------------- //
+
+    fn issue(&mut self, command: Command, flat_bank: usize) {
+        let t = self.config.timing;
+        let burst = self.config.geometry.burst_cycles();
+        let now = self.now;
+        match command.kind {
+            CommandKind::Activate => {
+                self.banks[flat_bank].record_activate(now, command.address.row, &t);
+                self.last_act_any = Some(now);
+                self.last_act_per_group[command.address.bank_group as usize] = Some(now);
+                if self.act_window.len() == 4 {
+                    self.act_window.pop_front();
+                }
+                self.act_window.push_back(now);
+                self.stats.activates += 1;
+                if let Some(head) = self.queues.head_mut(flat_bank) {
+                    head.caused_activate = true;
+                }
+            }
+            CommandKind::Precharge => {
+                self.banks[flat_bank].record_precharge(now, &t);
+                self.stats.precharges += 1;
+                if let Some(head) = self.queues.head_mut(flat_bank) {
+                    head.caused_conflict = true;
+                }
+            }
+            CommandKind::PrechargeAll => {
+                for bank in &mut self.banks {
+                    if !bank.is_idle() {
+                        bank.record_precharge(now, &t);
+                    }
+                }
+                self.stats.precharges += 1;
+            }
+            CommandKind::Read | CommandKind::Write => {
+                let is_write = command.kind == CommandKind::Write;
+                if is_write {
+                    self.banks[flat_bank].record_write(now, burst, &t);
+                } else {
+                    self.banks[flat_bank].record_read(now, burst, &t);
+                }
+                let latency = if is_write { t.cwl } else { t.cl };
+                let data_start = now + latency;
+                let data_end = data_start + burst;
+                self.data_bus_free_at = data_end;
+                self.last_data_was_write = Some(is_write);
+                self.last_column = Some(LastColumn {
+                    time: now,
+                    bank_group: command.address.bank_group,
+                });
+                if is_write {
+                    self.last_write_data_end = Some((data_end, command.address.bank_group));
+                }
+                self.stats.data_bus_busy_cycles += burst;
+                self.last_completion = self.last_completion.max(data_end);
+
+                let entry = self
+                    .queues
+                    .pop(flat_bank)
+                    .expect("column command without a queued request");
+                debug_assert_eq!(entry.request.address, command.address);
+                debug_assert_eq!(entry.request.is_write(), is_write);
+                self.stats.completed_requests += 1;
+                match entry.request.kind {
+                    RequestKind::Read => self.stats.read_bursts += 1,
+                    RequestKind::Write => self.stats.write_bursts += 1,
+                }
+                if entry.caused_conflict {
+                    self.stats.row_conflicts += 1;
+                } else if entry.caused_activate {
+                    self.stats.row_empties += 1;
+                } else {
+                    self.stats.row_hits += 1;
+                }
+            }
+            CommandKind::RefreshAll => {
+                for bank in &mut self.banks {
+                    bank.record_refresh(now, t.t_rfc_ab);
+                }
+                self.stats.refreshes_all_bank += 1;
+                self.refresh.complete_one();
+            }
+            CommandKind::RefreshBank => {
+                let busy = if t.t_rfc_pb > 0 { t.t_rfc_pb } else { t.t_rfc_ab };
+                self.banks[flat_bank].record_refresh(now, busy);
+                self.stats.refreshes_per_bank += 1;
+                self.refresh.complete_one();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::PhysicalAddress;
+    use crate::standards::{DramConfig, DramStandard};
+
+    fn controller(standard: DramStandard, rate: u32) -> Controller {
+        let config = DramConfig::preset(standard, rate).unwrap();
+        Controller::new(config, ControllerConfig::default()).unwrap()
+    }
+
+    fn no_refresh() -> ControllerConfig {
+        ControllerConfig {
+            refresh_mode: Some(RefreshMode::Disabled),
+            ..ControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_zero_queue_capacity() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 1600).unwrap();
+        let ctrl = ControllerConfig {
+            queue_capacity: 0,
+            ..ControllerConfig::default()
+        };
+        assert!(Controller::new(config, ctrl).is_err());
+    }
+
+    #[test]
+    fn single_write_completes() {
+        let mut c = controller(DramStandard::Ddr4, 3200);
+        assert!(c.enqueue(Request::write(PhysicalAddress::new(0, 0, 10, 3))));
+        c.drain();
+        let stats = c.stats();
+        assert_eq!(stats.completed_requests, 1);
+        assert_eq!(stats.write_bursts, 1);
+        assert_eq!(stats.activates, 1);
+        assert_eq!(stats.row_empties, 1);
+        assert!(stats.elapsed_cycles > 0);
+    }
+
+    #[test]
+    fn same_row_accesses_hit_the_row_buffer() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let mut c = Controller::new(config, no_refresh()).unwrap();
+        for col in 0..16 {
+            assert!(c.enqueue(Request::read(PhysicalAddress::new(0, 0, 5, col))));
+        }
+        c.drain();
+        assert_eq!(c.stats().completed_requests, 16);
+        assert_eq!(c.stats().activates, 1);
+        assert_eq!(c.stats().row_hits, 15);
+        assert_eq!(c.stats().row_empties, 1);
+    }
+
+    #[test]
+    fn row_conflicts_force_precharge_and_activate() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let mut c = Controller::new(config, no_refresh()).unwrap();
+        for i in 0..8u32 {
+            // Alternate between two rows of the same bank.
+            let row = i % 2;
+            assert!(c.enqueue(Request::read(PhysicalAddress::new(0, 0, row, 0))));
+        }
+        c.drain();
+        assert_eq!(c.stats().completed_requests, 8);
+        assert_eq!(c.stats().activates, 8);
+        assert_eq!(c.stats().row_conflicts, 7);
+        assert_eq!(c.stats().row_empties, 1);
+    }
+
+    #[test]
+    fn bank_group_interleaving_is_faster_than_same_bank_group() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        // Same bank group, different banks: limited by tCCD_L.
+        let mut same = Controller::new(config.clone(), no_refresh()).unwrap();
+        // Different bank groups: limited by tCCD_S only.
+        let mut diff = Controller::new(config.clone(), no_refresh()).unwrap();
+        let n = 4096u64;
+        let run = |c: &mut Controller, rotate_groups: bool| {
+            let mut produced = 0u64;
+            while produced < n || c.pending_requests() > 0 {
+                while produced < n && c.can_accept() {
+                    let lane = (produced % 4) as u32;
+                    let col = ((produced / 4) % 128) as u32;
+                    let row = (produced / 512) as u32;
+                    let addr = if rotate_groups {
+                        PhysicalAddress::new(lane, 0, row, col)
+                    } else {
+                        PhysicalAddress::new(0, lane, row, col)
+                    };
+                    assert!(c.enqueue(Request::write(addr)));
+                    produced += 1;
+                }
+                c.tick();
+            }
+            c.drain();
+        };
+        run(&mut same, false);
+        run(&mut diff, true);
+        assert!(
+            diff.stats().elapsed_cycles < same.stats().elapsed_cycles,
+            "bank-group interleaving must be faster: {} vs {}",
+            diff.stats().elapsed_cycles,
+            same.stats().elapsed_cycles
+        );
+        assert!(diff.stats().bus_utilization() > 0.9);
+    }
+
+    #[test]
+    fn sequential_stream_saturates_the_bus_without_refresh() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let mut c = Controller::new(config.clone(), no_refresh()).unwrap();
+        let mut produced = 0u64;
+        let total = 4096u64;
+        while produced < total || c.pending_requests() > 0 {
+            while produced < total && c.can_accept() {
+                let addr = config.decode_linear(produced);
+                assert!(c.enqueue(Request::write(addr)));
+                produced += 1;
+            }
+            c.tick();
+        }
+        c.drain();
+        assert_eq!(c.stats().completed_requests, total);
+        assert!(
+            c.stats().bus_utilization() > 0.93,
+            "sequential writes should be near peak, got {}",
+            c.stats().bus_utilization()
+        );
+    }
+
+    #[test]
+    fn refresh_reduces_utilization_for_all_bank_mode() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let run = |refresh: RefreshMode| {
+            let ctrl = ControllerConfig {
+                refresh_mode: Some(refresh),
+                ..ControllerConfig::default()
+            };
+            let mut c = Controller::new(config.clone(), ctrl).unwrap();
+            let total = 60_000u64;
+            let mut produced = 0u64;
+            while produced < total || c.pending_requests() > 0 {
+                while produced < total && c.can_accept() {
+                    let addr = config.decode_linear(produced);
+                    c.enqueue(Request::write(addr));
+                    produced += 1;
+                }
+                c.tick();
+            }
+            c.drain();
+            (c.stats().bus_utilization(), c.stats().refreshes_all_bank)
+        };
+        let (with_refresh, refreshes) = run(RefreshMode::AllBank);
+        let (without_refresh, none) = run(RefreshMode::Disabled);
+        assert!(refreshes > 0);
+        assert_eq!(none, 0);
+        assert!(without_refresh > with_refresh);
+        assert!(without_refresh > 0.95);
+    }
+
+    #[test]
+    fn per_bank_refresh_hides_most_of_the_cost() {
+        let config = DramConfig::preset(DramStandard::Lpddr4, 4266).unwrap();
+        let run = |refresh: RefreshMode| {
+            let ctrl = ControllerConfig {
+                refresh_mode: Some(refresh),
+                ..ControllerConfig::default()
+            };
+            let mut c = Controller::new(config.clone(), ctrl).unwrap();
+            let total = 60_000u64;
+            let mut produced = 0u64;
+            while produced < total || c.pending_requests() > 0 {
+                while produced < total && c.can_accept() {
+                    c.enqueue(Request::write(config.decode_linear(produced)));
+                    produced += 1;
+                }
+                c.tick();
+            }
+            c.drain();
+            c.stats().bus_utilization()
+        };
+        let per_bank = run(RefreshMode::PerBank);
+        let all_bank = run(RefreshMode::AllBank);
+        assert!(
+            per_bank >= all_bank,
+            "per-bank refresh should not be slower: {per_bank} vs {all_bank}"
+        );
+    }
+
+    #[test]
+    fn fcfs_is_not_faster_than_frfcfs() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let run = |policy: SchedulingPolicy| {
+            let ctrl = ControllerConfig {
+                scheduling: policy,
+                refresh_mode: Some(RefreshMode::Disabled),
+                ..ControllerConfig::default()
+            };
+            let mut c = Controller::new(config.clone(), ctrl).unwrap();
+            // A conflict-heavy pattern: stride through rows on one bank pair.
+            let total = 2_000u64;
+            let mut produced = 0u64;
+            while produced < total || c.pending_requests() > 0 {
+                while produced < total && c.can_accept() {
+                    let row = (produced % 64) as u32;
+                    let bank = (produced % 2) as u32;
+                    c.enqueue(Request::read(PhysicalAddress::new(0, bank, row, 0)));
+                    produced += 1;
+                }
+                c.tick();
+            }
+            c.drain();
+            c.stats().elapsed_cycles
+        };
+        assert!(run(SchedulingPolicy::FrFcfs) <= run(SchedulingPolicy::Fcfs));
+    }
+
+    #[test]
+    fn closed_page_policy_precharges_idle_banks() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 1600).unwrap();
+        let ctrl = ControllerConfig {
+            page_policy: PagePolicy::Closed,
+            refresh_mode: Some(RefreshMode::Disabled),
+            ..ControllerConfig::default()
+        };
+        let mut c = Controller::new(config, ctrl).unwrap();
+        c.enqueue(Request::read(PhysicalAddress::new(0, 0, 3, 0)));
+        c.drain();
+        // Run a few more cycles so the proactive precharge gets issued.
+        for _ in 0..200 {
+            c.tick();
+        }
+        assert!(c.bank_state(BankId(0)).is_idle());
+    }
+
+    #[test]
+    fn stats_reset_preserves_bank_state() {
+        let config = DramConfig::preset(DramStandard::Ddr4, 1600).unwrap();
+        let mut c = Controller::new(config, no_refresh()).unwrap();
+        c.enqueue(Request::write(PhysicalAddress::new(1, 1, 9, 0)));
+        c.drain();
+        c.reset_stats();
+        assert_eq!(c.stats().completed_requests, 0);
+        // The row is still open, so the next access to it is a hit.
+        c.enqueue(Request::read(PhysicalAddress::new(1, 1, 9, 1)));
+        c.drain();
+        assert_eq!(c.stats().row_hits, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-bank transaction queues with a shared capacity limit.
+
+use std::collections::VecDeque;
+
+use crate::request::Request;
+
+/// A request waiting in a bank queue, together with scheduling metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedRequest {
+    /// Global arrival sequence number (lower = older).
+    pub seq: u64,
+    /// The request itself.
+    pub request: Request,
+    /// Set when the scheduler had to close a different row for this request.
+    pub caused_conflict: bool,
+    /// Set when the scheduler issued an activate for this request.
+    pub caused_activate: bool,
+}
+
+/// Per-bank FIFO queues sharing one capacity budget.
+///
+/// Requests are served FCFS *within* a bank; the scheduler may reorder
+/// *across* banks (this is the essence of FR-FCFS for streaming workloads).
+#[derive(Debug, Clone)]
+pub struct CommandQueues {
+    queues: Vec<VecDeque<QueuedRequest>>,
+    capacity: usize,
+    occupancy: usize,
+    next_seq: u64,
+}
+
+impl CommandQueues {
+    /// Creates queues for `banks` banks with a total capacity of `capacity`
+    /// outstanding requests.
+    #[must_use]
+    pub fn new(banks: usize, capacity: usize) -> Self {
+        Self {
+            queues: vec![VecDeque::new(); banks],
+            capacity,
+            occupancy: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Total number of queued requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Whether no requests are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occupancy == 0
+    }
+
+    /// Whether another request can be accepted.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.occupancy < self.capacity
+    }
+
+    /// Number of free request slots.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.occupancy
+    }
+
+    /// Enqueues a request for `flat_bank`.  Returns `false` (and drops
+    /// nothing — the caller keeps ownership semantics trivial because
+    /// [`Request`] is `Copy`) if the shared capacity is exhausted.
+    pub fn push(&mut self, flat_bank: usize, request: Request) -> bool {
+        if !self.has_space() {
+            return false;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queues[flat_bank].push_back(QueuedRequest {
+            seq,
+            request,
+            caused_conflict: false,
+            caused_activate: false,
+        });
+        self.occupancy += 1;
+        true
+    }
+
+    /// The oldest request queued for `flat_bank`, if any.
+    #[must_use]
+    pub fn head(&self, flat_bank: usize) -> Option<&QueuedRequest> {
+        self.queues[flat_bank].front()
+    }
+
+    /// Mutable access to the oldest request queued for `flat_bank`.
+    pub fn head_mut(&mut self, flat_bank: usize) -> Option<&mut QueuedRequest> {
+        self.queues[flat_bank].front_mut()
+    }
+
+    /// Removes and returns the oldest request queued for `flat_bank`.
+    pub fn pop(&mut self, flat_bank: usize) -> Option<QueuedRequest> {
+        let popped = self.queues[flat_bank].pop_front();
+        if popped.is_some() {
+            self.occupancy -= 1;
+        }
+        popped
+    }
+
+    /// Sequence number of the globally oldest queued request, if any.
+    #[must_use]
+    pub fn oldest_seq(&self) -> Option<u64> {
+        self.queues
+            .iter()
+            .filter_map(|q| q.front().map(|r| r.seq))
+            .min()
+    }
+
+    /// Iterator over bank indices that have at least one queued request.
+    pub fn active_banks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::PhysicalAddress;
+
+    fn req(row: u32) -> Request {
+        Request::write(PhysicalAddress::new(0, 0, row, 0))
+    }
+
+    #[test]
+    fn capacity_is_shared_across_banks() {
+        let mut q = CommandQueues::new(4, 2);
+        assert!(q.push(0, req(0)));
+        assert!(q.push(1, req(1)));
+        assert!(!q.push(2, req(2)), "third push must be rejected");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.free_slots(), 0);
+    }
+
+    #[test]
+    fn fifo_order_within_bank() {
+        let mut q = CommandQueues::new(2, 8);
+        q.push(0, req(1));
+        q.push(0, req(2));
+        q.push(0, req(3));
+        assert_eq!(q.pop(0).unwrap().request.address.row, 1);
+        assert_eq!(q.pop(0).unwrap().request.address.row, 2);
+        assert_eq!(q.pop(0).unwrap().request.address.row, 3);
+        assert!(q.pop(0).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sequence_numbers_are_global_and_monotonic() {
+        let mut q = CommandQueues::new(2, 8);
+        q.push(0, req(0));
+        q.push(1, req(0));
+        q.push(0, req(0));
+        assert_eq!(q.oldest_seq(), Some(0));
+        q.pop(0);
+        assert_eq!(q.oldest_seq(), Some(1));
+        let banks: Vec<_> = q.active_banks().collect();
+        assert_eq!(banks, vec![0, 1]);
+    }
+
+    #[test]
+    fn pop_frees_capacity() {
+        let mut q = CommandQueues::new(1, 1);
+        assert!(q.push(0, req(0)));
+        assert!(!q.has_space());
+        q.pop(0);
+        assert!(q.has_space());
+        assert!(q.push(0, req(1)));
+    }
+}

@@ -1,0 +1,90 @@
+//! # tbi-dram — a cycle-accurate DRAM device and memory-controller model
+//!
+//! This crate is the DRAM substrate used by the
+//! [`tbi-interleaver`](https://example.org/tbi) workspace to study how the
+//! access pattern of a *triangular block interleaver* maps onto JEDEC DRAM
+//! devices (DDR3, DDR4, DDR5, LPDDR4, LPDDR5).  It plays the role that the
+//! DRAMSys simulator plays in the original paper: given a stream of read or
+//! write bursts addressed by (bank group, bank, row, column), it simulates a
+//! single-channel memory controller plus device at cycle granularity and
+//! reports the achieved **data-bus bandwidth utilization**.
+//!
+//! The model enforces the first-order JEDEC timing constraints that determine
+//! the difference between "good" and "bad" access patterns:
+//!
+//! * column-to-column gaps ([`TimingParams::t_ccd_s`] / [`TimingParams::t_ccd_l`],
+//!   i.e. the bank-group penalty),
+//! * activation-rate limits ([`TimingParams::t_rrd_s`], [`TimingParams::t_rrd_l`],
+//!   [`TimingParams::t_faw`]),
+//! * row-cycle timings ([`TimingParams::t_rcd`], [`TimingParams::t_rp`],
+//!   [`TimingParams::t_ras`], [`TimingParams::t_rc`]),
+//! * write-recovery and turnaround ([`TimingParams::t_wr`], [`TimingParams::t_wtr_s`],
+//!   [`TimingParams::t_wtr_l`], [`TimingParams::t_rtp`]),
+//! * refresh ([`TimingParams::t_rfc_ab`], [`TimingParams::t_refi`]), with
+//!   all-bank, per-bank or disabled refresh policies.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tbi_dram::{DramConfig, DramStandard, MemorySystem, Request, PhysicalAddress};
+//!
+//! # fn main() -> Result<(), tbi_dram::ConfigError> {
+//! // A DDR4-3200 single-channel configuration.
+//! let config = DramConfig::preset(DramStandard::Ddr4, 3200)?;
+//! let mut system = MemorySystem::new(config.clone())?;
+//!
+//! // Write 1024 sequential bursts (decoded with the default address mapping).
+//! let trace = (0..1024u64).map(|i| Request::write(config.decode_linear(i)));
+//! let stats = system.run_trace(trace);
+//! assert_eq!(stats.completed_requests, 1024);
+//! assert!(stats.bus_utilization() > 0.5);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`geometry`] | [`DeviceGeometry`]: banks, bank groups, rows, columns, burst length |
+//! | [`timing`] | [`TimingParams`]: all timing constraints in device clock cycles |
+//! | [`standards`] | presets for the ten configurations evaluated in the paper |
+//! | [`address`] | [`PhysicalAddress`] and linear-address decoding schemes |
+//! | [`command`] | the DRAM command set issued by the controller |
+//! | [`bank`] | per-bank state machine with earliest-issue bookkeeping |
+//! | [`request`] | read/write burst requests |
+//! | [`controller`] | transaction queues, FR-FCFS scheduler, page policies, refresh |
+//! | [`sim`] | [`MemorySystem`]: the user-facing cycle loop |
+//! | [`stats`] | bandwidth and page hit/miss statistics |
+//! | [`energy`] | a DRAMPower-style energy estimate |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod bank;
+pub mod builder;
+pub mod command;
+pub mod controller;
+pub mod energy;
+pub mod error;
+pub mod geometry;
+pub mod request;
+pub mod sim;
+pub mod standards;
+pub mod stats;
+pub mod timing;
+
+pub use address::{AddressDecoder, DecodeScheme, PhysicalAddress};
+pub use bank::{BankId, BankState};
+pub use builder::DramConfigBuilder;
+pub use command::{Command, CommandKind};
+pub use controller::{Controller, ControllerConfig, PagePolicy, RefreshMode, SchedulingPolicy};
+pub use energy::{EnergyParams, EnergyReport};
+pub use error::ConfigError;
+pub use geometry::DeviceGeometry;
+pub use request::{Request, RequestKind};
+pub use sim::MemorySystem;
+pub use standards::{DramConfig, DramStandard};
+pub use stats::Stats;
+pub use timing::TimingParams;

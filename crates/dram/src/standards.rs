@@ -1,0 +1,500 @@
+//! Preset configurations for the ten DRAM devices evaluated in the paper.
+//!
+//! The paper simulates five JEDEC standards at two speed grades each:
+//! DDR3-800/1600, DDR4-1600/3200, DDR5-3200/6400, LPDDR4-2133/4266 and
+//! LPDDR5-4267/8533.  The presets below use representative datasheet values;
+//! they are not copies of any particular vendor datasheet but preserve the
+//! ratios (core timing in nanoseconds versus burst duration) that drive the
+//! bandwidth-utilization behaviour studied in the paper.
+//!
+//! Geometry note: each preset models one *channel* as a single logical device
+//! whose burst transfers 64 bytes (the 512-bit burst referenced in the
+//! paper), i.e. a 64-bit DDR3/DDR4 channel with BL8, a 32-bit DDR5
+//! sub-channel with BL16, and 32-bit LPDDR4/LPDDR5 channels with BL16.
+
+use crate::address::{AddressDecoder, DecodeScheme, PhysicalAddress};
+use crate::controller::RefreshMode;
+use crate::error::ConfigError;
+use crate::geometry::DeviceGeometry;
+use crate::timing::{ns_to_cycles, TimingParams};
+
+/// The five DRAM standards evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DramStandard {
+    /// DDR3 SDRAM (no bank groups, BL8).
+    Ddr3,
+    /// DDR4 SDRAM (4 bank groups, BL8).
+    Ddr4,
+    /// DDR5 SDRAM (8 bank groups, BL16, 32-bit sub-channel).
+    Ddr5,
+    /// LPDDR4 (no bank groups, BL16).
+    Lpddr4,
+    /// LPDDR5 (4 bank groups, BL16).
+    Lpddr5,
+}
+
+impl DramStandard {
+    /// All standards, in the order used by the paper's Table I.
+    pub const ALL: [DramStandard; 5] = [
+        DramStandard::Ddr3,
+        DramStandard::Ddr4,
+        DramStandard::Ddr5,
+        DramStandard::Lpddr4,
+        DramStandard::Lpddr5,
+    ];
+
+    /// Returns the two speed grades (data rates in MT/s) simulated in the
+    /// paper for this standard.
+    #[must_use]
+    pub fn paper_speed_grades(self) -> [u32; 2] {
+        match self {
+            DramStandard::Ddr3 => [800, 1600],
+            DramStandard::Ddr4 => [1600, 3200],
+            DramStandard::Ddr5 => [3200, 6400],
+            DramStandard::Lpddr4 => [2133, 4266],
+            DramStandard::Lpddr5 => [4267, 8533],
+        }
+    }
+
+    /// Whether the standard defines bank groups (and therefore a
+    /// `t_ccd_l`/`t_ccd_s` distinction).
+    #[must_use]
+    pub fn has_bank_groups(self) -> bool {
+        matches!(
+            self,
+            DramStandard::Ddr4 | DramStandard::Ddr5 | DramStandard::Lpddr5
+        )
+    }
+
+    /// Display name matching the paper ("DDR4", "LPDDR5", ...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DramStandard::Ddr3 => "DDR3",
+            DramStandard::Ddr4 => "DDR4",
+            DramStandard::Ddr5 => "DDR5",
+            DramStandard::Lpddr4 => "LPDDR4",
+            DramStandard::Lpddr5 => "LPDDR5",
+        }
+    }
+}
+
+impl std::fmt::Display for DramStandard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// All ten (standard, data rate) pairs from Table I of the paper.
+pub const ALL_CONFIGS: &[(DramStandard, u32)] = &[
+    (DramStandard::Ddr3, 800),
+    (DramStandard::Ddr3, 1600),
+    (DramStandard::Ddr4, 1600),
+    (DramStandard::Ddr4, 3200),
+    (DramStandard::Ddr5, 3200),
+    (DramStandard::Ddr5, 6400),
+    (DramStandard::Lpddr4, 2133),
+    (DramStandard::Lpddr4, 4266),
+    (DramStandard::Lpddr5, 4267),
+    (DramStandard::Lpddr5, 8533),
+];
+
+/// A complete single-channel DRAM configuration: standard, speed grade,
+/// geometry and timing.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{DramConfig, DramStandard};
+///
+/// # fn main() -> Result<(), tbi_dram::ConfigError> {
+/// let cfg = DramConfig::preset(DramStandard::Lpddr4, 4266)?;
+/// assert_eq!(cfg.geometry.total_banks(), 8);
+/// assert_eq!(cfg.geometry.burst_bytes(), 64);
+/// assert!(cfg.peak_bandwidth_gbps() > 100.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DramConfig {
+    /// The JEDEC standard family.
+    pub standard: DramStandard,
+    /// Data rate in MT/s (e.g. 3200 for DDR4-3200).
+    pub data_rate_mtps: u32,
+    /// Channel geometry.
+    pub geometry: DeviceGeometry,
+    /// Timing constraints in device clock cycles.
+    pub timing: TimingParams,
+    /// Default refresh mode for this standard (all-bank for DDR3/DDR4,
+    /// per-bank for DDR5/LPDDR4/LPDDR5).
+    pub default_refresh: RefreshMode,
+    /// Default linear-address decode scheme used by
+    /// [`DramConfig::decode_linear`].
+    pub decode_scheme: DecodeScheme,
+}
+
+impl DramConfig {
+    /// Returns the preset configuration for `standard` at `data_rate_mtps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnknownPreset`] if the (standard, data rate)
+    /// pair is not one of the ten configurations from the paper.
+    pub fn preset(standard: DramStandard, data_rate_mtps: u32) -> Result<Self, ConfigError> {
+        let grades = standard.paper_speed_grades();
+        if !grades.contains(&data_rate_mtps) {
+            return Err(ConfigError::UnknownPreset {
+                standard: standard.name().to_string(),
+                data_rate: data_rate_mtps,
+            });
+        }
+        let cfg = build_preset(standard, data_rate_mtps);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Device clock frequency in MHz (half the data rate).
+    #[must_use]
+    pub fn clock_mhz(&self) -> f64 {
+        f64::from(self.data_rate_mtps) / 2.0
+    }
+
+    /// Theoretical peak bandwidth of the channel in Gbit/s.
+    #[must_use]
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        f64::from(self.data_rate_mtps) * 1.0e6 * f64::from(self.geometry.bus_width_bits) / 1.0e9
+    }
+
+    /// Name of the configuration in the paper's style, e.g. `DDR4-3200`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.standard.name(), self.data_rate_mtps)
+    }
+
+    /// Decodes a linear burst index into a physical address using the
+    /// configuration's default [`DecodeScheme`].
+    ///
+    /// This is the "row-major" baseline path: the interleaver treats DRAM as
+    /// flat storage and the controller's address decoder slices the linear
+    /// address into bank/row/column bits.
+    #[must_use]
+    pub fn decode_linear(&self, burst_index: u64) -> PhysicalAddress {
+        AddressDecoder::new(self.geometry, self.decode_scheme).decode(burst_index)
+    }
+
+    /// Validates geometry and timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from [`DeviceGeometry::validate`] and
+    /// [`TimingParams::validate`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.geometry.validate()?;
+        self.timing.validate()?;
+        Ok(())
+    }
+}
+
+/// Builds one of the ten presets.  Only called with validated pairs.
+fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
+    let clock = f64::from(rate) / 2.0;
+    let c = |ns: f64| ns_to_cycles(ns, clock);
+    let ck = |n: u64| n;
+
+    let (geometry, timing, refresh) = match (standard, rate) {
+        (DramStandard::Ddr3, _) => {
+            let geometry = DeviceGeometry {
+                bank_groups: 1,
+                banks_per_group: 8,
+                rows: 1 << 16,
+                columns_per_row: 128,
+                burst_length: 8,
+                bus_width_bits: 64,
+            };
+            let (cl, cwl, t_faw_ns) = if rate == 800 {
+                (ck(6), ck(5), 37.5)
+            } else {
+                (ck(11), ck(8), 30.0)
+            };
+            let timing = TimingParams {
+                cl,
+                cwl,
+                t_rcd: c(13.75).max(5),
+                t_rp: c(13.75).max(5),
+                t_ras: c(35.0),
+                t_rc: c(35.0) + c(13.75).max(5),
+                t_rrd_s: c(7.5).max(4),
+                t_rrd_l: c(7.5).max(4),
+                t_faw: c(t_faw_ns),
+                t_ccd_s: 4,
+                t_ccd_l: 4,
+                t_wr: c(15.0),
+                t_wtr_s: c(7.5).max(4),
+                t_wtr_l: c(7.5).max(4),
+                t_rtp: c(7.5).max(4),
+                t_rfc_ab: c(260.0),
+                t_rfc_pb: 0,
+                t_refi: c(7800.0),
+                t_bus_turn: 2,
+            };
+            (geometry, timing, RefreshMode::AllBank)
+        }
+        (DramStandard::Ddr4, _) => {
+            let geometry = DeviceGeometry {
+                bank_groups: 4,
+                banks_per_group: 4,
+                rows: 1 << 16,
+                columns_per_row: 128,
+                burst_length: 8,
+                bus_width_bits: 64,
+            };
+            let (cl, cwl) = if rate == 1600 {
+                (ck(11), ck(9))
+            } else {
+                (ck(22), ck(16))
+            };
+            let timing = TimingParams {
+                cl,
+                cwl,
+                t_rcd: c(13.75),
+                t_rp: c(13.75),
+                t_ras: c(32.0),
+                t_rc: c(32.0) + c(13.75),
+                t_rrd_s: c(2.5).max(4),
+                t_rrd_l: c(4.9).max(4),
+                t_faw: if rate == 1600 { c(25.0) } else { c(21.25) },
+                t_ccd_s: 4,
+                t_ccd_l: c(5.0).max(4),
+                t_wr: c(15.0),
+                t_wtr_s: c(2.5).max(2),
+                t_wtr_l: c(7.5).max(4),
+                t_rtp: c(7.5).max(4),
+                t_rfc_ab: c(350.0),
+                t_rfc_pb: 0,
+                t_refi: c(7800.0),
+                t_bus_turn: 2,
+            };
+            (geometry, timing, RefreshMode::AllBank)
+        }
+        (DramStandard::Ddr5, _) => {
+            let geometry = DeviceGeometry {
+                bank_groups: 8,
+                banks_per_group: 4,
+                rows: 1 << 16,
+                columns_per_row: 64,
+                burst_length: 16,
+                bus_width_bits: 32,
+            };
+            let cl = c(15.0).max(22);
+            let timing = TimingParams {
+                cl,
+                cwl: cl.saturating_sub(2).max(20),
+                t_rcd: c(15.0).max(22),
+                t_rp: c(15.0).max(22),
+                t_ras: c(32.0),
+                t_rc: c(32.0) + c(15.0).max(22),
+                t_rrd_s: 8,
+                t_rrd_l: c(5.0).max(8),
+                t_faw: c(13.333).max(32),
+                t_ccd_s: 8,
+                t_ccd_l: c(5.0).max(8),
+                t_wr: c(30.0),
+                t_wtr_s: c(2.5).max(4),
+                t_wtr_l: c(10.0).max(16),
+                t_rtp: c(7.5).max(12),
+                t_rfc_ab: c(295.0),
+                t_rfc_pb: c(130.0),
+                t_refi: c(3900.0),
+                t_bus_turn: 2,
+            };
+            (geometry, timing, RefreshMode::PerBank)
+        }
+        (DramStandard::Lpddr4, _) => {
+            let geometry = DeviceGeometry {
+                bank_groups: 1,
+                banks_per_group: 8,
+                rows: 1 << 17,
+                columns_per_row: 64,
+                burst_length: 16,
+                bus_width_bits: 32,
+            };
+            let (cl, cwl) = if rate == 2133 {
+                (ck(20), ck(10))
+            } else {
+                (ck(36), ck(18))
+            };
+            let timing = TimingParams {
+                cl,
+                cwl,
+                t_rcd: c(18.0),
+                t_rp: c(18.0),
+                t_ras: c(42.0),
+                t_rc: c(42.0) + c(18.0),
+                t_rrd_s: c(10.0).max(4),
+                t_rrd_l: c(10.0).max(4),
+                t_faw: c(40.0),
+                t_ccd_s: 8,
+                t_ccd_l: 8,
+                t_wr: c(18.0),
+                t_wtr_s: c(10.0).max(4),
+                t_wtr_l: c(10.0).max(4),
+                t_rtp: c(7.5).max(4),
+                t_rfc_ab: c(280.0),
+                t_rfc_pb: c(140.0),
+                t_refi: c(3904.0),
+                t_bus_turn: 2,
+            };
+            (geometry, timing, RefreshMode::PerBank)
+        }
+        (DramStandard::Lpddr5, _) => {
+            let geometry = DeviceGeometry {
+                bank_groups: 4,
+                banks_per_group: 4,
+                rows: 1 << 17,
+                columns_per_row: 64,
+                burst_length: 16,
+                bus_width_bits: 32,
+            };
+            let (cl, cwl) = if rate == 4267 {
+                (ck(36), ck(18))
+            } else {
+                (ck(72), ck(36))
+            };
+            let timing = TimingParams {
+                cl,
+                cwl,
+                t_rcd: c(18.0),
+                t_rp: c(18.0),
+                t_ras: c(42.0),
+                t_rc: c(42.0) + c(18.0),
+                t_rrd_s: c(5.0).max(4),
+                t_rrd_l: c(5.0).max(4),
+                t_faw: c(20.0),
+                t_ccd_s: 8,
+                t_ccd_l: if rate == 8533 { 16 } else { 8 },
+                t_wr: c(18.0),
+                t_wtr_s: c(10.0).max(4),
+                t_wtr_l: c(10.0).max(4),
+                t_rtp: c(7.5).max(4),
+                t_rfc_ab: c(280.0),
+                t_rfc_pb: c(140.0),
+                t_refi: c(3904.0),
+                t_bus_turn: 2,
+            };
+            (geometry, timing, RefreshMode::PerBank)
+        }
+    };
+
+    DramConfig {
+        standard,
+        data_rate_mtps: rate,
+        geometry,
+        timing,
+        default_refresh: refresh,
+        decode_scheme: DecodeScheme::RowColumnBankBankGroup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_presets_build_and_validate() {
+        for (standard, rate) in ALL_CONFIGS {
+            let cfg = DramConfig::preset(*standard, *rate).expect("preset must exist");
+            assert_eq!(cfg.standard, *standard);
+            assert_eq!(cfg.data_rate_mtps, *rate);
+            assert!(cfg.validate().is_ok(), "{}", cfg.label());
+            // All configurations use 64-byte bursts so that the interleaver's
+            // burst-level index space is comparable across standards.
+            assert_eq!(cfg.geometry.burst_bytes(), 64, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn unknown_preset_is_rejected() {
+        let err = DramConfig::preset(DramStandard::Ddr4, 2400).unwrap_err();
+        assert!(matches!(err, ConfigError::UnknownPreset { .. }));
+    }
+
+    #[test]
+    fn bank_group_standards_have_ccd_penalty_at_top_speed() {
+        for standard in [DramStandard::Ddr4, DramStandard::Ddr5, DramStandard::Lpddr5] {
+            let fast = standard.paper_speed_grades()[1];
+            let cfg = DramConfig::preset(standard, fast).unwrap();
+            assert!(
+                cfg.timing.t_ccd_l > cfg.timing.t_ccd_s,
+                "{} should have a bank-group penalty at {fast}",
+                standard
+            );
+        }
+    }
+
+    #[test]
+    fn non_bank_group_standards_have_single_ccd() {
+        for standard in [DramStandard::Ddr3, DramStandard::Lpddr4] {
+            for rate in standard.paper_speed_grades() {
+                let cfg = DramConfig::preset(standard, rate).unwrap();
+                assert_eq!(cfg.geometry.bank_groups, 1);
+                assert_eq!(cfg.timing.t_ccd_l, cfg.timing.t_ccd_s);
+            }
+        }
+    }
+
+    #[test]
+    fn faster_grade_has_higher_peak_bandwidth() {
+        for standard in DramStandard::ALL {
+            let [slow, fast] = standard.paper_speed_grades();
+            let s = DramConfig::preset(standard, slow).unwrap();
+            let f = DramConfig::preset(standard, fast).unwrap();
+            assert!(f.peak_bandwidth_gbps() > s.peak_bandwidth_gbps());
+        }
+    }
+
+    #[test]
+    fn capacity_fits_a_12_5_million_burst_interleaver() {
+        for (standard, rate) in ALL_CONFIGS {
+            let cfg = DramConfig::preset(*standard, *rate).unwrap();
+            assert!(
+                cfg.geometry.total_bursts() >= 12_500_000,
+                "{} too small: {} bursts",
+                cfg.label(),
+                cfg.geometry.total_bursts()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_format() {
+        let cfg = DramConfig::preset(DramStandard::Lpddr5, 8533).unwrap();
+        assert_eq!(cfg.label(), "LPDDR5-8533");
+    }
+
+    #[test]
+    fn ddr3_ddr4_use_all_bank_refresh_lp_and_ddr5_per_bank() {
+        assert_eq!(
+            DramConfig::preset(DramStandard::Ddr3, 800).unwrap().default_refresh,
+            RefreshMode::AllBank
+        );
+        assert_eq!(
+            DramConfig::preset(DramStandard::Ddr4, 3200).unwrap().default_refresh,
+            RefreshMode::AllBank
+        );
+        for standard in [DramStandard::Ddr5, DramStandard::Lpddr4, DramStandard::Lpddr5] {
+            let rate = standard.paper_speed_grades()[0];
+            assert_eq!(
+                DramConfig::preset(standard, rate).unwrap().default_refresh,
+                RefreshMode::PerBank
+            );
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DramStandard::Lpddr4.to_string(), "LPDDR4");
+        assert_eq!(DramStandard::Ddr5.to_string(), "DDR5");
+    }
+}

@@ -1,0 +1,227 @@
+//! Rectangular block interleaver — the small SRAM-resident first stage.
+//!
+//! The paper splits interleaving into two stages: a small SRAM block
+//! interleaver first rearranges symbols so that the symbols inside one DRAM
+//! burst belong to *different* code words, and the large triangular DRAM
+//! interleaver then operates at burst granularity.  This module provides the
+//! first stage.
+
+use crate::InterleaverError;
+
+/// A classic `rows × columns` block interleaver: symbols are written row-wise
+/// and read column-wise.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_interleaver::BlockInterleaver;
+///
+/// # fn main() -> Result<(), tbi_interleaver::InterleaverError> {
+/// let il = BlockInterleaver::new(2, 3)?;
+/// let interleaved = il.interleave(&[1, 2, 3, 4, 5, 6])?;
+/// assert_eq!(interleaved, vec![1, 4, 2, 5, 3, 6]);
+/// assert_eq!(il.deinterleave(&interleaved)?, vec![1, 2, 3, 4, 5, 6]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockInterleaver {
+    rows: u32,
+    columns: u32,
+}
+
+impl BlockInterleaver {
+    /// Creates a block interleaver with the given number of rows and columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError::InvalidDimension`] if either dimension is
+    /// zero.
+    pub fn new(rows: u32, columns: u32) -> Result<Self, InterleaverError> {
+        if rows == 0 || columns == 0 {
+            return Err(InterleaverError::InvalidDimension {
+                reason: format!("block interleaver dimensions must be non-zero, got {rows}x{columns}"),
+            });
+        }
+        Ok(Self { rows, columns })
+    }
+
+    /// Creates the SRAM pre-interleaver used in front of a DRAM burst of
+    /// `symbols_per_burst` symbols, interleaving over `codewords` code words:
+    /// each output burst then carries one symbol from `symbols_per_burst`
+    /// different code words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError::InvalidDimension`] if either argument is
+    /// zero.
+    pub fn for_burst_spreading(
+        codewords: u32,
+        symbols_per_burst: u32,
+    ) -> Result<Self, InterleaverError> {
+        Self::new(codewords, symbols_per_burst)
+    }
+
+    /// Number of rows (written first).
+    #[must_use]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn columns(&self) -> u32 {
+        self.columns
+    }
+
+    /// Total number of symbols held by the interleaver.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows as usize * self.columns as usize
+    }
+
+    /// Whether the interleaver holds no symbols (never true for valid
+    /// dimensions).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Output rank of the symbol written at input rank `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.len()`.
+    #[must_use]
+    pub fn permute(&self, rank: usize) -> usize {
+        assert!(rank < self.len(), "rank {rank} out of range");
+        let r = rank / self.columns as usize;
+        let c = rank % self.columns as usize;
+        c * self.rows as usize + r
+    }
+
+    /// Interleaves `data` (write row-wise, read column-wise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError::InvalidDimension`] if `data.len()` does not
+    /// match [`len`](Self::len).
+    pub fn interleave<T: Clone>(&self, data: &[T]) -> Result<Vec<T>, InterleaverError> {
+        self.check_len(data.len())?;
+        let mut out = Vec::with_capacity(data.len());
+        for c in 0..self.columns as usize {
+            for r in 0..self.rows as usize {
+                out.push(data[r * self.columns as usize + c].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reverses [`interleave`](Self::interleave).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError::InvalidDimension`] if `data.len()` does not
+    /// match [`len`](Self::len).
+    pub fn deinterleave<T: Clone>(&self, data: &[T]) -> Result<Vec<T>, InterleaverError> {
+        self.check_len(data.len())?;
+        let mut out = Vec::with_capacity(data.len());
+        for r in 0..self.rows as usize {
+            for c in 0..self.columns as usize {
+                out.push(data[c * self.rows as usize + r].clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_len(&self, len: usize) -> Result<(), InterleaverError> {
+        if len != self.len() {
+            return Err(InterleaverError::InvalidDimension {
+                reason: format!("expected {} symbols, got {len}", self.len()),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(BlockInterleaver::new(0, 4).is_err());
+        assert!(BlockInterleaver::new(4, 0).is_err());
+        assert!(BlockInterleaver::for_burst_spreading(0, 1).is_err());
+    }
+
+    #[test]
+    fn round_trip_small() {
+        let il = BlockInterleaver::new(3, 4).unwrap();
+        let data: Vec<u32> = (0..12).collect();
+        let interleaved = il.interleave(&data).unwrap();
+        assert_eq!(il.deinterleave(&interleaved).unwrap(), data);
+        assert_eq!(interleaved[0], 0);
+        assert_eq!(interleaved[1], 4);
+        assert_eq!(interleaved[2], 8);
+    }
+
+    #[test]
+    fn permute_matches_interleave() {
+        let il = BlockInterleaver::new(5, 7).unwrap();
+        let data: Vec<usize> = (0..35).collect();
+        let interleaved = il.interleave(&data).unwrap();
+        for (input_rank, &value) in data.iter().enumerate() {
+            assert_eq!(interleaved[il.permute(input_rank)], value);
+        }
+    }
+
+    #[test]
+    fn burst_spreading_separates_codewords() {
+        // 8 code words, 4 symbols per burst: each output group of 8 contains
+        // one symbol from each code word.
+        let il = BlockInterleaver::for_burst_spreading(8, 4).unwrap();
+        // Tag each symbol by its code word (row).
+        let data: Vec<u32> = (0..32).map(|i| i / 4).collect();
+        let interleaved = il.interleave(&data).unwrap();
+        for burst in interleaved.chunks(8) {
+            let mut cw: Vec<u32> = burst.to_vec();
+            cw.sort_unstable();
+            cw.dedup();
+            assert_eq!(cw.len(), 8, "burst must contain 8 distinct code words");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        let il = BlockInterleaver::new(2, 2).unwrap();
+        assert!(il.interleave(&[1, 2, 3]).is_err());
+        assert!(il.deinterleave(&[1]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_random_dims(rows in 1u32..20, cols in 1u32..20) {
+            let il = BlockInterleaver::new(rows, cols).unwrap();
+            let data: Vec<u32> = (0..il.len() as u32).collect();
+            let interleaved = il.interleave(&data).unwrap();
+            prop_assert_eq!(il.deinterleave(&interleaved).unwrap(), data.clone());
+            // Permutation property.
+            let mut sorted = interleaved;
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, data);
+        }
+
+        #[test]
+        fn permute_is_bijective(rows in 1u32..16, cols in 1u32..16) {
+            let il = BlockInterleaver::new(rows, cols).unwrap();
+            let mut seen = vec![false; il.len()];
+            for rank in 0..il.len() {
+                let out = il.permute(rank);
+                prop_assert!(!seen[out]);
+                seen[out] = true;
+            }
+        }
+    }
+}

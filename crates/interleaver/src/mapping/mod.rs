@@ -1,0 +1,257 @@
+//! Mappings from the interleaver's 2-D index space to DRAM addresses.
+//!
+//! All mappings operate at burst granularity: position `(i, j)` of the
+//! triangular index space (row `i`, column `j`) is one DRAM burst.  A mapping
+//! assigns each position a [`PhysicalAddress`] (bank group, bank, row,
+//! column).  The scheme determines how friendly the row-wise write phase and
+//! the column-wise read phase are to the DRAM timing constraints.
+//!
+//! | scheme | bank round-robin | page tiling | stagger | figure |
+//! |---|---|---|---|---|
+//! | [`RowMajorMapping`] | – | – | – | baseline (Table I "Row-Major") |
+//! | [`BankRoundRobinMapping`] | ✓ | – | – | Fig. 1a |
+//! | [`TiledMapping`] | per tile | ✓ | – | Fig. 1b |
+//! | [`OptimizedMapping`] (no stagger) | ✓ | ✓ | – | Fig. 1c |
+//! | [`OptimizedMapping`] | ✓ | ✓ | ✓ | Fig. 1d (Table I "Optimized") |
+
+mod optimized;
+mod row_major;
+mod simple;
+
+pub use optimized::OptimizedMapping;
+pub use row_major::RowMajorMapping;
+pub use simple::{BankRoundRobinMapping, TiledMapping};
+
+use tbi_dram::{DeviceGeometry, DramConfig, PhysicalAddress};
+
+use crate::InterleaverError;
+
+/// A mapping from interleaver index-space positions to DRAM addresses.
+///
+/// Implementations must be **injective** over the index space they were
+/// constructed for: two distinct positions never share a DRAM address.
+pub trait DramMapping: Send + Sync {
+    /// The DRAM address storing position `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) if `(i, j)` lies outside the index space
+    /// the mapping was constructed for.
+    fn map(&self, i: u32, j: u32) -> PhysicalAddress;
+
+    /// Short human-readable name of the scheme.
+    fn name(&self) -> &'static str;
+
+    /// The device geometry the mapping targets.
+    fn geometry(&self) -> &DeviceGeometry;
+
+    /// Dimension `n` of the (square bounding box of the) index space.
+    fn dimension(&self) -> u32;
+}
+
+/// The mapping schemes available for evaluation, in increasing order of
+/// optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MappingKind {
+    /// Storage-compact row-major layout decoded by the controller's default
+    /// address decoder (the paper's baseline).
+    RowMajor,
+    /// Bank index advances with every access (optimization 1 only).
+    BankRoundRobin,
+    /// Index space tiled into pages, one bank per tile (optimization 2 only).
+    Tiled,
+    /// Bank round-robin + page tiling, without the bank-dependent stagger
+    /// (optimizations 1 + 2, Fig. 1c).
+    OptimizedNoStagger,
+    /// The full optimized mapping with all three optimizations (Fig. 1d).
+    Optimized,
+}
+
+impl MappingKind {
+    /// All mapping kinds, from baseline to fully optimized.
+    pub const ALL: [MappingKind; 5] = [
+        MappingKind::RowMajor,
+        MappingKind::BankRoundRobin,
+        MappingKind::Tiled,
+        MappingKind::OptimizedNoStagger,
+        MappingKind::Optimized,
+    ];
+
+    /// The two schemes compared in the paper's Table I.
+    pub const TABLE1: [MappingKind; 2] = [MappingKind::RowMajor, MappingKind::Optimized];
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MappingKind::RowMajor => "row-major",
+            MappingKind::BankRoundRobin => "bank-round-robin",
+            MappingKind::Tiled => "tiled",
+            MappingKind::OptimizedNoStagger => "optimized-no-stagger",
+            MappingKind::Optimized => "optimized",
+        }
+    }
+
+    /// Builds the mapping for a DRAM configuration and an index space of
+    /// dimension `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError`] if the index space does not fit into the
+    /// device under this scheme.
+    pub fn build(
+        self,
+        config: &DramConfig,
+        dimension: u32,
+    ) -> Result<Box<dyn DramMapping>, InterleaverError> {
+        Ok(match self {
+            MappingKind::RowMajor => Box::new(RowMajorMapping::new(config, dimension)?),
+            MappingKind::BankRoundRobin => {
+                Box::new(BankRoundRobinMapping::new(config.geometry, dimension)?)
+            }
+            MappingKind::Tiled => Box::new(TiledMapping::new(config.geometry, dimension)?),
+            MappingKind::OptimizedNoStagger => Box::new(OptimizedMapping::without_stagger(
+                config.geometry,
+                dimension,
+            )?),
+            MappingKind::Optimized => Box::new(OptimizedMapping::new(config.geometry, dimension)?),
+        })
+    }
+}
+
+impl std::fmt::Display for MappingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Renders a small corner of a mapping as a text grid (used by the `fig1`
+/// binary to regenerate the paper's Figure 1 and handy for debugging).
+///
+/// Each cell shows `B<bank> R<row> C<column>` where `<bank>` is the flat bank
+/// index.
+#[must_use]
+pub fn render_grid(mapping: &dyn DramMapping, rows: u32, cols: u32) -> String {
+    let mut out = String::new();
+    let geometry = *mapping.geometry();
+    for i in 0..rows {
+        for j in 0..cols {
+            let addr = mapping.map(i, j);
+            out.push_str(&format!(
+                "B{:<2}R{:<3}C{:<3} ",
+                addr.flat_bank(&geometry),
+                addr.row,
+                addr.column
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+    use tbi_dram::DramStandard;
+
+    fn ddr4() -> DramConfig {
+        DramConfig::preset(DramStandard::Ddr4, 3200).unwrap()
+    }
+
+    #[test]
+    fn all_kinds_build_for_all_presets() {
+        for (standard, rate) in tbi_dram::standards::ALL_CONFIGS {
+            let config = DramConfig::preset(*standard, *rate).unwrap();
+            for kind in MappingKind::ALL {
+                let mapping = kind.build(&config, 512).unwrap_or_else(|e| {
+                    panic!("{kind} failed to build for {}: {e}", config.label())
+                });
+                assert_eq!(mapping.dimension(), 512);
+                // Spot-check a few addresses for validity.
+                for (i, j) in [(0, 0), (1, 0), (0, 1), (255, 255), (511, 0), (0, 511)] {
+                    let addr = mapping.map(i, j);
+                    assert!(
+                        addr.is_valid_for(&config.geometry),
+                        "{kind} produced invalid address {addr} for ({i},{j}) on {}",
+                        config.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table1_kinds_are_row_major_and_optimized() {
+        assert_eq!(
+            MappingKind::TABLE1,
+            [MappingKind::RowMajor, MappingKind::Optimized]
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<_> = MappingKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), MappingKind::ALL.len());
+        assert_eq!(MappingKind::Optimized.to_string(), "optimized");
+    }
+
+    #[test]
+    fn render_grid_contains_requested_cells() {
+        let config = ddr4();
+        let mapping = MappingKind::Optimized.build(&config, 64).unwrap();
+        let grid = render_grid(mapping.as_ref(), 4, 4);
+        assert_eq!(grid.lines().count(), 4);
+        assert!(grid.contains('B'));
+    }
+
+    /// Every mapping must be injective: distinct positions map to distinct
+    /// DRAM addresses.
+    #[test]
+    fn mappings_are_injective_on_a_dense_block() {
+        let config = ddr4();
+        let n = 300u32;
+        for kind in MappingKind::ALL {
+            let mapping = kind.build(&config, n).unwrap();
+            let mut seen = HashSet::new();
+            for i in 0..n {
+                for j in 0..(n - i) {
+                    let addr = mapping.map(i, j);
+                    assert!(
+                        seen.insert(addr),
+                        "{kind}: collision at ({i},{j}) -> {addr}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn mappings_are_injective_and_valid_for_random_pairs(
+            kind_idx in 0usize..MappingKind::ALL.len(),
+            n in 64u32..2000,
+            seed in 0u64..u64::MAX,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let config = ddr4();
+            let kind = MappingKind::ALL[kind_idx];
+            let mapping = kind.build(&config, n).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut positions = HashSet::new();
+            let mut addresses = HashSet::new();
+            for _ in 0..500 {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n - i);
+                if positions.insert((i, j)) {
+                    let addr = mapping.map(i, j);
+                    prop_assert!(addr.is_valid_for(&config.geometry));
+                    prop_assert!(addresses.insert(addr), "{} collided at ({i},{j})", kind);
+                }
+            }
+        }
+    }
+}

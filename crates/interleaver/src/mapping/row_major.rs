@@ -1,0 +1,139 @@
+//! The row-major baseline mapping.
+
+use tbi_dram::{AddressDecoder, DeviceGeometry, DramConfig, PhysicalAddress};
+
+use crate::mapping::DramMapping;
+use crate::triangular::TriangularInterleaver;
+use crate::InterleaverError;
+
+/// The baseline mapping used by SRAM implementations: positions are stored in
+/// storage-compact row-major order (row 0 first, then row 1, ...) and the
+/// resulting *linear* burst index is decoded into bank/row/column by the
+/// memory controller's regular address decoder.
+///
+/// The write phase therefore produces a perfectly sequential DRAM access
+/// stream, while the column-wise read phase jumps by roughly one row length
+/// per access and thrashes the row buffers — exactly the behaviour the paper
+/// sets out to fix.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{DramConfig, DramStandard};
+/// use tbi_interleaver::mapping::{DramMapping, RowMajorMapping};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = DramConfig::preset(DramStandard::Ddr4, 3200)?;
+/// let mapping = RowMajorMapping::new(&config, 1000)?;
+/// // Consecutive positions of one row are consecutive bursts.
+/// let a = mapping.map(0, 0);
+/// let b = mapping.map(0, 1);
+/// assert_ne!(a, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowMajorMapping {
+    geometry: DeviceGeometry,
+    decoder: AddressDecoder,
+    interleaver: TriangularInterleaver,
+}
+
+impl RowMajorMapping {
+    /// Creates the baseline mapping for an index space of dimension `n` on
+    /// the given DRAM configuration (using its default decode scheme).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError`] if `n` is zero or the index space exceeds
+    /// the device capacity.
+    pub fn new(config: &DramConfig, n: u32) -> Result<Self, InterleaverError> {
+        let interleaver = TriangularInterleaver::new(n)?;
+        if interleaver.len() > config.geometry.total_bursts() {
+            return Err(InterleaverError::CapacityExceeded {
+                required_bursts: interleaver.len(),
+                available_bursts: config.geometry.total_bursts(),
+            });
+        }
+        Ok(Self {
+            geometry: config.geometry,
+            decoder: AddressDecoder::new(config.geometry, config.decode_scheme),
+            interleaver,
+        })
+    }
+
+    /// The linear burst index of position `(i, j)` (compact triangular
+    /// row-major layout).
+    #[must_use]
+    pub fn linear_index(&self, i: u32, j: u32) -> u64 {
+        self.interleaver.write_rank(i, j)
+    }
+}
+
+impl DramMapping for RowMajorMapping {
+    fn map(&self, i: u32, j: u32) -> PhysicalAddress {
+        self.decoder.decode(self.linear_index(i, j))
+    }
+
+    fn name(&self) -> &'static str {
+        "row-major"
+    }
+
+    fn geometry(&self) -> &DeviceGeometry {
+        &self.geometry
+    }
+
+    fn dimension(&self) -> u32 {
+        self.interleaver.dimension()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbi_dram::DramStandard;
+
+    fn mapping(n: u32) -> RowMajorMapping {
+        let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        RowMajorMapping::new(&config, n).unwrap()
+    }
+
+    #[test]
+    fn write_order_is_linear() {
+        let m = mapping(100);
+        let mut expected = 0u64;
+        for i in 0..100u32 {
+            for j in 0..(100 - i) {
+                assert_eq!(m.linear_index(i, j), expected);
+                expected += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn read_stride_is_roughly_one_row_length() {
+        let m = mapping(1000);
+        // Reading down column 0: consecutive linear indices differ by the row
+        // length, which shrinks by one per step.
+        let l0 = m.linear_index(0, 0);
+        let l1 = m.linear_index(1, 0);
+        let l2 = m.linear_index(2, 0);
+        assert_eq!(l1 - l0, 1000);
+        assert_eq!(l2 - l1, 999);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let config = DramConfig::preset(DramStandard::Lpddr4, 2133).unwrap();
+        // An absurdly large dimension cannot fit.
+        let err = RowMajorMapping::new(&config, 600_000).unwrap_err();
+        assert!(matches!(err, InterleaverError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn name_and_dimension() {
+        let m = mapping(64);
+        assert_eq!(m.name(), "row-major");
+        assert_eq!(m.dimension(), 64);
+    }
+}

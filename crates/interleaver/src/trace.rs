@@ -1,0 +1,186 @@
+//! DRAM request trace generation for the two interleaver access phases.
+
+use tbi_dram::Request;
+
+use crate::mapping::DramMapping;
+use crate::triangular::TriangularInterleaver;
+
+/// The two access phases of a triangular block interleaver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPhase {
+    /// Row-wise writing of incoming symbols.
+    Write,
+    /// Column-wise reading of interleaved symbols.
+    Read,
+}
+
+impl AccessPhase {
+    /// Both phases in their natural order.
+    pub const ALL: [AccessPhase; 2] = [AccessPhase::Write, AccessPhase::Read];
+
+    /// Human-readable name ("write" / "read").
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessPhase::Write => "write",
+            AccessPhase::Read => "read",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates the burst-level DRAM request stream of an interleaver phase.
+///
+/// The generator is lazy: requests are produced on the fly so even the
+/// paper's 12.5 M-burst interleaver does not need to be materialised.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{DramConfig, DramStandard};
+/// use tbi_interleaver::{AccessPhase, MappingKind, TraceGenerator};
+/// use tbi_interleaver::triangular::TriangularInterleaver;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = DramConfig::preset(DramStandard::Ddr4, 1600)?;
+/// let mapping = MappingKind::Optimized.build(&config, 64)?;
+/// let interleaver = TriangularInterleaver::new(64)?;
+/// let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+/// let writes: Vec<_> = gen.requests(AccessPhase::Write).collect();
+/// assert_eq!(writes.len() as u64, interleaver.len());
+/// assert!(writes.iter().all(|r| r.is_write()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy)]
+pub struct TraceGenerator<'a> {
+    interleaver: TriangularInterleaver,
+    mapping: &'a dyn DramMapping,
+}
+
+impl std::fmt::Debug for TraceGenerator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceGenerator")
+            .field("interleaver", &self.interleaver)
+            .field("mapping", &self.mapping.name())
+            .finish()
+    }
+}
+
+impl<'a> TraceGenerator<'a> {
+    /// Creates a trace generator for `interleaver` using `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping was built for a smaller index space than the
+    /// interleaver dimension.
+    #[must_use]
+    pub fn new(interleaver: TriangularInterleaver, mapping: &'a dyn DramMapping) -> Self {
+        assert!(
+            mapping.dimension() >= interleaver.dimension(),
+            "mapping dimension {} smaller than interleaver dimension {}",
+            mapping.dimension(),
+            interleaver.dimension()
+        );
+        Self {
+            interleaver,
+            mapping,
+        }
+    }
+
+    /// The interleaver whose accesses are generated.
+    #[must_use]
+    pub fn interleaver(&self) -> TriangularInterleaver {
+        self.interleaver
+    }
+
+    /// Lazily yields the request stream of `phase` in its natural order.
+    pub fn requests(&self, phase: AccessPhase) -> impl Iterator<Item = Request> + '_ {
+        let mapping = self.mapping;
+        let write_iter = match phase {
+            AccessPhase::Write => Some(self.interleaver.write_order()),
+            AccessPhase::Read => None,
+        };
+        let read_iter = match phase {
+            AccessPhase::Write => None,
+            AccessPhase::Read => Some(self.interleaver.read_order()),
+        };
+        write_iter
+            .into_iter()
+            .flatten()
+            .map(move |(i, j)| Request::write(mapping.map(i, j)))
+            .chain(
+                read_iter
+                    .into_iter()
+                    .flatten()
+                    .map(move |(i, j)| Request::read(mapping.map(i, j))),
+            )
+    }
+
+    /// Number of requests per phase (equal to the interleaver length).
+    #[must_use]
+    pub fn requests_per_phase(&self) -> u64 {
+        self.interleaver.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingKind;
+    use std::collections::HashSet;
+    use tbi_dram::{DramConfig, DramStandard};
+
+    fn setup(n: u32) -> (DramConfig, TriangularInterleaver) {
+        let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let interleaver = TriangularInterleaver::new(n).unwrap();
+        (config, interleaver)
+    }
+
+    #[test]
+    fn phases_have_names() {
+        assert_eq!(AccessPhase::Write.to_string(), "write");
+        assert_eq!(AccessPhase::Read.to_string(), "read");
+        assert_eq!(AccessPhase::ALL.len(), 2);
+    }
+
+    #[test]
+    fn write_and_read_traces_cover_the_same_addresses() {
+        let (config, interleaver) = setup(48);
+        for kind in MappingKind::ALL {
+            let mapping = kind.build(&config, 48).unwrap();
+            let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+            let writes: HashSet<_> = gen
+                .requests(AccessPhase::Write)
+                .map(|r| r.address)
+                .collect();
+            let reads: HashSet<_> = gen.requests(AccessPhase::Read).map(|r| r.address).collect();
+            assert_eq!(writes, reads, "{kind}");
+            assert_eq!(writes.len() as u64, interleaver.len(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn request_kinds_match_phase() {
+        let (config, interleaver) = setup(16);
+        let mapping = MappingKind::RowMajor.build(&config, 16).unwrap();
+        let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+        assert!(gen.requests(AccessPhase::Write).all(|r| r.is_write()));
+        assert!(gen.requests(AccessPhase::Read).all(|r| !r.is_write()));
+        assert_eq!(gen.requests_per_phase(), interleaver.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than interleaver dimension")]
+    fn mismatched_dimensions_panic() {
+        let (config, _) = setup(16);
+        let mapping = MappingKind::Optimized.build(&config, 8).unwrap();
+        let interleaver = TriangularInterleaver::new(16).unwrap();
+        let _ = TraceGenerator::new(interleaver, mapping.as_ref());
+    }
+}

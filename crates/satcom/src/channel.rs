@@ -1,0 +1,308 @@
+//! Burst-error channel models for the optical LEO downlink.
+//!
+//! The optical channel suffers from scintillation and pointing jitter with a
+//! coherence time above 2 ms: errors arrive in long bursts rather than being
+//! uniformly spread.  Two models are provided:
+//!
+//! * [`GilbertElliott`] — the classic two-state burst-error model;
+//! * [`CoherenceFading`] — an on/off outage model parameterised directly by
+//!   the coherence time and the link symbol rate.
+//!
+//! Both operate on byte symbols (matching the Reed–Solomon codec).
+
+use rand::Rng;
+
+/// A channel model that corrupts a stream of byte symbols.
+pub trait SymbolChannel {
+    /// Returns a corrupted copy of `data`.
+    fn corrupt<R: Rng + ?Sized>(&self, data: &[u8], rng: &mut R) -> Vec<u8>;
+
+    /// The long-run average symbol error probability of the model.
+    fn average_symbol_error_rate(&self) -> f64;
+}
+
+/// The two-state Gilbert–Elliott burst-error channel.
+///
+/// The channel is either in the *good* state (low error probability) or the
+/// *bad* state (high error probability); transitions follow a Markov chain.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tbi_satcom::channel::{GilbertElliott, SymbolChannel};
+///
+/// let channel = GilbertElliott::optical_downlink(0.05);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let clean = vec![0u8; 10_000];
+/// let received = channel.corrupt(&clean, &mut rng);
+/// let errors = received.iter().filter(|&&b| b != 0).count();
+/// assert!(errors > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of switching from the good to the bad state per symbol.
+    pub p_good_to_bad: f64,
+    /// Probability of switching from the bad to the good state per symbol.
+    pub p_bad_to_good: f64,
+    /// Symbol error probability in the good state.
+    pub error_rate_good: f64,
+    /// Symbol error probability in the bad state.
+    pub error_rate_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Creates a new Gilbert–Elliott channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        error_rate_good: f64,
+        error_rate_bad: f64,
+    ) -> Self {
+        for (name, p) in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("error_rate_good", error_rate_good),
+            ("error_rate_bad", error_rate_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+        }
+        Self {
+            p_good_to_bad,
+            p_bad_to_good,
+            error_rate_good,
+            error_rate_bad,
+        }
+    }
+
+    /// A bursty profile representative of an optical downlink during partial
+    /// fades: long good periods, occasional bad periods of a few hundred
+    /// symbols with the given symbol error rate inside the burst.
+    #[must_use]
+    pub fn optical_downlink(burst_error_rate: f64) -> Self {
+        Self::new(0.0005, 0.01, 1e-5, burst_error_rate)
+    }
+
+    /// Stationary probability of being in the bad state.
+    #[must_use]
+    pub fn bad_state_probability(&self) -> f64 {
+        if self.p_good_to_bad + self.p_bad_to_good == 0.0 {
+            0.0
+        } else {
+            self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+        }
+    }
+
+    /// Mean burst (bad-state sojourn) length in symbols.
+    #[must_use]
+    pub fn mean_burst_length(&self) -> f64 {
+        if self.p_bad_to_good == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.p_bad_to_good
+        }
+    }
+}
+
+impl SymbolChannel for GilbertElliott {
+    fn corrupt<R: Rng + ?Sized>(&self, data: &[u8], rng: &mut R) -> Vec<u8> {
+        let mut bad_state = rng.gen_bool(self.bad_state_probability());
+        data.iter()
+            .map(|&symbol| {
+                let error_rate = if bad_state {
+                    self.error_rate_bad
+                } else {
+                    self.error_rate_good
+                };
+                let out = if error_rate > 0.0 && rng.gen_bool(error_rate) {
+                    symbol ^ rng.gen_range(1..=255u8)
+                } else {
+                    symbol
+                };
+                let transition = if bad_state {
+                    self.p_bad_to_good
+                } else {
+                    self.p_good_to_bad
+                };
+                if transition > 0.0 && rng.gen_bool(transition) {
+                    bad_state = !bad_state;
+                }
+                out
+            })
+            .collect()
+    }
+
+    fn average_symbol_error_rate(&self) -> f64 {
+        let p_bad = self.bad_state_probability();
+        p_bad * self.error_rate_bad + (1.0 - p_bad) * self.error_rate_good
+    }
+}
+
+/// An on/off outage model parameterised by the channel coherence time.
+///
+/// During an outage (fade), every symbol is corrupted with probability
+/// `outage_error_rate`; outside outages the channel is error free.  Outage
+/// and clear durations are sampled geometrically with means derived from the
+/// coherence time and the symbol rate, producing error bursts of millions of
+/// symbols at 100 Gbit/s-class rates — exactly the situation that forces the
+/// interleaver into DRAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceFading {
+    /// Mean outage duration in symbols.
+    pub mean_outage_symbols: f64,
+    /// Mean clear-sky duration in symbols.
+    pub mean_clear_symbols: f64,
+    /// Symbol error probability during an outage.
+    pub outage_error_rate: f64,
+}
+
+impl CoherenceFading {
+    /// Creates a fading model from physical link parameters.
+    ///
+    /// * `coherence_time_ms` — channel coherence time (the paper quotes
+    ///   more than 2 ms);
+    /// * `symbol_rate_msps` — symbol rate in mega-symbols per second;
+    /// * `outage_fraction` — long-run fraction of time spent in outage;
+    /// * `outage_error_rate` — symbol error probability during an outage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outage_fraction` is not within `(0, 1)` or other parameters
+    /// are non-positive.
+    #[must_use]
+    pub fn from_link(
+        coherence_time_ms: f64,
+        symbol_rate_msps: f64,
+        outage_fraction: f64,
+        outage_error_rate: f64,
+    ) -> Self {
+        assert!(coherence_time_ms > 0.0 && symbol_rate_msps > 0.0);
+        assert!((0.0..1.0).contains(&outage_fraction) && outage_fraction > 0.0);
+        let mean_outage_symbols = coherence_time_ms * 1e-3 * symbol_rate_msps * 1e6;
+        let mean_clear_symbols = mean_outage_symbols * (1.0 - outage_fraction) / outage_fraction;
+        Self {
+            mean_outage_symbols,
+            mean_clear_symbols,
+            outage_error_rate,
+        }
+    }
+
+    fn sample_duration<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+        // Geometric with the given mean, at least 1.
+        let p = (1.0 / mean).clamp(1e-12, 1.0);
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        ((u.ln() / (1.0 - p).ln()).ceil().max(1.0)) as u64
+    }
+}
+
+impl SymbolChannel for CoherenceFading {
+    fn corrupt<R: Rng + ?Sized>(&self, data: &[u8], rng: &mut R) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut index = 0usize;
+        let mut in_outage = rng.gen_bool(
+            self.mean_outage_symbols / (self.mean_outage_symbols + self.mean_clear_symbols),
+        );
+        while index < data.len() {
+            let duration = if in_outage {
+                Self::sample_duration(self.mean_outage_symbols, rng)
+            } else {
+                Self::sample_duration(self.mean_clear_symbols, rng)
+            } as usize;
+            let end = (index + duration).min(data.len());
+            for &symbol in &data[index..end] {
+                if in_outage && rng.gen_bool(self.outage_error_rate) {
+                    out.push(symbol ^ rng.gen_range(1..=255u8));
+                } else {
+                    out.push(symbol);
+                }
+            }
+            index = end;
+            in_outage = !in_outage;
+        }
+        out
+    }
+
+    fn average_symbol_error_rate(&self) -> f64 {
+        let outage_fraction =
+            self.mean_outage_symbols / (self.mean_outage_symbols + self.mean_clear_symbols);
+        outage_fraction * self.outage_error_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gilbert_elliott_stationary_probability() {
+        let channel = GilbertElliott::new(0.01, 0.04, 0.0, 0.5);
+        assert!((channel.bad_state_probability() - 0.2).abs() < 1e-12);
+        assert!((channel.mean_burst_length() - 25.0).abs() < 1e-12);
+        assert!((channel.average_symbol_error_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn gilbert_elliott_rejects_bad_probability() {
+        let _ = GilbertElliott::new(1.5, 0.1, 0.0, 0.5);
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursty_errors() {
+        let channel = GilbertElliott::new(0.002, 0.02, 0.0, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let clean = vec![0u8; 200_000];
+        let received = channel.corrupt(&clean, &mut rng);
+        assert_eq!(received.len(), clean.len());
+        let errors: Vec<usize> = received
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b != 0)
+            .map(|(i, _)| i)
+            .collect();
+        let observed_rate = errors.len() as f64 / clean.len() as f64;
+        let expected = channel.average_symbol_error_rate();
+        assert!(
+            (observed_rate - expected).abs() < expected * 0.5,
+            "observed {observed_rate}, expected about {expected}"
+        );
+        // Burstiness: the average gap between consecutive errors must be much
+        // smaller than for a uniform channel of the same rate (errors
+        // cluster), i.e. many adjacent error pairs exist.
+        let adjacent = errors.windows(2).filter(|w| w[1] - w[0] <= 2).count();
+        assert!(
+            adjacent as f64 > errors.len() as f64 * 0.3,
+            "errors are not bursty: {adjacent} adjacent of {}",
+            errors.len()
+        );
+    }
+
+    #[test]
+    fn coherence_fading_respects_outage_fraction() {
+        let channel = CoherenceFading::from_link(2.0, 1.0, 0.1, 1.0);
+        // 2 ms at 1 Msps = 2000 symbols of outage on average.
+        assert!((channel.mean_outage_symbols - 2000.0).abs() < 1e-9);
+        assert!((channel.average_symbol_error_rate() - 0.1).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(11);
+        let clean = vec![0u8; 400_000];
+        let received = channel.corrupt(&clean, &mut rng);
+        let errors = received.iter().filter(|&&b| b != 0).count();
+        let rate = errors as f64 / clean.len() as f64;
+        assert!(rate > 0.02 && rate < 0.3, "outage fraction off: {rate}");
+    }
+
+    #[test]
+    fn error_free_channel_passes_data_through() {
+        let channel = GilbertElliott::new(0.0, 1.0, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(channel.corrupt(&data, &mut rng), data);
+    }
+}

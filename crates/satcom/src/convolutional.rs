@@ -1,0 +1,297 @@
+//! A rate-1/2 convolutional code with Viterbi decoding.
+//!
+//! Optical and deep-space links traditionally concatenate an inner
+//! convolutional code with an outer Reed–Solomon code; the interleaver sits
+//! between the two so that the bursty residual errors of the inner decoder do
+//! not overwhelm single RS code words.  The default generator polynomials are
+//! the CCSDS/NASA standard K = 7 pair (171, 133 octal).
+
+/// A rate-1/2 binary convolutional encoder/decoder (hard-decision Viterbi).
+///
+/// # Examples
+///
+/// ```
+/// use tbi_satcom::convolutional::ConvolutionalCode;
+///
+/// let code = ConvolutionalCode::ccsds();
+/// let data = vec![1u8, 0, 1, 1, 0, 0, 1, 0, 1, 1];
+/// let encoded = code.encode(&data);
+/// let decoded = code.decode(&encoded);
+/// assert_eq!(decoded, data);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvolutionalCode {
+    constraint_length: u32,
+    generator_a: u32,
+    generator_b: u32,
+}
+
+impl ConvolutionalCode {
+    /// Creates a rate-1/2 code with the given constraint length and generator
+    /// polynomials (given as binary masks over the shift register, LSB =
+    /// newest bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint_length` is not in `2..=16`.
+    #[must_use]
+    pub fn new(constraint_length: u32, generator_a: u32, generator_b: u32) -> Self {
+        assert!(
+            (2..=16).contains(&constraint_length),
+            "constraint length must be between 2 and 16"
+        );
+        let mask = (1u32 << constraint_length) - 1;
+        Self {
+            constraint_length,
+            generator_a: generator_a & mask,
+            generator_b: generator_b & mask,
+        }
+    }
+
+    /// The CCSDS standard K = 7 code with generators 171/133 (octal).
+    #[must_use]
+    pub fn ccsds() -> Self {
+        Self::new(7, 0o171, 0o133)
+    }
+
+    /// Constraint length K.
+    #[must_use]
+    pub fn constraint_length(&self) -> u32 {
+        self.constraint_length
+    }
+
+    /// Number of trellis states (2^(K-1)).
+    #[must_use]
+    pub fn states(&self) -> usize {
+        1usize << (self.constraint_length - 1)
+    }
+
+    /// Number of output bits produced per input bit (always 2: rate 1/2).
+    #[must_use]
+    pub fn output_bits_per_input(&self) -> usize {
+        2
+    }
+
+    fn output(&self, state: u32, input: u8) -> (u8, u8) {
+        // Shift register contents: input bit is the MSB-side newest bit.
+        let register = (u32::from(input) << (self.constraint_length - 1)) | state;
+        let a = (register & self.generator_a).count_ones() as u8 & 1;
+        let b = (register & self.generator_b).count_ones() as u8 & 1;
+        (a, b)
+    }
+
+    fn next_state(&self, state: u32, input: u8) -> u32 {
+        ((u32::from(input) << (self.constraint_length - 1)) | state) >> 1
+    }
+
+    /// Encodes a bit sequence (values 0/1), appending `K - 1` zero tail bits
+    /// so the trellis terminates in the all-zero state.  The output has
+    /// `2 * (data.len() + K - 1)` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input value is not 0 or 1.
+    #[must_use]
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let tail = (self.constraint_length - 1) as usize;
+        let mut out = Vec::with_capacity(2 * (data.len() + tail));
+        let mut state = 0u32;
+        for &bit in data.iter().chain(std::iter::repeat(&0u8).take(tail)) {
+            assert!(bit <= 1, "input bits must be 0 or 1");
+            let (a, b) = self.output(state, bit);
+            out.push(a);
+            out.push(b);
+            state = self.next_state(state, bit);
+        }
+        out
+    }
+
+    /// Hard-decision Viterbi decoding of a sequence produced by
+    /// [`encode`](Self::encode) (possibly with bit errors).  Returns the
+    /// decoded data bits with the tail removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length is odd.
+    #[must_use]
+    pub fn decode(&self, received: &[u8]) -> Vec<u8> {
+        assert!(received.len() % 2 == 0, "rate-1/2 stream must have even length");
+        let steps = received.len() / 2;
+        let tail = (self.constraint_length - 1) as usize;
+        if steps == 0 {
+            return Vec::new();
+        }
+        let states = self.states();
+        const INFINITY: u32 = u32::MAX / 2;
+        let mut metric = vec![INFINITY; states];
+        metric[0] = 0;
+        // survivors[t][state] = (previous state, input bit)
+        let mut survivors: Vec<Vec<(u32, u8)>> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let observed = (received[2 * t], received[2 * t + 1]);
+            let mut next_metric = vec![INFINITY; states];
+            let mut survivor = vec![(0u32, 0u8); states];
+            for (state, &m) in metric.iter().enumerate() {
+                if m >= INFINITY {
+                    continue;
+                }
+                for input in 0..=1u8 {
+                    let (a, b) = self.output(state as u32, input);
+                    let distance =
+                        u32::from(a != observed.0) + u32::from(b != observed.1);
+                    let next = self.next_state(state as u32, input) as usize;
+                    let candidate = m + distance;
+                    if candidate < next_metric[next] {
+                        next_metric[next] = candidate;
+                        survivor[next] = (state as u32, input);
+                    }
+                }
+            }
+            metric = next_metric;
+            survivors.push(survivor);
+        }
+        // Trace back from the best final state (state 0 if the tail was
+        // transmitted, otherwise the minimum-metric state).
+        let mut state = if metric[0] < INFINITY {
+            0usize
+        } else {
+            metric
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &m)| m)
+                .map(|(s, _)| s)
+                .unwrap_or(0)
+        };
+        let mut bits = vec![0u8; steps];
+        for t in (0..steps).rev() {
+            let (previous, input) = survivors[t][state];
+            bits[t] = input;
+            state = previous as usize;
+        }
+        bits.truncate(steps.saturating_sub(tail));
+        bits
+    }
+
+    /// Encodes a byte slice (MSB first per byte).
+    #[must_use]
+    pub fn encode_bytes(&self, data: &[u8]) -> Vec<u8> {
+        let bits: Vec<u8> = data
+            .iter()
+            .flat_map(|&byte| (0..8).rev().map(move |i| (byte >> i) & 1))
+            .collect();
+        self.encode(&bits)
+    }
+
+    /// Decodes a stream produced by [`encode_bytes`](Self::encode_bytes).
+    #[must_use]
+    pub fn decode_bytes(&self, received: &[u8]) -> Vec<u8> {
+        let bits = self.decode(received);
+        bits.chunks(8)
+            .filter(|chunk| chunk.len() == 8)
+            .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | b))
+            .collect()
+    }
+}
+
+impl Default for ConvolutionalCode {
+    fn default() -> Self {
+        Self::ccsds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ccsds_parameters() {
+        let code = ConvolutionalCode::ccsds();
+        assert_eq!(code.constraint_length(), 7);
+        assert_eq!(code.states(), 64);
+        assert_eq!(code.output_bits_per_input(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint length")]
+    fn rejects_bad_constraint_length() {
+        let _ = ConvolutionalCode::new(1, 0b1, 0b1);
+    }
+
+    #[test]
+    fn encode_length_includes_tail() {
+        let code = ConvolutionalCode::ccsds();
+        let encoded = code.encode(&[1, 0, 1]);
+        assert_eq!(encoded.len(), 2 * (3 + 6));
+        assert!(encoded.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let code = ConvolutionalCode::ccsds();
+        let data = vec![1u8, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0, 1];
+        assert_eq!(code.decode(&code.encode(&data)), data);
+    }
+
+    #[test]
+    fn corrects_scattered_bit_errors() {
+        let code = ConvolutionalCode::ccsds();
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<u8> = (0..200).map(|_| rng.gen_range(0..=1u8)).collect();
+        let mut encoded = code.encode(&data);
+        // Flip ~3 % of the bits, well separated.
+        let mut flipped = 0;
+        let mut i = 5;
+        while i < encoded.len() {
+            encoded[i] ^= 1;
+            flipped += 1;
+            i += 37;
+        }
+        assert!(flipped > 5);
+        assert_eq!(code.decode(&encoded), data);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let code = ConvolutionalCode::ccsds();
+        let data = b"optical downlink".to_vec();
+        let encoded = code.encode_bytes(&data);
+        assert_eq!(code.decode_bytes(&encoded), data);
+    }
+
+    #[test]
+    fn dense_burst_overwhelms_the_code_alone() {
+        // A long burst of errors exceeds the free distance; this is exactly
+        // why the outer RS code and the interleaver exist.
+        let code = ConvolutionalCode::ccsds();
+        let data = vec![1u8; 64];
+        let mut encoded = code.encode(&data);
+        for bit in encoded.iter_mut().skip(20).take(40) {
+            *bit ^= 1;
+        }
+        assert_ne!(code.decode(&encoded), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn round_trip_random_data(bits in proptest::collection::vec(0u8..=1, 1..200)) {
+            let code = ConvolutionalCode::ccsds();
+            prop_assert_eq!(code.decode(&code.encode(&bits)), bits);
+        }
+
+        #[test]
+        fn single_bit_error_is_always_corrected(
+            bits in proptest::collection::vec(0u8..=1, 8..64),
+            error_pos_seed in 0usize..1000,
+        ) {
+            let code = ConvolutionalCode::ccsds();
+            let mut encoded = code.encode(&bits);
+            let pos = error_pos_seed % encoded.len();
+            encoded[pos] ^= 1;
+            prop_assert_eq!(code.decode(&encoded), bits);
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! A systematic Reed–Solomon codec over GF(2⁸).
+//!
+//! The default code is RS(255, 223) — the classic deep-space/satellite code
+//! with 16-symbol correction capability — but any `(n, k)` with
+//! `k < n <= 255` is supported.  The decoder uses syndrome computation,
+//! Berlekamp–Massey, Chien search and Forney's algorithm.
+
+use crate::gf256::Gf256;
+use crate::SatcomError;
+
+/// A systematic Reed–Solomon code RS(n, k) over GF(2⁸).
+///
+/// # Examples
+///
+/// ```
+/// use tbi_satcom::ReedSolomon;
+///
+/// # fn main() -> Result<(), tbi_satcom::SatcomError> {
+/// let rs = ReedSolomon::new(255, 223)?;
+/// let data: Vec<u8> = (0..223).map(|i| i as u8).collect();
+/// let mut codeword = rs.encode(&data)?;
+///
+/// // Corrupt up to t = 16 symbols anywhere in the code word.
+/// for i in 0..16 {
+///     codeword[i * 7] ^= 0xA5;
+/// }
+/// let decoded = rs.decode(&codeword)?;
+/// assert_eq!(decoded, data);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    gf: Gf256,
+    n: usize,
+    k: usize,
+    generator: Vec<u8>,
+}
+
+impl ReedSolomon {
+    /// Creates an RS(n, k) code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SatcomError::InvalidCodeParameters`] unless
+    /// `0 < k < n <= 255`.
+    pub fn new(n: usize, k: usize) -> Result<Self, SatcomError> {
+        if n > 255 || k == 0 || k >= n {
+            return Err(SatcomError::InvalidCodeParameters {
+                reason: format!("require 0 < k < n <= 255, got n={n}, k={k}"),
+            });
+        }
+        let gf = Gf256::new();
+        // Generator polynomial g(x) = prod_{i=0}^{n-k-1} (x - alpha^i),
+        // highest-degree coefficient first.
+        let mut generator = vec![1u8];
+        for i in 0..(n - k) {
+            generator = gf.poly_mul(&generator, &[1, gf.alpha_pow(i as u32)]);
+        }
+        Ok(Self { gf, n, k, generator })
+    }
+
+    /// The classic satellite-link code RS(255, 223) with t = 16.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (the parameters are valid by construction).
+    #[must_use]
+    pub fn ccsds() -> Self {
+        Self::new(255, 223).expect("RS(255,223) parameters are valid")
+    }
+
+    /// Code word length `n` in symbols.
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.n
+    }
+
+    /// Data length `k` in symbols.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity symbols `n - k`.
+    #[must_use]
+    pub fn parity_len(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Maximum number of correctable symbol errors `t = (n - k) / 2`.
+    #[must_use]
+    pub fn correction_capability(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    /// Code rate `k / n`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.k as f64 / self.n as f64
+    }
+
+    /// Systematically encodes `data` (length `k`) into a code word of length
+    /// `n`: the data symbols followed by `n - k` parity symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SatcomError::InvalidCodeParameters`] if `data.len() != k`.
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<u8>, SatcomError> {
+        if data.len() != self.k {
+            return Err(SatcomError::InvalidCodeParameters {
+                reason: format!("expected {} data symbols, got {}", self.k, data.len()),
+            });
+        }
+        // Polynomial long division of data * x^(n-k) by the generator.
+        let mut remainder = vec![0u8; self.parity_len()];
+        for &symbol in data {
+            let factor = self.gf.add(symbol, remainder[0]);
+            remainder.rotate_left(1);
+            *remainder.last_mut().expect("parity_len > 0") = 0;
+            if factor != 0 {
+                for (r, &g) in remainder.iter_mut().zip(self.generator[1..].iter()) {
+                    *r ^= self.gf.mul(g, factor);
+                }
+            }
+        }
+        let mut codeword = data.to_vec();
+        codeword.extend_from_slice(&remainder);
+        Ok(codeword)
+    }
+
+    /// Decodes a received code word (length `n`), correcting up to `t` symbol
+    /// errors, and returns the `k` data symbols.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SatcomError::DecodingFailure`] if more than `t` errors are
+    /// present, and [`SatcomError::InvalidCodeParameters`] if the length is
+    /// wrong.
+    pub fn decode(&self, received: &[u8]) -> Result<Vec<u8>, SatcomError> {
+        let corrected = self.correct(received)?;
+        Ok(corrected[..self.k].to_vec())
+    }
+
+    /// Corrects a received code word in place (returning the full corrected
+    /// code word including parity).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReedSolomon::decode`].
+    pub fn correct(&self, received: &[u8]) -> Result<Vec<u8>, SatcomError> {
+        if received.len() != self.n {
+            return Err(SatcomError::InvalidCodeParameters {
+                reason: format!("expected {} code symbols, got {}", self.n, received.len()),
+            });
+        }
+        let syndromes = self.syndromes(received);
+        if syndromes.iter().all(|&s| s == 0) {
+            return Ok(received.to_vec());
+        }
+        let sigma = self.berlekamp_massey(&syndromes);
+        let error_count = sigma.len() - 1;
+        if error_count > self.correction_capability() {
+            return Err(SatcomError::DecodingFailure {
+                detected_errors: error_count,
+            });
+        }
+        let positions = self.chien_search(&sigma);
+        if positions.len() != error_count {
+            return Err(SatcomError::DecodingFailure {
+                detected_errors: error_count,
+            });
+        }
+        let magnitudes = self.forney(&syndromes, &sigma, &positions);
+        let mut corrected = received.to_vec();
+        for (&position, &magnitude) in positions.iter().zip(magnitudes.iter()) {
+            corrected[self.n - 1 - position] ^= magnitude;
+        }
+        // Verify the correction.
+        if self.syndromes(&corrected).iter().any(|&s| s != 0) {
+            return Err(SatcomError::DecodingFailure {
+                detected_errors: error_count,
+            });
+        }
+        Ok(corrected)
+    }
+
+    /// Computes the `n - k` syndromes of a received word.
+    fn syndromes(&self, received: &[u8]) -> Vec<u8> {
+        (0..self.parity_len())
+            .map(|i| self.gf.poly_eval(received, self.gf.alpha_pow(i as u32)))
+            .collect()
+    }
+
+    /// Berlekamp–Massey: returns the error-locator polynomial σ(x)
+    /// (highest-degree coefficient first, σ(0) term last, leading 1 first).
+    fn berlekamp_massey(&self, syndromes: &[u8]) -> Vec<u8> {
+        // Work with lowest-degree-first representations internally.
+        let mut sigma = vec![1u8]; // σ(x)
+        let mut prev = vec![1u8]; // B(x)
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for (i, _) in syndromes.iter().enumerate() {
+            // Discrepancy δ = S_i + Σ_{j=1}^{L} σ_j · S_{i-j}
+            let mut delta = syndromes[i];
+            for j in 1..=l.min(sigma.len() - 1) {
+                delta ^= self.gf.mul(sigma[j], syndromes[i - j]);
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= i {
+                let temp = sigma.clone();
+                let scale = self.gf.div(delta, b);
+                sigma = Self::poly_sub_shifted(&self.gf, &sigma, &prev, scale, m);
+                l = i + 1 - l;
+                prev = temp;
+                b = delta;
+                m = 1;
+            } else {
+                let scale = self.gf.div(delta, b);
+                sigma = Self::poly_sub_shifted(&self.gf, &sigma, &prev, scale, m);
+                m += 1;
+            }
+        }
+        // Convert to highest-degree-first and trim.
+        while sigma.len() > l + 1 {
+            sigma.pop();
+        }
+        let mut result = sigma;
+        result.reverse();
+        result
+    }
+
+    /// σ(x) - scale · x^shift · B(x) in lowest-degree-first representation.
+    fn poly_sub_shifted(gf: &Gf256, sigma: &[u8], prev: &[u8], scale: u8, shift: usize) -> Vec<u8> {
+        let len = sigma.len().max(prev.len() + shift);
+        let mut out = vec![0u8; len];
+        out[..sigma.len()].copy_from_slice(sigma);
+        for (i, &p) in prev.iter().enumerate() {
+            out[i + shift] ^= gf.mul(p, scale);
+        }
+        out
+    }
+
+    /// Chien search: error positions (exponents `j` such that the symbol at
+    /// index `n - 1 - j` is in error).
+    fn chien_search(&self, sigma: &[u8]) -> Vec<usize> {
+        let mut positions = Vec::new();
+        for j in 0..self.n {
+            // Error at position j if σ(α^{-j}) == 0.
+            let x = self.gf.alpha_pow((255 - (j as u32 % 255)) % 255);
+            if self.gf.poly_eval(sigma, x) == 0 {
+                positions.push(j);
+            }
+        }
+        positions
+    }
+
+    /// Forney's algorithm: error magnitudes for the located positions.
+    fn forney(&self, syndromes: &[u8], sigma: &[u8], positions: &[usize]) -> Vec<u8> {
+        // Error evaluator Ω(x) = [S(x) · σ(x)] mod x^{2t}, with S(x) built
+        // lowest-degree-first from the syndromes.
+        let two_t = self.parity_len();
+        let mut sigma_low: Vec<u8> = sigma.to_vec();
+        sigma_low.reverse();
+        let mut omega = vec![0u8; two_t];
+        for (i, omega_i) in omega.iter_mut().enumerate() {
+            let mut acc = 0u8;
+            for j in 0..=i {
+                let s = syndromes.get(j).copied().unwrap_or(0);
+                let c = sigma_low.get(i - j).copied().unwrap_or(0);
+                acc ^= self.gf.mul(s, c);
+            }
+            *omega_i = acc;
+        }
+        // Formal derivative of σ (lowest-degree-first): keep odd-power terms.
+        let mut sigma_deriv = vec![0u8; sigma_low.len().saturating_sub(1)];
+        for (power, &coefficient) in sigma_low.iter().enumerate().skip(1) {
+            if power % 2 == 1 {
+                sigma_deriv[power - 1] = coefficient;
+            }
+        }
+        positions
+            .iter()
+            .map(|&j| {
+                let x = self.gf.alpha_pow(j as u32 % 255);
+                let x_inv = self.gf.alpha_pow((255 - (j as u32 % 255)) % 255);
+                let omega_val = Self::poly_eval_low(&self.gf, &omega, x_inv);
+                let deriv_val = Self::poly_eval_low(&self.gf, &sigma_deriv, x_inv);
+                if deriv_val == 0 {
+                    0
+                } else {
+                    // Forney with first consecutive root alpha^0 (b = 0):
+                    // e = X * Omega(X^{-1}) / sigma'(X^{-1}).
+                    self.gf.mul(x, self.gf.div(omega_val, deriv_val))
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates a lowest-degree-first polynomial at `x`.
+    fn poly_eval_low(gf: &Gf256, poly: &[u8], x: u8) -> u8 {
+        let mut acc = 0u8;
+        for &coefficient in poly.iter().rev() {
+            acc = gf.add(gf.mul(acc, x), coefficient);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(ReedSolomon::new(256, 200).is_err());
+        assert!(ReedSolomon::new(255, 0).is_err());
+        assert!(ReedSolomon::new(100, 100).is_err());
+        assert!(ReedSolomon::new(100, 120).is_err());
+    }
+
+    #[test]
+    fn ccsds_parameters() {
+        let rs = ReedSolomon::ccsds();
+        assert_eq!(rs.code_len(), 255);
+        assert_eq!(rs.data_len(), 223);
+        assert_eq!(rs.parity_len(), 32);
+        assert_eq!(rs.correction_capability(), 16);
+        assert!((rs.rate() - 223.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_is_systematic_and_clean_codeword_decodes() {
+        let rs = ReedSolomon::new(15, 11).unwrap();
+        let data: Vec<u8> = (1..=11).collect();
+        let codeword = rs.encode(&data).unwrap();
+        assert_eq!(codeword.len(), 15);
+        assert_eq!(&codeword[..11], data.as_slice());
+        assert_eq!(rs.decode(&codeword).unwrap(), data);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let rs = ReedSolomon::new(255, 223).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u8> = (0..223).map(|_| rng.gen()).collect();
+        let codeword = rs.encode(&data).unwrap();
+        for errors in [1usize, 2, 8, 16] {
+            let mut corrupted = codeword.clone();
+            let mut positions = std::collections::HashSet::new();
+            while positions.len() < errors {
+                positions.insert(rng.gen_range(0..255));
+            }
+            for &p in &positions {
+                corrupted[p] ^= rng.gen_range(1..=255u8);
+            }
+            assert_eq!(rs.decode(&corrupted).unwrap(), data, "{errors} errors");
+        }
+    }
+
+    #[test]
+    fn fails_beyond_t_errors() {
+        let rs = ReedSolomon::new(255, 223).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<u8> = (0..223).map(|_| rng.gen()).collect();
+        let codeword = rs.encode(&data).unwrap();
+        let mut corrupted = codeword;
+        // 40 errors is far beyond t = 16; the decoder must not return wrong
+        // data silently claiming success with matching syndromes.
+        for p in 0..40 {
+            corrupted[p * 6] ^= 0x5A;
+        }
+        match rs.decode(&corrupted) {
+            Err(SatcomError::DecodingFailure { .. }) => {}
+            Ok(decoded) => assert_ne!(decoded, data, "silent miscorrection returned original data"),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn wrong_lengths_are_rejected() {
+        let rs = ReedSolomon::new(15, 11).unwrap();
+        assert!(rs.encode(&[0u8; 10]).is_err());
+        assert!(rs.decode(&[0u8; 14]).is_err());
+    }
+
+    #[test]
+    fn burst_error_within_capability_is_corrected() {
+        let rs = ReedSolomon::new(63, 47).unwrap(); // t = 8
+        let data: Vec<u8> = (0..47).map(|i| (i * 3) as u8).collect();
+        let codeword = rs.encode(&data).unwrap();
+        let mut corrupted = codeword;
+        for i in 20..28 {
+            corrupted[i] = 0xFF;
+        }
+        assert_eq!(rs.decode(&corrupted).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn random_errors_up_to_t_are_corrected(
+            seed in 0u64..10_000,
+            errors in 0usize..=8,
+        ) {
+            let rs = ReedSolomon::new(63, 47).unwrap(); // t = 8
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<u8> = (0..47).map(|_| rng.gen()).collect();
+            let codeword = rs.encode(&data).unwrap();
+            let mut corrupted = codeword;
+            let mut positions = std::collections::HashSet::new();
+            while positions.len() < errors {
+                positions.insert(rng.gen_range(0..63usize));
+            }
+            for &p in &positions {
+                corrupted[p] ^= rng.gen_range(1..=255u8);
+            }
+            prop_assert_eq!(rs.decode(&corrupted).unwrap(), data);
+        }
+    }
+}

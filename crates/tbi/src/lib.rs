@@ -1,0 +1,67 @@
+//! # tbi — triangular block interleavers mapped to DRAM
+//!
+//! Facade crate for the reproduction of *"A Mapping of Triangular Block
+//! Interleavers to DRAM for Optical Satellite Communication"* (DATE 2024).
+//! It re-exports the three workspace layers so that applications can depend
+//! on a single crate:
+//!
+//! * [`dram`] — the cycle-accurate DRAM device/controller model
+//!   ([`tbi_dram`]);
+//! * [`interleaver`] — triangular block interleavers and the DRAM address
+//!   mappings, including the paper's optimized mapping
+//!   ([`tbi_interleaver`]);
+//! * [`satcom`] — Reed–Solomon FEC, burst channels and the end-to-end
+//!   optical-downlink simulation ([`tbi_satcom`]).
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! ## Example
+//!
+//! Compare the row-major and optimized mappings on LPDDR4-4266 (one cell pair
+//! of the paper's Table I):
+//!
+//! ```
+//! use tbi::{DramConfig, DramStandard, InterleaverSpec, MappingKind, ThroughputEvaluator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dram = DramConfig::preset(DramStandard::Lpddr4, 4266)?;
+//! let evaluator = ThroughputEvaluator::new(dram, InterleaverSpec::from_burst_count(20_000));
+//! let (row_major, optimized) = evaluator.evaluate_table1_pair()?;
+//! assert!(optimized.min_utilization() > row_major.min_utilization());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tbi_dram as dram;
+pub use tbi_interleaver as interleaver;
+pub use tbi_satcom as satcom;
+
+pub use tbi_dram::{
+    ControllerConfig, DramConfig, DramStandard, MemorySystem, PagePolicy, PhysicalAddress,
+    RefreshMode, Request, SchedulingPolicy, Stats,
+};
+pub use tbi_interleaver::{
+    AccessPhase, BlockInterleaver, DramMapping, InterleaverSpec, MappingKind, OptimizedMapping,
+    RowMajorMapping, ThroughputEvaluator, TraceGenerator, TriangularInterleaver,
+    TwoStageInterleaver, UtilizationReport,
+};
+pub use tbi_satcom::{
+    BandwidthBudget, CoherenceFading, GilbertElliott, LinkConfig, LinkReport, LinkSimulation,
+    ReedSolomon,
+};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_usable() {
+        let config = crate::DramConfig::preset(crate::DramStandard::Ddr3, 800).unwrap();
+        assert_eq!(config.label(), "DDR3-800");
+        let interleaver = crate::TriangularInterleaver::new(8).unwrap();
+        assert_eq!(interleaver.len(), 36);
+        let rs = crate::ReedSolomon::ccsds();
+        assert_eq!(rs.code_len(), 255);
+    }
+}

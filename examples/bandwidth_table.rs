@@ -1,0 +1,34 @@
+//! Regenerates a compact version of the paper's Table I through the public
+//! `tbi` API (the full harness with CLI flags lives in
+//! `crates/bench/src/bin/table1.rs`).
+//!
+//! ```text
+//! cargo run --release -p tbi --example bandwidth_table
+//! ```
+
+use tbi::{DramConfig, InterleaverSpec, MappingKind, ThroughputEvaluator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bursts = 200_000;
+    println!("DRAM bandwidth utilization, triangular interleaver of {bursts} bursts");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "Configuration", "RowMaj write", "RowMaj read", "Optim write", "Optim read"
+    );
+    for (standard, rate) in tbi::dram::standards::ALL_CONFIGS {
+        let dram = DramConfig::preset(*standard, *rate)?;
+        let evaluator =
+            ThroughputEvaluator::new(dram.clone(), InterleaverSpec::from_burst_count(bursts));
+        let row_major = evaluator.evaluate(MappingKind::RowMajor)?;
+        let optimized = evaluator.evaluate(MappingKind::Optimized)?;
+        println!(
+            "{:<14} {:>11.2}% {:>11.2}% {:>11.2}% {:>11.2}%",
+            dram.label(),
+            row_major.write_utilization() * 100.0,
+            row_major.read_utilization() * 100.0,
+            optimized.write_utilization() * 100.0,
+            optimized.read_utilization() * 100.0,
+        );
+    }
+    Ok(())
+}

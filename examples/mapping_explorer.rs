@@ -1,0 +1,67 @@
+//! Mapping explorer: prints how each mapping scheme lays out the top-left
+//! corner of the interleaver index space on a chosen DRAM device, and how
+//! many row activations a full write+read cycle would need.
+//!
+//! ```text
+//! cargo run --release -p tbi --example mapping_explorer [ddr3|ddr4|ddr5|lpddr4|lpddr5]
+//! ```
+
+use std::collections::HashSet;
+
+use tbi::interleaver::mapping::render_grid;
+use tbi::{DramConfig, DramStandard, MappingKind};
+
+fn parse_standard(name: &str) -> Option<(DramStandard, u32)> {
+    let standard = match name.to_ascii_lowercase().as_str() {
+        "ddr3" => DramStandard::Ddr3,
+        "ddr4" => DramStandard::Ddr4,
+        "ddr5" => DramStandard::Ddr5,
+        "lpddr4" => DramStandard::Lpddr4,
+        "lpddr5" => DramStandard::Lpddr5,
+        _ => return None,
+    };
+    Some((standard, standard.paper_speed_grades()[1]))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "ddr4".to_string());
+    let (standard, rate) = parse_standard(&arg).ok_or("expected ddr3|ddr4|ddr5|lpddr4|lpddr5")?;
+    let dram = DramConfig::preset(standard, rate)?;
+    let n = 512u32;
+    println!(
+        "{}: {} bank groups x {} banks, {}-burst pages\n",
+        dram.label(),
+        dram.geometry.bank_groups,
+        dram.geometry.banks_per_group,
+        dram.geometry.columns_per_row
+    );
+
+    for kind in MappingKind::ALL {
+        let mapping = kind.build(&dram, n)?;
+        println!("--- {} ---", kind.name());
+        println!("{}", render_grid(mapping.as_ref(), 6, 6));
+
+        // Count how many distinct (bank, row) pages a full row-wise sweep and
+        // a full column-wise sweep would open - a proxy for activate energy.
+        let mut open: Vec<Option<u32>> = vec![None; dram.geometry.total_banks() as usize];
+        let mut activations = 0u64;
+        let mut pages = HashSet::new();
+        for i in 0..n {
+            for j in 0..(n - i) {
+                let addr = mapping.map(i, j);
+                let bank = addr.flat_bank(&dram.geometry) as usize;
+                pages.insert((bank, addr.row));
+                if open[bank] != Some(addr.row) {
+                    activations += 1;
+                    open[bank] = Some(addr.row);
+                }
+            }
+        }
+        println!(
+            "row-wise sweep: {activations} activations over {} accesses ({} distinct pages)\n",
+            n as u64 * (n as u64 + 1) / 2,
+            pages.len()
+        );
+    }
+    Ok(())
+}

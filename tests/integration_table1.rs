@@ -1,0 +1,84 @@
+//! Integration test reproducing the *shape* of the paper's Table I on a
+//! reduced interleaver size: the qualitative claims must hold even though the
+//! absolute percentages differ from the DRAMSys-based numbers in the paper.
+
+use tbi::{DramConfig, DramStandard, InterleaverSpec, MappingKind, ThroughputEvaluator};
+
+const BURSTS: u64 = 60_000;
+
+fn pair(standard: DramStandard, rate: u32) -> (tbi::UtilizationReport, tbi::UtilizationReport) {
+    let dram = DramConfig::preset(standard, rate).unwrap();
+    let evaluator = ThroughputEvaluator::new(dram, InterleaverSpec::from_burst_count(BURSTS));
+    evaluator.evaluate_table1_pair().unwrap()
+}
+
+#[test]
+fn row_major_write_phase_stays_high_everywhere() {
+    for (standard, rate) in tbi::dram::standards::ALL_CONFIGS {
+        let (row_major, _) = pair(*standard, *rate);
+        assert!(
+            row_major.write_utilization() > 0.85,
+            "{standard:?}-{rate}: row-major write utilization {} too low",
+            row_major.write_utilization()
+        );
+    }
+}
+
+#[test]
+fn row_major_read_phase_collapses_on_fast_speed_grades() {
+    // The paper's central observation: the faster grade of each standard
+    // loses a large fraction of its bandwidth in the column-wise read phase.
+    for (standard, rate, ceiling) in [
+        (DramStandard::Ddr3, 1600, 0.80),
+        (DramStandard::Ddr4, 3200, 0.65),
+        (DramStandard::Lpddr4, 4266, 0.55),
+        (DramStandard::Lpddr5, 8533, 0.65),
+    ] {
+        let (row_major, _) = pair(standard, rate);
+        assert!(
+            row_major.read_utilization() < ceiling,
+            "{standard:?}-{rate}: row-major read utilization {} should collapse below {ceiling}",
+            row_major.read_utilization()
+        );
+    }
+}
+
+#[test]
+fn slow_grades_suffer_less_than_fast_grades_under_row_major() {
+    for standard in DramStandard::ALL {
+        let [slow, fast] = standard.paper_speed_grades();
+        let (row_major_slow, _) = pair(standard, slow);
+        let (row_major_fast, _) = pair(standard, fast);
+        assert!(
+            row_major_slow.read_utilization() >= row_major_fast.read_utilization() - 0.02,
+            "{standard:?}: slow grade {} should not be worse than fast grade {}",
+            row_major_slow.read_utilization(),
+            row_major_fast.read_utilization()
+        );
+    }
+}
+
+#[test]
+fn optimized_mapping_reaches_high_utilization_in_both_phases_everywhere() {
+    for (standard, rate) in tbi::dram::standards::ALL_CONFIGS {
+        let (_, optimized) = pair(*standard, *rate);
+        assert!(
+            optimized.write_utilization() > 0.85 && optimized.read_utilization() > 0.85,
+            "{standard:?}-{rate}: optimized mapping write {} / read {} below target",
+            optimized.write_utilization(),
+            optimized.read_utilization()
+        );
+    }
+}
+
+#[test]
+fn optimized_mapping_gives_large_gains_where_the_paper_reports_them() {
+    // LPDDR4-4266 is the paper's most dramatic row (35.77 % -> 99.72 %).
+    let (row_major, optimized) = pair(DramStandard::Lpddr4, 4266);
+    assert!(
+        optimized.min_utilization() > 1.5 * row_major.min_utilization(),
+        "expected a large speedup on LPDDR4-4266: {} vs {}",
+        optimized.min_utilization(),
+        row_major.min_utilization()
+    );
+}
