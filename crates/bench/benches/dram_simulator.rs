@@ -23,9 +23,7 @@ fn bench_dram_simulator(c: &mut Criterion) {
             |b, config| {
                 b.iter(|| {
                     let mut system = MemorySystem::new(config.clone()).expect("valid config");
-                    system.run_trace(
-                        (0..REQUESTS).map(|i| Request::write(config.decode_linear(i))),
-                    )
+                    system.run_trace((0..REQUESTS).map(|i| Request::write(config.decode_linear(i))))
                 });
             },
         );

@@ -56,7 +56,9 @@ fn bench_link_pipeline(c: &mut Criterion) {
             |b, simulation| {
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(99);
-                    simulation.run(&channel, &mut rng).expect("link run succeeds")
+                    simulation
+                        .run(&channel, &mut rng)
+                        .expect("link run succeeds")
                 });
             },
         );

@@ -18,10 +18,8 @@ fn bench_table1_configs(c: &mut Criterion) {
         let dram = DramConfig::preset(*standard, *rate).expect("preset exists");
         let label = dram.label();
         for kind in MappingKind::TABLE1 {
-            let evaluator = ThroughputEvaluator::new(
-                dram.clone(),
-                InterleaverSpec::from_burst_count(BURSTS),
-            );
+            let evaluator =
+                ThroughputEvaluator::new(dram.clone(), InterleaverSpec::from_burst_count(BURSTS));
             group.bench_with_input(
                 BenchmarkId::new(kind.name(), &label),
                 &evaluator,

@@ -2,7 +2,7 @@
 //! each of the three optimizations contributes, per DRAM configuration.
 //!
 //! ```text
-//! cargo run --release -p tbi-bench --bin ablation [-- --bursts <n> | --no-refresh | --full]
+//! cargo run --release -p tbi_bench --bin ablation [-- --bursts <n> | --no-refresh | --full]
 //! ```
 
 use tbi_bench::HarnessOptions;

@@ -2,7 +2,7 @@
 //! small text grid over the top-left corner of the index space.
 //!
 //! ```text
-//! cargo run -p tbi-bench --bin fig1 [-- a|b|c|d [rows cols]]
+//! cargo run -p tbi_bench --bin fig1 [-- a|b|c|d [rows cols]]
 //! ```
 //!
 //! * `a` — bank round-robin only (Fig. 1a)

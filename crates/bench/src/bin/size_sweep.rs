@@ -3,7 +3,7 @@
 //! the minimum-phase utilization of both Table I mappings.
 //!
 //! ```text
-//! cargo run --release -p tbi-bench --bin size_sweep [-- --no-refresh]
+//! cargo run --release -p tbi_bench --bin size_sweep [-- --no-refresh]
 //! ```
 
 use tbi_bench::HarnessOptions;

@@ -3,7 +3,7 @@
 //! DRAM configurations.
 //!
 //! ```text
-//! cargo run --release -p tbi-bench --bin table1 [-- --full | --bursts <n> | --no-refresh]
+//! cargo run --release -p tbi_bench --bin table1 [-- --full | --bursts <n> | --no-refresh]
 //! ```
 
 use tbi_bench::{format_table1_row, run_table1, HarnessOptions};

@@ -54,6 +54,9 @@ impl HarnessOptions {
                     options.bursts = value
                         .parse()
                         .map_err(|e| format!("invalid burst count `{value}`: {e}"))?;
+                    if options.bursts == 0 {
+                        return Err("burst count must be non-zero".to_string());
+                    }
                 }
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -149,6 +152,7 @@ mod tests {
         assert!(HarnessOptions::parse(["--nope"].map(String::from)).is_err());
         assert!(HarnessOptions::parse(["--bursts"].map(String::from)).is_err());
         assert!(HarnessOptions::parse(["--bursts", "abc"].map(String::from)).is_err());
+        assert!(HarnessOptions::parse(["--bursts", "0"].map(String::from)).is_err());
     }
 
     #[test]

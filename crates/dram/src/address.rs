@@ -276,7 +276,9 @@ mod tests {
     fn sequential_bursts_stream_one_row_with_open_page_scheme() {
         let d = AddressDecoder::new(geometry(), DecodeScheme::RowBankBankGroupColumn);
         let a: Vec<_> = (0..128).map(|i| d.decode(i)).collect();
-        assert!(a.iter().all(|x| x.flat_bank(&geometry()) == 0 && x.row == 0));
+        assert!(a
+            .iter()
+            .all(|x| x.flat_bank(&geometry()) == 0 && x.row == 0));
         assert_eq!(a.last().unwrap().column, 127);
     }
 

@@ -127,9 +127,7 @@ impl BankState {
         debug_assert!(self.open_row.is_some(), "write on an idle bank");
         debug_assert!(now >= self.col_allowed_at, "write issued too early");
         // Write recovery starts after the last data beat.
-        self.pre_allowed_at = self
-            .pre_allowed_at
-            .max(now + t.cwl + burst_cycles + t.t_wr);
+        self.pre_allowed_at = self.pre_allowed_at.max(now + t.cwl + burst_cycles + t.t_wr);
     }
 
     /// Records a refresh (all-bank or per-bank) that keeps this bank busy for

@@ -174,7 +174,9 @@ mod tests {
     #[test]
     fn builder_round_trips_a_preset() {
         let preset = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
-        let rebuilt = DramConfigBuilder::from_config(preset.clone()).build().unwrap();
+        let rebuilt = DramConfigBuilder::from_config(preset.clone())
+            .build()
+            .unwrap();
         assert_eq!(rebuilt, preset);
     }
 

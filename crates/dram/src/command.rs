@@ -89,13 +89,21 @@ impl std::fmt::Display for Command {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
             CommandKind::Activate => write!(f, "ACT  {}", self.address),
-            CommandKind::Precharge => write!(f, "PRE  BG{} B{}", self.address.bank_group, self.address.bank),
+            CommandKind::Precharge => write!(
+                f,
+                "PRE  BG{} B{}",
+                self.address.bank_group, self.address.bank
+            ),
             CommandKind::PrechargeAll => write!(f, "PREA"),
             CommandKind::Read => write!(f, "RD   {}", self.address),
             CommandKind::Write => write!(f, "WR   {}", self.address),
             CommandKind::RefreshAll => write!(f, "REFab"),
             CommandKind::RefreshBank => {
-                write!(f, "REFpb BG{} B{}", self.address.bank_group, self.address.bank)
+                write!(
+                    f,
+                    "REFpb BG{} B{}",
+                    self.address.bank_group, self.address.bank
+                )
             }
         }
     }
@@ -137,9 +145,18 @@ mod tests {
             Command::precharge(a),
             Command::read(a),
             Command::write(a),
-            Command { kind: CommandKind::RefreshAll, address: a },
-            Command { kind: CommandKind::RefreshBank, address: a },
-            Command { kind: CommandKind::PrechargeAll, address: a },
+            Command {
+                kind: CommandKind::RefreshAll,
+                address: a,
+            },
+            Command {
+                kind: CommandKind::RefreshBank,
+                address: a,
+            },
+            Command {
+                kind: CommandKind::PrechargeAll,
+                address: a,
+            },
         ] {
             assert!(!cmd.to_string().is_empty());
         }

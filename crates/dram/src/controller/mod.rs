@@ -279,13 +279,13 @@ impl Controller {
         let mut earliest_wait: Option<u64> = None;
 
         let consider = |priority: u8,
-                            seq: u64,
-                            ready_at: u64,
-                            command: Command,
-                            flat_bank: usize,
-                            now: u64,
-                            best_issue: &mut Option<(u8, u64, Command, usize)>,
-                            earliest_wait: &mut Option<u64>| {
+                        seq: u64,
+                        ready_at: u64,
+                        command: Command,
+                        flat_bank: usize,
+                        now: u64,
+                        best_issue: &mut Option<(u8, u64, Command, usize)>,
+                        earliest_wait: &mut Option<u64>| {
             if ready_at <= now {
                 let candidate = (priority, seq, command, flat_bank);
                 let better = match best_issue {
@@ -634,7 +634,11 @@ impl Controller {
                 self.refresh.complete_one();
             }
             CommandKind::RefreshBank => {
-                let busy = if t.t_rfc_pb > 0 { t.t_rfc_pb } else { t.t_rfc_ab };
+                let busy = if t.t_rfc_pb > 0 {
+                    t.t_rfc_pb
+                } else {
+                    t.t_rfc_ab
+                };
                 self.banks[flat_bank].record_refresh(now, busy);
                 self.stats.refreshes_per_bank += 1;
                 self.refresh.complete_one();

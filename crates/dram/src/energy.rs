@@ -158,8 +158,7 @@ mod tests {
     #[test]
     fn zero_transfer_reports_zero_energy_per_byte() {
         let config = DramConfig::preset(DramStandard::Ddr3, 800).unwrap();
-        let report =
-            EnergyReport::from_stats(&Stats::default(), &config, &EnergyParams::default());
+        let report = EnergyReport::from_stats(&Stats::default(), &config, &EnergyParams::default());
         assert_eq!(report.nj_per_byte, 0.0);
     }
 

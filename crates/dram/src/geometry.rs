@@ -162,7 +162,10 @@ mod tests {
         g.banks_per_group = 3;
         assert!(matches!(
             g.validate(),
-            Err(ConfigError::InvalidGeometry { field: "banks_per_group", .. })
+            Err(ConfigError::InvalidGeometry {
+                field: "banks_per_group",
+                ..
+            })
         ));
     }
 
@@ -179,7 +182,10 @@ mod tests {
         g.bus_width_bits = 17;
         assert!(matches!(
             g.validate(),
-            Err(ConfigError::InvalidGeometry { field: "bus_width_bits", .. })
+            Err(ConfigError::InvalidGeometry {
+                field: "bus_width_bits",
+                ..
+            })
         ));
     }
 

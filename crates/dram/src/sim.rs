@@ -179,8 +179,7 @@ mod tests {
     fn sequential_writes_then_reads_measured_separately() {
         let (config, mut system) = system(DramStandard::Ddr4, 1600);
         let n = 5_000u64;
-        let write_stats =
-            system.run_trace((0..n).map(|i| Request::write(config.decode_linear(i))));
+        let write_stats = system.run_trace((0..n).map(|i| Request::write(config.decode_linear(i))));
         system.reset_stats();
         let read_stats = system.run_trace((0..n).map(|i| Request::read(config.decode_linear(i))));
         assert_eq!(write_stats.write_bursts, n);
@@ -237,7 +236,10 @@ mod tests {
                 accepted += 1;
             }
         }
-        assert!(accepted <= 64, "default queue capacity should bound acceptance");
+        assert!(
+            accepted <= 64,
+            "default queue capacity should bound acceptance"
+        );
         let stats = system.run_to_completion();
         assert_eq!(stats.completed_requests, accepted);
     }

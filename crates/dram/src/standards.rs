@@ -476,14 +476,22 @@ mod tests {
     #[test]
     fn ddr3_ddr4_use_all_bank_refresh_lp_and_ddr5_per_bank() {
         assert_eq!(
-            DramConfig::preset(DramStandard::Ddr3, 800).unwrap().default_refresh,
+            DramConfig::preset(DramStandard::Ddr3, 800)
+                .unwrap()
+                .default_refresh,
             RefreshMode::AllBank
         );
         assert_eq!(
-            DramConfig::preset(DramStandard::Ddr4, 3200).unwrap().default_refresh,
+            DramConfig::preset(DramStandard::Ddr4, 3200)
+                .unwrap()
+                .default_refresh,
             RefreshMode::AllBank
         );
-        for standard in [DramStandard::Ddr5, DramStandard::Lpddr4, DramStandard::Lpddr5] {
+        for standard in [
+            DramStandard::Ddr5,
+            DramStandard::Lpddr4,
+            DramStandard::Lpddr5,
+        ] {
             let rate = standard.paper_speed_grades()[0];
             assert_eq!(
                 DramConfig::preset(standard, rate).unwrap().default_refresh,

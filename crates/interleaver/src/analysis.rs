@@ -289,7 +289,11 @@ mod tests {
     fn comparison_prefers_the_optimized_mapping() {
         let dram = dram();
         let mut comparison = MappingComparison::new();
-        for kind in [MappingKind::RowMajor, MappingKind::BankRoundRobin, MappingKind::Optimized] {
+        for kind in [
+            MappingKind::RowMajor,
+            MappingKind::BankRoundRobin,
+            MappingKind::Optimized,
+        ] {
             let mapping = kind.build(&dram, 256).unwrap();
             comparison.add(mapping.as_ref());
         }

@@ -40,7 +40,9 @@ impl BlockInterleaver {
     pub fn new(rows: u32, columns: u32) -> Result<Self, InterleaverError> {
         if rows == 0 || columns == 0 {
             return Err(InterleaverError::InvalidDimension {
-                reason: format!("block interleaver dimensions must be non-zero, got {rows}x{columns}"),
+                reason: format!(
+                    "block interleaver dimensions must be non-zero, got {rows}x{columns}"
+                ),
             });
         }
         Ok(Self { rows, columns })

@@ -56,7 +56,10 @@ impl InterleaverSpec {
     /// Panics if `symbols == 0` or `symbol_bits == 0`.
     #[must_use]
     pub fn from_symbols(symbols: u64, symbol_bits: u32) -> Self {
-        assert!(symbols > 0 && symbol_bits > 0, "symbols and symbol_bits must be non-zero");
+        assert!(
+            symbols > 0 && symbol_bits > 0,
+            "symbols and symbol_bits must be non-zero"
+        );
         let bits = symbols * u64::from(symbol_bits);
         let bursts = bits.div_ceil(u64::from(BURST_BITS));
         Self::from_burst_count(bursts.max(1))

@@ -120,14 +120,13 @@ impl OptimizedMapping {
 
         let padded_width = n.div_ceil(tile_w) * tile_w;
         let padded_height = n.div_ceil(tile_h) * tile_h;
-        let tiles_per_row_padded = (padded_width / tile_w).div_ceil(banks_per_group) * banks_per_group;
+        let tiles_per_row_padded =
+            (padded_width / tile_w).div_ceil(banks_per_group) * banks_per_group;
         let tile_rows = padded_height / tile_h;
         let rows_needed = u64::from(tile_rows) * u64::from(tiles_per_row_padded / banks_per_group);
         if rows_needed > u64::from(geometry.rows) {
             return Err(InterleaverError::CapacityExceeded {
-                required_bursts: rows_needed
-                    * u64::from(page)
-                    * u64::from(geometry.total_banks()),
+                required_bursts: rows_needed * u64::from(page) * u64::from(geometry.total_banks()),
                 available_bursts: geometry.total_bursts(),
             });
         }
@@ -284,7 +283,11 @@ mod tests {
                 assert_eq!((here + 1) % g.bank_groups, right, "{standard:?}-{rate}");
                 let down_here = m.map(k, 7).bank_group;
                 let down_next = m.map(k + 1, 7).bank_group;
-                assert_eq!((down_here + 1) % g.bank_groups, down_next, "{standard:?}-{rate}");
+                assert_eq!(
+                    (down_here + 1) % g.bank_groups,
+                    down_next,
+                    "{standard:?}-{rate}"
+                );
             }
         }
     }
@@ -464,9 +467,14 @@ mod tests {
 
     #[test]
     fn names_distinguish_stagger() {
-        assert_eq!(OptimizedMapping::new(ddr4(), 64).unwrap().name(), "optimized");
         assert_eq!(
-            OptimizedMapping::without_stagger(ddr4(), 64).unwrap().name(),
+            OptimizedMapping::new(ddr4(), 64).unwrap().name(),
+            "optimized"
+        );
+        assert_eq!(
+            OptimizedMapping::without_stagger(ddr4(), 64)
+                .unwrap()
+                .name(),
             "optimized-no-stagger"
         );
     }
@@ -487,7 +495,10 @@ mod tests {
         for (standard, rate) in tbi_dram::standards::ALL_CONFIGS {
             let g = geometry(*standard, *rate);
             let m = OptimizedMapping::new(g, 5000);
-            assert!(m.is_ok(), "12.5M-element interleaver must fit {standard:?}-{rate}");
+            assert!(
+                m.is_ok(),
+                "12.5M-element interleaver must fit {standard:?}-{rate}"
+            );
         }
     }
 }

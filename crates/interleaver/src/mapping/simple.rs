@@ -200,7 +200,9 @@ mod tests {
     use tbi_dram::{DramConfig, DramStandard};
 
     fn geometry() -> DeviceGeometry {
-        DramConfig::preset(DramStandard::Ddr4, 3200).unwrap().geometry
+        DramConfig::preset(DramStandard::Ddr4, 3200)
+            .unwrap()
+            .geometry
     }
 
     #[test]

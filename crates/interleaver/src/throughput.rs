@@ -196,8 +196,8 @@ impl ThroughputEvaluator {
 
     fn phase_report(&self, phase: AccessPhase, stats: Stats) -> PhaseReport {
         let utilization = stats.bus_utilization();
-        let bandwidth_gbps = stats
-            .achieved_bandwidth_gbps(self.dram.clock_mhz(), self.dram.geometry.bus_width_bits);
+        let bandwidth_gbps =
+            stats.achieved_bandwidth_gbps(self.dram.clock_mhz(), self.dram.geometry.bus_width_bits);
         PhaseReport {
             phase,
             stats,
@@ -277,7 +277,10 @@ mod tests {
     fn disabling_refresh_improves_utilization() {
         let eval = evaluator(DramStandard::Ddr4, 1600, 40_000);
         let with_refresh = eval.evaluate(MappingKind::Optimized).unwrap();
-        let without_refresh = eval.without_refresh().evaluate(MappingKind::Optimized).unwrap();
+        let without_refresh = eval
+            .without_refresh()
+            .evaluate(MappingKind::Optimized)
+            .unwrap();
         assert!(without_refresh.min_utilization() >= with_refresh.min_utilization());
         assert!(
             without_refresh.min_utilization() > 0.9,
@@ -298,10 +301,8 @@ mod tests {
     #[test]
     fn capacity_errors_propagate() {
         let dram = DramConfig::preset(DramStandard::Lpddr4, 2133).unwrap();
-        let eval = ThroughputEvaluator::new(
-            dram,
-            InterleaverSpec::from_burst_count(100_000_000_000),
-        );
+        let eval =
+            ThroughputEvaluator::new(dram, InterleaverSpec::from_burst_count(100_000_000_000));
         assert!(matches!(
             eval.evaluate(MappingKind::RowMajor),
             Err(InterleaverError::CapacityExceeded { .. })

@@ -1,0 +1,68 @@
+//! Property tests for the DRAM address mappings: every [`MappingKind`] must
+//! be a bijection from the whole triangular index space onto *distinct*
+//! (bank, row, column) addresses that lie within the device bounds, for
+//! randomized interleaver sizes and every DRAM preset of the paper.
+//!
+//! This is the exhaustive counterpart to the sampled in-crate property test:
+//! instead of probing random positions it walks the complete index space, so
+//! an off-by-one at the triangle edge or a collision between tile boundaries
+//! cannot hide.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tbi_dram::standards::ALL_CONFIGS;
+use tbi_dram::DramConfig;
+use tbi_interleaver::{InterleaverSpec, MappingKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn every_mapping_is_a_bijection_within_device_bounds(
+        preset_idx in 0usize..ALL_CONFIGS.len(),
+        kind_idx in 0usize..MappingKind::ALL.len(),
+        bursts in 64u64..20_000,
+    ) {
+        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let dram = DramConfig::preset(standard, rate).unwrap();
+        let spec = InterleaverSpec::from_burst_count(bursts);
+        let n = spec.dimension();
+        let kind = MappingKind::ALL[kind_idx];
+        let mapping = kind.build(&dram, n).unwrap();
+
+        let mut addresses = HashSet::with_capacity(spec.total_positions() as usize);
+        for i in 0..n {
+            for j in 0..n - i {
+                let addr = mapping.map(i, j);
+                prop_assert!(
+                    addr.is_valid_for(&dram.geometry),
+                    "{kind} on {}: ({i},{j}) mapped out of bounds to {addr:?}",
+                    dram.label()
+                );
+                prop_assert!(
+                    addresses.insert(addr),
+                    "{kind} on {}: address collision at ({i},{j})",
+                    dram.label()
+                );
+            }
+        }
+        prop_assert_eq!(addresses.len() as u64, spec.total_positions());
+    }
+
+    #[test]
+    fn mappings_agree_with_spec_capacity_check(
+        kind_idx in 0usize..MappingKind::ALL.len(),
+        bursts in 64u64..50_000,
+    ) {
+        // If the spec says the interleaver fits the device, the mapping must
+        // build; the smallest paper preset (DDR3-800) is the tightest case.
+        let dram = DramConfig::preset(tbi_dram::DramStandard::Ddr3, 800).unwrap();
+        let spec = InterleaverSpec::from_burst_count(bursts);
+        let fits = spec.check_capacity(dram.geometry.total_bursts()).is_ok();
+        let built = MappingKind::ALL[kind_idx].build(&dram, spec.dimension()).is_ok();
+        prop_assert!(
+            !fits || built,
+            "spec fits ({} bursts) but mapping failed to build",
+            spec.total_positions()
+        );
+    }
+}

@@ -70,7 +70,10 @@ impl GilbertElliott {
             ("error_rate_good", error_rate_good),
             ("error_rate_bad", error_rate_bad),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
         }
         Self {
             p_good_to_bad,

@@ -147,7 +147,11 @@ impl ConcatenatedCode {
     /// # Errors
     ///
     /// Propagates encoding/interleaver errors ([`SatcomError`]).
-    pub fn transmit<C, R>(&self, channel: &C, rng: &mut R) -> Result<ConcatenatedReport, SatcomError>
+    pub fn transmit<C, R>(
+        &self,
+        channel: &C,
+        rng: &mut R,
+    ) -> Result<ConcatenatedReport, SatcomError>
     where
         C: SymbolChannel,
         R: Rng + ?Sized,

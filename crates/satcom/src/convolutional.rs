@@ -115,7 +115,10 @@ impl ConvolutionalCode {
     /// Panics if the input length is odd.
     #[must_use]
     pub fn decode(&self, received: &[u8]) -> Vec<u8> {
-        assert!(received.len() % 2 == 0, "rate-1/2 stream must have even length");
+        assert!(
+            received.len() % 2 == 0,
+            "rate-1/2 stream must have even length"
+        );
         let steps = received.len() / 2;
         let tail = (self.constraint_length - 1) as usize;
         if steps == 0 {
@@ -137,8 +140,7 @@ impl ConvolutionalCode {
                 }
                 for input in 0..=1u8 {
                     let (a, b) = self.output(state as u32, input);
-                    let distance =
-                        u32::from(a != observed.0) + u32::from(b != observed.1);
+                    let distance = u32::from(a != observed.0) + u32::from(b != observed.1);
                     let next = self.next_state(state as u32, input) as usize;
                     let candidate = m + distance;
                     if candidate < next_metric[next] {

@@ -122,7 +122,9 @@ mod tests {
             reason: "k >= n".to_string(),
         };
         assert!(err.to_string().contains("k >= n"));
-        let err = SatcomError::DecodingFailure { detected_errors: 17 };
+        let err = SatcomError::DecodingFailure {
+            detected_errors: 17,
+        };
         assert!(err.to_string().contains("17"));
     }
 

@@ -327,7 +327,10 @@ mod tests {
             with.frame_error_rate(),
             without.frame_error_rate()
         );
-        assert!(without.frame_error_rate() > 0.0, "burst channel too gentle for the test");
+        assert!(
+            without.frame_error_rate() > 0.0,
+            "burst channel too gentle for the test"
+        );
     }
 
     #[test]

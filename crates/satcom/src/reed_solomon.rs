@@ -57,7 +57,12 @@ impl ReedSolomon {
         for i in 0..(n - k) {
             generator = gf.poly_mul(&generator, &[1, gf.alpha_pow(i as u32)]);
         }
-        Ok(Self { gf, n, k, generator })
+        Ok(Self {
+            gf,
+            n,
+            k,
+            generator,
+        })
     }
 
     /// The classic satellite-link code RS(255, 223) with t = 16.
@@ -354,7 +359,7 @@ mod tests {
             let mut corrupted = codeword.clone();
             let mut positions = std::collections::HashSet::new();
             while positions.len() < errors {
-                positions.insert(rng.gen_range(0..255));
+                positions.insert(rng.gen_range(0..255usize));
             }
             for &p in &positions {
                 corrupted[p] ^= rng.gen_range(1..=255u8);
@@ -395,8 +400,8 @@ mod tests {
         let data: Vec<u8> = (0..47).map(|i| (i * 3) as u8).collect();
         let codeword = rs.encode(&data).unwrap();
         let mut corrupted = codeword;
-        for i in 20..28 {
-            corrupted[i] = 0xFF;
+        for symbol in &mut corrupted[20..28] {
+            *symbol = 0xFF;
         }
         assert_eq!(rs.decode(&corrupted).unwrap(), data);
     }

@@ -24,7 +24,9 @@ fn parse_standard(name: &str) -> Option<(DramStandard, u32)> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "ddr4".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ddr4".to_string());
     let (standard, rate) = parse_standard(&arg).ok_or("expected ddr3|ddr4|ddr5|lpddr4|lpddr5")?;
     let dram = DramConfig::preset(standard, rate)?;
     let n = 512u32;

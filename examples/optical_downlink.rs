@@ -59,7 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.fill_time_ms(100.0)
     );
     let dram = DramConfig::preset(DramStandard::Lpddr5, 8533)?;
-    let evaluator = ThroughputEvaluator::new(dram.clone(), InterleaverSpec::from_burst_count(200_000));
+    let evaluator =
+        ThroughputEvaluator::new(dram.clone(), InterleaverSpec::from_burst_count(200_000));
     for kind in MappingKind::TABLE1 {
         let report = evaluator.evaluate(kind)?;
         let budget = BandwidthBudget::new(100.0, report.min_utilization());

@@ -5,7 +5,9 @@
 //! cargo run --release -p tbi --example quickstart
 //! ```
 
-use tbi::{BandwidthBudget, DramConfig, DramStandard, InterleaverSpec, MappingKind, ThroughputEvaluator};
+use tbi::{
+    BandwidthBudget, DramConfig, DramStandard, InterleaverSpec, MappingKind, ThroughputEvaluator,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An LPDDR4-4266 channel: 136.5 Gbit/s of peak bandwidth.

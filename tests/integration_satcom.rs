@@ -6,7 +6,7 @@ use tbi::satcom::channel::SymbolChannel;
 use tbi::satcom::link::{interleaving_gain, InterleaverChoice, LinkConfig};
 use tbi::{
     BandwidthBudget, CoherenceFading, DramConfig, DramStandard, GilbertElliott, InterleaverSpec,
-    MappingKind, ReedSolomon, ThroughputEvaluator, TwoStageInterleaver,
+    ReedSolomon, ThroughputEvaluator, TwoStageInterleaver,
 };
 
 #[test]

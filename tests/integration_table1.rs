@@ -72,6 +72,52 @@ fn optimized_mapping_reaches_high_utilization_in_both_phases_everywhere() {
 }
 
 #[test]
+fn golden_table1_ordering_holds_for_every_preset_at_reduced_size() {
+    // Golden pin of the paper's qualitative Table I ordering at a
+    // deliberately small burst count (the table regenerates in a couple of
+    // seconds; absolute percentages at a larger size are covered by the
+    // tests above).  Two configurations (DDR3-800, DDR5-3200) never collapse
+    // under row-major in this reproduction — both mappings sit above 95 % and
+    // the difference is simulation noise — so the pin is:
+    //
+    //   * wherever the row-major baseline's worst phase drops below 90 %,
+    //     the optimized mapping must beat it strictly AND stay above 90 %;
+    //   * everywhere else the optimized mapping must be no worse than the
+    //     baseline minus a 1 % noise tolerance.
+    const REDUCED_BURSTS: u64 = 20_000;
+    const NOISE: f64 = 0.01;
+    let mut collapsing_rows = 0;
+    for (standard, rate) in tbi::dram::standards::ALL_CONFIGS {
+        let dram = DramConfig::preset(*standard, *rate).unwrap();
+        let evaluator =
+            ThroughputEvaluator::new(dram, InterleaverSpec::from_burst_count(REDUCED_BURSTS));
+        let row_major = evaluator.evaluate(MappingKind::RowMajor).unwrap();
+        let optimized = evaluator.evaluate(MappingKind::Optimized).unwrap();
+        let (rm, opt) = (row_major.min_utilization(), optimized.min_utilization());
+        if rm < 0.90 {
+            collapsing_rows += 1;
+            assert!(
+                opt > rm && opt > 0.90,
+                "{standard:?}-{rate}: optimized min utilization {opt:.4} should beat \
+                 collapsed row-major {rm:.4} and exceed 90 %"
+            );
+        } else {
+            assert!(
+                opt >= rm - NOISE,
+                "{standard:?}-{rate}: optimized min utilization {opt:.4} fell more than \
+                 {NOISE} below row-major {rm:.4}"
+            );
+        }
+    }
+    // The paper's table has a majority of configurations where row-major
+    // collapses; if none did here, this golden test would be vacuous.
+    assert!(
+        collapsing_rows >= 6,
+        "only {collapsing_rows}/10 configurations showed a row-major collapse"
+    );
+}
+
+#[test]
 fn optimized_mapping_gives_large_gains_where_the_paper_reports_them() {
     // LPDDR4-4266 is the paper's most dramatic row (35.77 % -> 99.72 %).
     let (row_major, optimized) = pair(DramStandard::Lpddr4, 4266);

@@ -1,0 +1,286 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendors the subset
+//! of criterion's API that the workspace's benches use: benchmark groups,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Throughput`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up once,
+//! then timed over an adaptively chosen iteration count per sample, and the
+//! per-iteration median is printed together with the configured throughput.
+//! There is no statistical analysis, plotting, or HTML report — the point is
+//! that `cargo bench` compiles, runs, and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per benchmark iteration, used to report a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with both a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id that is just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function_name, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function_name: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function_name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, storing per-sample timings.
+    ///
+    /// A second call replaces the timings of the first (the last `iter` in a
+    /// benchmark body wins), mirroring how each call re-calibrates.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: aim for samples of at least ~2 ms each.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        self.samples.clear();
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&mut self) -> Option<f64> {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return None;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        Some(median.as_nanos() as f64 / self.iters_per_sample as f64)
+    }
+}
+
+/// The benchmark driver; one per process.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_one(name, sample_size, None, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix, sample size and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much data one iteration processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 0,
+    };
+    f(&mut bencher);
+    match bencher.median_ns_per_iter() {
+        Some(ns) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    // n elements per `ns` nanoseconds -> mega-elements per second.
+                    format!(" ({:.3} Melem/s)", n as f64 / ns * 1e9 / 1e6)
+                }
+                Throughput::Bytes(n) => {
+                    format!(" ({:.3} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                }
+            });
+            println!("{label:<60} {ns:>14.1} ns/iter{}", rate.unwrap_or_default());
+        }
+        None => println!("{label:<60} (no samples collected)"),
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($group), "` benchmark group.")]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("f", "p").render(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).render(), "42");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0u64;
+        group.bench_function("work", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Minimal, dependency-light stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors exactly the
+//! subset of proptest used by the workspace's property tests:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute and
+//!   any number of `#[test] fn name(x in strategy, ..) { .. }` items);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] that fail the current case with a
+//!   message instead of panicking inside the closure;
+//! * integer `Range`/`RangeInclusive` strategies and
+//!   [`collection::vec`].
+//!
+//! Compared to the real crate there is **no shrinking**: a failing case
+//! reports the sampled inputs and stops.  Sampling is deterministic — the
+//! seed is derived from the test's name — so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value: std::fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_for_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_strategy_for_int_ranges!(u8, u16, u32, u64, usize);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from `size` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Controls how many cases each property test executes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Config {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Builds the deterministic per-test RNG (seeded from the test name).
+///
+/// Uses FNV-1a rather than `DefaultHasher` so the seed — and therefore the
+/// sampled cases — is stable across Rust toolchain versions.
+#[doc(hidden)]
+pub fn deterministic_rng(test_name: &str) -> rand::rngs::StdRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(hash)
+}
+
+/// Defines property tests; see the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::test_runner::Config as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let mut __rng = $crate::deterministic_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);
+                    )+
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(&::std::format!(
+                                "{} = {:?}, ", stringify!($arg), $arg
+                            ));
+                        )+
+                        s
+                    };
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __result {
+                        ::std::panic!(
+                            "property `{}` failed on case {} [{}]: {}",
+                            stringify!($name), __case, __inputs.trim_end_matches(", "), __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition, failing the current property case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality, failing the current property case with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                stringify!($left), stringify!($right), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                ::std::format!($($fmt)*), __l, __r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(a in 1u32..10, b in 0u8..=3) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b <= 3);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(v in crate::collection::vec(0u8..=1, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x <= 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert_eq!(x, 1_000);
+            }
+        }
+        always_fails();
+    }
+}
