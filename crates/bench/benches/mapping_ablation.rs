@@ -2,27 +2,32 @@
 //! evaluates every mapping scheme on the most bandwidth-sensitive
 //! configuration (DDR4-3200) and reports simulated-bursts-per-second, so the
 //! relative cost of each scheme's address arithmetic and access pattern is
-//! visible.
+//! visible.  Each scheme is one [`tbi_exp::Scenario`].
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tbi_dram::{DramConfig, DramStandard};
-use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
+use tbi_dram::DramStandard;
+use tbi_exp::Scenario;
+use tbi_interleaver::{InterleaverSpec, MappingKind};
 
 const BURSTS: u64 = 20_000;
 
 fn bench_mapping_ablation(c: &mut Criterion) {
-    let dram = DramConfig::preset(DramStandard::Ddr4, 3200).expect("preset exists");
     let mut group = c.benchmark_group("mapping_ablation");
     group.sample_size(10);
     group.throughput(Throughput::Elements(2 * BURSTS));
     for kind in MappingKind::ALL {
-        let evaluator =
-            ThroughputEvaluator::new(dram.clone(), InterleaverSpec::from_burst_count(BURSTS));
+        let scenario = Scenario::preset(
+            DramStandard::Ddr4,
+            3200,
+            kind,
+            InterleaverSpec::from_burst_count(BURSTS),
+        )
+        .expect("preset exists");
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.name()),
-            &evaluator,
-            |b, evaluator| {
-                b.iter(|| evaluator.evaluate(kind).expect("evaluation succeeds"));
+            &scenario,
+            |b, scenario| {
+                b.iter(|| scenario.run().expect("evaluation succeeds"));
             },
         );
     }

@@ -2,11 +2,11 @@
 //! simulation of the row-major and optimized mappings for every DRAM
 //! configuration (the utilization numbers themselves are printed by the
 //! `table1` binary; this benchmark tracks how fast the harness regenerates
-//! them).
+//! them).  Each (configuration, mapping) cell is one [`tbi_exp::Scenario`].
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tbi_dram::DramConfig;
-use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
+use tbi_exp::Scenario;
+use tbi_interleaver::{InterleaverSpec, MappingKind};
 
 const BURSTS: u64 = 20_000;
 
@@ -15,19 +15,23 @@ fn bench_table1_configs(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(2 * BURSTS));
     for (standard, rate) in tbi_dram::standards::ALL_CONFIGS {
-        let dram = DramConfig::preset(*standard, *rate).expect("preset exists");
-        let label = dram.label();
         for kind in MappingKind::TABLE1 {
-            let evaluator =
-                ThroughputEvaluator::new(dram.clone(), InterleaverSpec::from_burst_count(BURSTS));
+            let scenario = Scenario::preset(
+                *standard,
+                *rate,
+                kind,
+                InterleaverSpec::from_burst_count(BURSTS),
+            )
+            .expect("preset exists");
+            let label = scenario.dram().label();
             group.bench_with_input(
                 BenchmarkId::new(kind.name(), &label),
-                &evaluator,
-                |b, evaluator| {
+                &scenario,
+                |b, scenario| {
                     b.iter(|| {
-                        let report = evaluator.evaluate(kind).expect("evaluation succeeds");
-                        assert!(report.min_utilization() > 0.0);
-                        report
+                        let record = scenario.run().expect("evaluation succeeds");
+                        assert!(record.min_utilization > 0.0);
+                        record
                     });
                 },
             );

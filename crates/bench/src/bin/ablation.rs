@@ -2,20 +2,47 @@
 //! each of the three optimizations contributes, per DRAM configuration.
 //!
 //! ```text
-//! cargo run --release -p tbi_bench --bin ablation [-- --bursts <n> | --no-refresh | --full]
+//! cargo run --release -p tbi_bench --bin ablation [-- --bursts <n> | --no-refresh | --full |
+//!                                                    --workers <n> | --json <p> | --csv <p>]
 //! ```
+//!
+//! Declared as one [`tbi_exp::SweepGrid`]: all presets × every mapping
+//! scheme, executed in parallel.
+
+use tbi_exp::SweepGrid;
+use tbi_interleaver::MappingKind;
 
 use tbi_bench::HarnessOptions;
-use tbi_dram::DramConfig;
-use tbi_interleaver::MappingKind;
 
 fn main() {
     let options = match HarnessOptions::parse(std::env::args().skip(1)) {
         Ok(options) => options,
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: ablation [--full] [--bursts <n>] [--no-refresh]");
+            eprintln!("{}", HarnessOptions::usage("ablation"));
             std::process::exit(2);
+        }
+    };
+    if options.help {
+        println!("{}", HarnessOptions::usage("ablation"));
+        return;
+    }
+
+    let grid = match SweepGrid::new().all_presets() {
+        Ok(grid) => grid
+            .size(options.bursts)
+            .mappings(MappingKind::ALL)
+            .refresh(options.refresh_setting()),
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    };
+    let records = match options.run_grid(grid) {
+        Ok(records) => records,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
         }
     };
 
@@ -29,15 +56,16 @@ fn main() {
     println!();
     println!("{}", "-".repeat(14 + 22 * MappingKind::ALL.len()));
 
-    for (standard, rate) in tbi_dram::standards::ALL_CONFIGS {
-        let dram = DramConfig::preset(*standard, *rate).expect("preset exists");
-        let label = dram.label();
-        let evaluator = options.evaluator(dram);
-        print!("{label:<14}");
-        for kind in MappingKind::ALL {
-            let report = evaluator.evaluate(kind).expect("evaluation succeeds");
-            print!(" {:>19.2} %", report.min_utilization() * 100.0);
+    for row in records.chunks(MappingKind::ALL.len()) {
+        print!("{:<14}", row[0].dram_label);
+        for record in row {
+            print!(" {:>19.2} %", record.min_utilization * 100.0);
         }
         println!();
+    }
+
+    if let Err(error) = options.write_outputs(&records) {
+        eprintln!("error: {error}");
+        std::process::exit(1);
     }
 }

@@ -1,8 +1,10 @@
 //! Regenerates **Figure 1** of the paper: the mapping schemes rendered as a
-//! small text grid over the top-left corner of the index space.
+//! small text grid over the top-left corner of the index space, plus the
+//! utilization each scheme achieves on the miniature device.
 //!
 //! ```text
-//! cargo run -p tbi_bench --bin fig1 [-- a|b|c|d [rows cols]]
+//! cargo run -p tbi_bench --bin fig1 [-- a|b|c|d|all [rows cols]] [--workers <n>]
+//!                                   [--json <p>] [--csv <p>]
 //! ```
 //!
 //! * `a` — bank round-robin only (Fig. 1a)
@@ -12,60 +14,165 @@
 //!
 //! The paper's figure uses a miniature device with two banks and four-column
 //! pages; the same miniature geometry is used here so the printed pattern is
-//! directly comparable.
+//! directly comparable.  Each selected scheme is a [`tbi_exp::Scenario`] on
+//! that miniature device: the grids are rendered from the scenario's mapping
+//! and the utilization footer comes from running the scenarios as one
+//! [`tbi_exp::Experiment`].
 
-use tbi_dram::DeviceGeometry;
-use tbi_interleaver::mapping::{
-    render_grid, BankRoundRobinMapping, DramMapping, OptimizedMapping, TiledMapping,
-};
+use tbi_dram::{DramConfig, DramConfigBuilder, DramStandard};
+use tbi_exp::{Experiment, Scenario};
+use tbi_interleaver::mapping::render_grid;
+use tbi_interleaver::{InterleaverSpec, MappingKind};
 
-/// The miniature geometry used in the paper's Figure 1: two banks (in two
-/// bank groups) and four bursts per page.
-fn figure_geometry() -> DeviceGeometry {
-    DeviceGeometry {
-        bank_groups: 2,
-        banks_per_group: 1,
-        rows: 1 << 10,
-        columns_per_row: 4,
-        burst_length: 8,
-        bus_width_bits: 64,
+use tbi_bench::HarnessOptions;
+
+/// The miniature configuration behind the paper's Figure 1: two banks (in
+/// two bank groups) and four-burst pages on an otherwise DDR4-like device.
+fn figure_config() -> DramConfig {
+    DramConfigBuilder::from_preset(DramStandard::Ddr4, 1600)
+        .expect("DDR4-1600 is a paper preset")
+        .bank_groups(2)
+        .banks_per_group(1)
+        .rows(1 << 10)
+        .columns_per_row(4)
+        .bus_width_bits(64)
+        .build()
+        .expect("miniature figure geometry is valid")
+}
+
+/// The schemes of Fig. 1a–1d, with their panel letter and caption.
+const PANELS: [(&str, MappingKind, &str); 4] = [
+    (
+        "a",
+        MappingKind::BankRoundRobin,
+        "Fig. 1a — bank round-robin (diagonal) pattern:",
+    ),
+    (
+        "b",
+        MappingKind::Tiled,
+        "Fig. 1b — page tiling (one page per rectangle):",
+    ),
+    (
+        "c",
+        MappingKind::OptimizedNoStagger,
+        "Fig. 1c — banks, columns and rows combined:",
+    ),
+    (
+        "d",
+        MappingKind::Optimized,
+        "Fig. 1d — full optimized mapping with bank-dependent column offset:",
+    ),
+];
+
+const SUPPORTED_FLAGS: [&str; 3] = ["--workers", "--json", "--csv"];
+
+fn usage_exit() -> ! {
+    eprintln!("usage: fig1 [a|b|c|d|all] [rows cols] [--workers <n>] [--json <p>] [--csv <p>]");
+    std::process::exit(2);
+}
+
+/// Splits the raw arguments into positionals and flag arguments, keeping a
+/// value-taking flag together with its value.
+fn split_args<I: Iterator<Item = String>>(args: I) -> (Vec<String>, Vec<String>) {
+    let mut positionals = Vec::new();
+    let mut flags = Vec::new();
+    let mut iter = args;
+    while let Some(arg) = iter.next() {
+        if arg.starts_with('-') {
+            let takes_value = matches!(arg.as_str(), "--bursts" | "--workers" | "--json" | "--csv");
+            flags.push(arg);
+            if takes_value {
+                if let Some(value) = iter.next() {
+                    flags.push(value);
+                }
+            }
+        } else {
+            positionals.push(arg);
+        }
     }
+    (positionals, flags)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
-    let rows: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let cols: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let geometry = figure_geometry();
-    let n = 64;
+    let (positionals, flags) = split_args(std::env::args().skip(1));
+    let options = match HarnessOptions::parse(flags) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            usage_exit();
+        }
+    };
+    if options.help {
+        println!("{}", HarnessOptions::usage_for("fig1", &SUPPORTED_FLAGS));
+        println!("\npositional arguments: [a|b|c|d|all] [rows cols] (grid corner size)");
+        return;
+    }
+    if options.bursts != tbi_bench::DEFAULT_BURSTS || options.no_refresh {
+        eprintln!(
+            "error: fig1 always uses the paper's miniature device; \
+             --full/--bursts/--no-refresh are not supported"
+        );
+        usage_exit();
+    }
+    let which = positionals.first().map(String::as_str).unwrap_or("all");
+    if !matches!(which, "a" | "b" | "c" | "d" | "all") {
+        usage_exit();
+    }
+    let rows: u32 = positionals.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cols: u32 = positionals.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
 
-    let print = |title: &str, mapping: &dyn DramMapping| {
-        println!("{title}");
-        println!("{}", render_grid(mapping, rows, cols));
+    let config = figure_config();
+    // A 64-dimension triangle (2080 bursts) — the largest size that keeps the
+    // miniature device comfortably filled.
+    let spec = InterleaverSpec::from_burst_count(2_080);
+
+    let mut scenarios = Vec::new();
+    for (letter, kind, caption) in PANELS
+        .iter()
+        .filter(|(letter, _, _)| which == "all" || which == *letter)
+    {
+        let scenario =
+            Scenario::custom(config.clone(), *kind, spec).with_id(format!("fig1{letter}"));
+        let mapping = match scenario.build_mapping() {
+            Ok(mapping) => mapping,
+            Err(error) => {
+                eprintln!("error: {error}");
+                std::process::exit(1);
+            }
+        };
+        println!("{caption}");
+        println!("{}", render_grid(mapping.as_ref(), rows, cols));
+        scenarios.push(scenario);
+    }
+
+    let experiment = Experiment::new(scenarios);
+    let experiment = if options.workers == 0 {
+        experiment.with_auto_workers()
+    } else {
+        experiment.with_workers(options.workers)
+    };
+    let records = match experiment.run() {
+        Ok(records) => records,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
     };
 
-    if matches!(which, "a" | "all") {
-        let mapping = BankRoundRobinMapping::new(geometry, n).expect("figure geometry fits");
-        print("Fig. 1a — bank round-robin (diagonal) pattern:", &mapping);
-    }
-    if matches!(which, "b" | "all") {
-        let mapping = TiledMapping::new(geometry, n).expect("figure geometry fits");
-        print("Fig. 1b — page tiling (one page per rectangle):", &mapping);
-    }
-    if matches!(which, "c" | "all") {
-        let mapping = OptimizedMapping::without_stagger(geometry, n).expect("figure geometry fits");
-        print("Fig. 1c — banks, columns and rows combined:", &mapping);
-    }
-    if matches!(which, "d" | "all") {
-        let mapping = OptimizedMapping::new(geometry, n).expect("figure geometry fits");
-        print(
-            "Fig. 1d — full optimized mapping with bank-dependent column offset:",
-            &mapping,
+    println!(
+        "Minimum-phase utilization on the miniature device ({} bursts):",
+        spec.burst_count()
+    );
+    for record in &records {
+        println!(
+            "  {:<22} {:>6.2} %",
+            record.mapping,
+            record.min_utilization * 100.0
         );
     }
-    if !matches!(which, "a" | "b" | "c" | "d" | "all") {
-        eprintln!("usage: fig1 [a|b|c|d|all] [rows cols]");
-        std::process::exit(2);
+
+    if let Err(error) = options.write_outputs(&records) {
+        eprintln!("error: {error}");
+        std::process::exit(1);
     }
 }

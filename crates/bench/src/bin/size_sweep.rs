@@ -3,24 +3,53 @@
 //! the minimum-phase utilization of both Table I mappings.
 //!
 //! ```text
-//! cargo run --release -p tbi_bench --bin size_sweep [-- --no-refresh]
+//! cargo run --release -p tbi_bench --bin size_sweep [-- --no-refresh | --workers <n> |
+//!                                                      --json <p> | --csv <p>]
 //! ```
+//!
+//! Declared as one three-axis [`tbi_exp::SweepGrid`]: the bandwidth-sensitive
+//! presets × four interleaver sizes × the Table I mapping pair.
+
+use tbi_dram::DramStandard;
+use tbi_exp::SweepGrid;
+use tbi_interleaver::MappingKind;
 
 use tbi_bench::HarnessOptions;
-use tbi_dram::{DramConfig, DramStandard};
-use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
 
-const SIZES: &[u64] = &[100_000, 400_000, 1_600_000, 6_400_000];
+const SIZES: [u64; 4] = [100_000, 400_000, 1_600_000, 6_400_000];
+
+const SUPPORTED_FLAGS: [&str; 4] = ["--no-refresh", "--workers", "--json", "--csv"];
 
 fn main() {
-    let mut options = match HarnessOptions::parse(std::env::args().skip(1)) {
+    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
         Ok(options) => options,
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: size_sweep [--no-refresh]");
+            eprintln!(
+                "{}",
+                HarnessOptions::usage_for("size_sweep", &SUPPORTED_FLAGS)
+            );
             std::process::exit(2);
         }
     };
+    if options.help {
+        println!(
+            "{}",
+            HarnessOptions::usage_for("size_sweep", &SUPPORTED_FLAGS)
+        );
+        return;
+    }
+    if options.bursts != tbi_bench::DEFAULT_BURSTS {
+        eprintln!(
+            "error: size_sweep sweeps a fixed list of interleaver sizes; \
+             --full/--bursts are not supported"
+        );
+        eprintln!(
+            "{}",
+            HarnessOptions::usage_for("size_sweep", &SUPPORTED_FLAGS)
+        );
+        std::process::exit(2);
+    }
 
     // The sweep focuses on the most bandwidth-sensitive configurations.
     let configs = [
@@ -28,6 +57,27 @@ fn main() {
         (DramStandard::Lpddr4, 4266),
         (DramStandard::Lpddr5, 8533),
     ];
+    let mut grid = SweepGrid::new()
+        .sizes(SIZES)
+        .mappings(MappingKind::TABLE1)
+        .refresh(options.refresh_setting());
+    for (standard, rate) in configs {
+        grid = match grid.preset(standard, rate) {
+            Ok(grid) => grid,
+            Err(error) => {
+                eprintln!("error: {error}");
+                std::process::exit(1);
+            }
+        };
+    }
+
+    let records = match options.run_grid(grid) {
+        Ok(records) => records,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    };
 
     println!("Interleaver-size sweep: minimum-phase utilization");
     println!();
@@ -36,28 +86,23 @@ fn main() {
         "DRAM", "bursts", "row-major", "optimized"
     );
     println!("{}", "-".repeat(54));
-    for (standard, rate) in configs {
-        let dram = DramConfig::preset(standard, rate).expect("preset exists");
-        for &size in SIZES {
-            options.bursts = size;
-            let evaluator = ThroughputEvaluator::with_controller(
-                dram.clone(),
-                InterleaverSpec::from_burst_count(size),
-                options.controller(),
-            );
-            let row_major = evaluator
-                .evaluate(MappingKind::RowMajor)
-                .expect("row-major evaluation");
-            let optimized = evaluator
-                .evaluate(MappingKind::Optimized)
-                .expect("optimized evaluation");
-            println!(
-                "{:<14} {:>12} {:>10.2} % {:>10.2} %",
-                dram.label(),
-                size,
-                row_major.min_utilization() * 100.0,
-                optimized.min_utilization() * 100.0
-            );
-        }
+    // Grid nesting is DRAM → size → mapping, so the pair for one
+    // (configuration, size) cell is adjacent.
+    for pair in records.chunks(2) {
+        let [row_major, optimized] = pair else {
+            unreachable!("TABLE1 sweeps produce records in pairs");
+        };
+        println!(
+            "{:<14} {:>12} {:>10.2} % {:>10.2} %",
+            row_major.dram_label,
+            row_major.bursts,
+            row_major.min_utilization * 100.0,
+            optimized.min_utilization * 100.0
+        );
+    }
+
+    if let Err(error) = options.write_outputs(&records) {
+        eprintln!("error: {error}");
+        std::process::exit(1);
     }
 }

@@ -3,8 +3,13 @@
 //! DRAM configurations.
 //!
 //! ```text
-//! cargo run --release -p tbi_bench --bin table1 [-- --full | --bursts <n> | --no-refresh]
+//! cargo run --release -p tbi_bench --bin table1 [-- --full | --bursts <n> | --no-refresh |
+//!                                                  --workers <n> | --json <p> | --csv <p>]
 //! ```
+//!
+//! The sweep is declared as a [`tbi_exp::SweepGrid`] (all presets × the
+//! Table I mapping pair) and executed in parallel; `--json`/`--csv` emit the
+//! records as machine-readable artifacts.
 
 use tbi_bench::{format_table1_row, run_table1, HarnessOptions};
 
@@ -13,8 +18,20 @@ fn main() {
         Ok(options) => options,
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("usage: table1 [--full] [--bursts <n>] [--no-refresh]");
+            eprintln!("{}", HarnessOptions::usage("table1"));
             std::process::exit(2);
+        }
+    };
+    if options.help {
+        println!("{}", HarnessOptions::usage("table1"));
+        return;
+    }
+
+    let records = match run_table1(&options) {
+        Ok(records) => records,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
         }
     };
 
@@ -35,14 +52,14 @@ fn main() {
     );
     println!("{}", "-".repeat(62));
 
-    let mut improvements = Vec::new();
-    for (label, row_major, optimized) in run_table1(&options) {
-        println!("{}", format_table1_row(&label, &row_major, &optimized));
-        improvements.push((
-            label,
-            row_major.min_utilization(),
-            optimized.min_utilization(),
-        ));
+    for pair in records.chunks(2) {
+        let [row_major, optimized] = pair else {
+            unreachable!("run_table1 returns records in pairs");
+        };
+        println!(
+            "{}",
+            format_table1_row(&row_major.dram_label, row_major, optimized)
+        );
     }
 
     println!();
@@ -52,12 +69,21 @@ fn main() {
         "DRAM", "Row-Major", "Optimized", "Speedup"
     );
     println!("{}", "-".repeat(48));
-    for (label, base, opt) in improvements {
+    for pair in records.chunks(2) {
+        let [row_major, optimized] = pair else {
+            unreachable!("run_table1 returns records in pairs");
+        };
         println!(
-            "{label:<14} {:>8.2} % {:>8.2} % {:>7.2}x",
-            base * 100.0,
-            opt * 100.0,
-            opt / base.max(1e-9)
+            "{:<14} {:>8.2} % {:>8.2} % {:>7.2}x",
+            row_major.dram_label,
+            row_major.min_utilization * 100.0,
+            optimized.min_utilization * 100.0,
+            optimized.speedup_over(row_major)
         );
+    }
+
+    if let Err(error) = options.write_outputs(&records) {
+        eprintln!("error: {error}");
+        std::process::exit(1);
     }
 }

@@ -1,8 +1,17 @@
 //! Shared helpers for the `tbi-bench` table/figure regeneration binaries and
 //! Criterion benchmarks.
+//!
+//! The heavy lifting lives in [`tbi_exp`]: the binaries declare a
+//! [`SweepGrid`], run it through an [`Experiment`](tbi_exp::Experiment) and
+//! format/serialize the resulting [`Record`]s.  This crate only hosts the
+//! common command-line surface ([`HarnessOptions`]) and the Table-I-style
+//! text formatting.
 
-use tbi_dram::{ControllerConfig, DramConfig, RefreshMode};
-use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator, UtilizationReport};
+use std::path::PathBuf;
+
+use tbi_dram::{ControllerConfig, RefreshMode};
+use tbi_exp::{serialize, ExpError, Record, RefreshSetting, SweepGrid};
+use tbi_interleaver::MappingKind;
 
 /// Default interleaver size (in DRAM bursts) used by the harness binaries.
 ///
@@ -13,38 +22,56 @@ use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator, Utiliza
 pub const DEFAULT_BURSTS: u64 = 1 << 20;
 
 /// Command-line options shared by the harness binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HarnessOptions {
     /// Interleaver size in bursts.
     pub bursts: u64,
     /// Disable refresh (the paper's in-text experiment).
     pub no_refresh: bool,
-}
-
-impl Default for HarnessOptions {
-    fn default() -> Self {
-        Self {
-            bursts: DEFAULT_BURSTS,
-            no_refresh: false,
-        }
-    }
+    /// Worker threads for the experiment run (0 = automatic).
+    pub workers: usize,
+    /// Write the records as JSON to this path.
+    pub json: Option<PathBuf>,
+    /// Write the records as CSV to this path.
+    pub csv: Option<PathBuf>,
+    /// `--help`/`-h` was requested; the binary should print usage and exit.
+    pub help: bool,
 }
 
 impl HarnessOptions {
+    /// The defaults used when no flags are given.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bursts: DEFAULT_BURSTS,
+            no_refresh: false,
+            workers: 0,
+            json: None,
+            csv: None,
+            help: false,
+        }
+    }
+
     /// Parses options from command-line arguments.
     ///
     /// Supported flags: `--full` (12.5 M bursts as in the paper),
-    /// `--bursts <n>`, `--no-refresh`.
+    /// `--bursts <n>`, `--no-refresh`, `--workers <n>`, `--json <path>`,
+    /// `--csv <path>` and `--help`/`-h` (which sets [`HarnessOptions::help`]
+    /// and stops parsing).
     ///
     /// # Errors
     ///
     /// Returns a human-readable error message for unknown flags or malformed
     /// numbers.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
-        let mut options = Self::default();
+        let mut options = Self::new();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
+                "--help" | "-h" => {
+                    options.help = true;
+                    return Ok(options);
+                }
                 "--full" => options.bursts = 12_500_000,
                 "--no-refresh" => options.no_refresh = true,
                 "--bursts" => {
@@ -58,10 +85,99 @@ impl HarnessOptions {
                         return Err("burst count must be non-zero".to_string());
                     }
                 }
+                "--workers" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--workers requires a value".to_string())?;
+                    options.workers = value
+                        .parse()
+                        .map_err(|e| format!("invalid worker count `{value}`: {e}"))?;
+                }
+                "--json" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--json requires a path".to_string())?;
+                    options.json = Some(PathBuf::from(value));
+                }
+                "--csv" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--csv requires a path".to_string())?;
+                    options.csv = Some(PathBuf::from(value));
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
         Ok(options)
+    }
+
+    /// Usage text for a harness binary accepting the full shared flag set.
+    #[must_use]
+    pub fn usage(binary: &str) -> String {
+        Self::usage_for(
+            binary,
+            &[
+                "--full",
+                "--bursts",
+                "--no-refresh",
+                "--workers",
+                "--json",
+                "--csv",
+            ],
+        )
+    }
+
+    /// Usage text for a harness binary accepting only a subset of the shared
+    /// flags (`flags` lists them by name, e.g. `"--workers"`); `--help` is
+    /// always included.
+    #[must_use]
+    pub fn usage_for(binary: &str, flags: &[&str]) -> String {
+        let known: [(&str, &str, String); 6] = [
+            (
+                "--full",
+                "--full",
+                "evaluate the paper's exact 12.5 M-burst interleaver".to_string(),
+            ),
+            (
+                "--bursts",
+                "--bursts <n>",
+                format!("interleaver size in DRAM bursts (default {DEFAULT_BURSTS})"),
+            ),
+            (
+                "--no-refresh",
+                "--no-refresh",
+                "disable DRAM refresh (the paper's in-text experiment)".to_string(),
+            ),
+            (
+                "--workers",
+                "--workers <n>",
+                "worker threads for the sweep (default: all cores)".to_string(),
+            ),
+            (
+                "--json",
+                "--json <path>",
+                "write the records as JSON to <path>".to_string(),
+            ),
+            (
+                "--csv",
+                "--csv <path>",
+                "write the records as CSV to <path>".to_string(),
+            ),
+        ];
+        let selected: Vec<_> = known
+            .iter()
+            .filter(|(name, _, _)| flags.contains(name))
+            .collect();
+        let mut out = format!("usage: {binary}");
+        for (_, form, _) in &selected {
+            out.push_str(&format!(" [{form}]"));
+        }
+        out.push_str(" [--help]\n\noptions:\n");
+        for (_, form, help) in &selected {
+            out.push_str(&format!("  {form:<16} {help}\n"));
+        }
+        out.push_str("  -h, --help       print this help");
+        out
     }
 
     /// The controller configuration implied by the options.
@@ -73,57 +189,79 @@ impl HarnessOptions {
         }
     }
 
-    /// Builds a [`ThroughputEvaluator`] for one DRAM configuration.
+    /// The refresh-axis setting implied by `--no-refresh`.
     #[must_use]
-    pub fn evaluator(&self, dram: DramConfig) -> ThroughputEvaluator {
-        ThroughputEvaluator::with_controller(
-            dram,
-            InterleaverSpec::from_burst_count(self.bursts),
-            self.controller(),
-        )
+    pub fn refresh_setting(&self) -> RefreshSetting {
+        if self.no_refresh {
+            RefreshSetting::Disabled
+        } else {
+            RefreshSetting::Standard
+        }
+    }
+
+    /// Runs a grid through an [`Experiment`](tbi_exp::Experiment) with the
+    /// configured worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExpError`] from the first failing scenario.
+    pub fn run_grid(&self, grid: SweepGrid) -> Result<Vec<Record>, ExpError> {
+        let experiment = grid.into_experiment();
+        let experiment = if self.workers == 0 {
+            experiment.with_auto_workers()
+        } else {
+            experiment.with_workers(self.workers)
+        };
+        experiment.run()
+    }
+
+    /// Writes the requested JSON/CSV artifacts, reporting each written path
+    /// on standard error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError::Io`] if a file cannot be written.
+    pub fn write_outputs(&self, records: &[Record]) -> Result<(), ExpError> {
+        if let Some(path) = &self.json {
+            serialize::write_json(path, records)?;
+            eprintln!("wrote {} records to {}", records.len(), path.display());
+        }
+        if let Some(path) = &self.csv {
+            serialize::write_csv(path, records)?;
+            eprintln!("wrote {} records to {}", records.len(), path.display());
+        }
+        Ok(())
     }
 }
 
 /// Formats one Table-I-style row: configuration, write/read utilization for
-/// the row-major and the optimized mapping.
+/// the row-major and the optimized mapping records.
 #[must_use]
-pub fn format_table1_row(
-    label: &str,
-    row_major: &UtilizationReport,
-    optimized: &UtilizationReport,
-) -> String {
+pub fn format_table1_row(label: &str, row_major: &Record, optimized: &Record) -> String {
     format!(
         "{label:<14} {:>8.2} % {:>8.2} % {:>10.2} % {:>8.2} %",
-        row_major.write_utilization() * 100.0,
-        row_major.read_utilization() * 100.0,
-        optimized.write_utilization() * 100.0,
-        optimized.read_utilization() * 100.0,
+        row_major.write_utilization * 100.0,
+        row_major.read_utilization * 100.0,
+        optimized.write_utilization * 100.0,
+        optimized.read_utilization * 100.0,
     )
 }
 
-/// Runs the Table I pair for every preset configuration and returns the
-/// reports in the paper's row order.
+/// Runs the Table I pair for every preset configuration through a
+/// [`SweepGrid`] and returns the records in the paper's row order:
+/// `(row-major, optimized)` adjacent per configuration.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a preset cannot be evaluated (all presets are sized to fit).
-#[must_use]
-pub fn run_table1(options: &HarnessOptions) -> Vec<(String, UtilizationReport, UtilizationReport)> {
-    tbi_dram::standards::ALL_CONFIGS
-        .iter()
-        .map(|(standard, rate)| {
-            let dram = DramConfig::preset(*standard, *rate).expect("preset exists");
-            let label = dram.label();
-            let evaluator = options.evaluator(dram);
-            let row_major = evaluator
-                .evaluate(MappingKind::RowMajor)
-                .expect("row-major evaluation");
-            let optimized = evaluator
-                .evaluate(MappingKind::Optimized)
-                .expect("optimized evaluation");
-            (label, row_major, optimized)
-        })
-        .collect()
+/// Returns [`ExpError`] naming the failing scenario, e.g. when a custom
+/// `--bursts` size does not fit one of the presets.
+pub fn run_table1(options: &HarnessOptions) -> Result<Vec<Record>, ExpError> {
+    let grid = SweepGrid::new()
+        .all_presets()?
+        .size(options.bursts)
+        .mappings(MappingKind::TABLE1)
+        .refresh(options.refresh_setting());
+    options.run_grid(grid)
 }
 
 #[cfg(test)]
@@ -135,6 +273,9 @@ mod tests {
         let options = HarnessOptions::parse(Vec::<String>::new()).unwrap();
         assert_eq!(options.bursts, DEFAULT_BURSTS);
         assert!(!options.no_refresh);
+        assert_eq!(options.workers, 0);
+        assert!(options.json.is_none() && options.csv.is_none());
+        assert!(!options.help);
     }
 
     #[test]
@@ -148,22 +289,113 @@ mod tests {
     }
 
     #[test]
+    fn parse_output_and_worker_flags() {
+        let options = HarnessOptions::parse(
+            ["--json", "out.json", "--csv", "out.csv", "--workers", "3"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(
+            options.json.as_deref(),
+            Some(std::path::Path::new("out.json"))
+        );
+        assert_eq!(
+            options.csv.as_deref(),
+            Some(std::path::Path::new("out.csv"))
+        );
+        assert_eq!(options.workers, 3);
+    }
+
+    #[test]
+    fn parse_help_short_circuits() {
+        for flag in ["--help", "-h"] {
+            let options = HarnessOptions::parse([flag.to_string(), "--nope".to_string()]).unwrap();
+            assert!(options.help, "{flag} should set help");
+        }
+    }
+
+    #[test]
     fn parse_rejects_unknown_and_malformed() {
         assert!(HarnessOptions::parse(["--nope"].map(String::from)).is_err());
         assert!(HarnessOptions::parse(["--bursts"].map(String::from)).is_err());
         assert!(HarnessOptions::parse(["--bursts", "abc"].map(String::from)).is_err());
         assert!(HarnessOptions::parse(["--bursts", "0"].map(String::from)).is_err());
+        assert!(HarnessOptions::parse(["--workers", "x"].map(String::from)).is_err());
+        assert!(HarnessOptions::parse(["--json"].map(String::from)).is_err());
+        assert!(HarnessOptions::parse(["--csv"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let usage = HarnessOptions::usage("table1");
+        for flag in [
+            "--full",
+            "--bursts",
+            "--no-refresh",
+            "--workers",
+            "--json",
+            "--csv",
+            "--help",
+        ] {
+            assert!(usage.contains(flag), "usage missing {flag}");
+        }
+        assert!(usage.starts_with("usage: table1"));
+    }
+
+    #[test]
+    fn usage_for_lists_only_the_supported_flags() {
+        let usage = HarnessOptions::usage_for("fig1", &["--workers", "--json", "--csv"]);
+        for flag in ["--workers", "--json", "--csv", "--help"] {
+            assert!(usage.contains(flag), "usage missing {flag}");
+        }
+        for flag in ["--full", "--bursts", "--no-refresh"] {
+            assert!(!usage.contains(flag), "usage wrongly lists {flag}");
+        }
     }
 
     #[test]
     fn controller_reflects_refresh_flag() {
-        let mut options = HarnessOptions::default();
+        let mut options = HarnessOptions::new();
         assert_eq!(options.controller().refresh_mode, None);
+        assert_eq!(options.refresh_setting(), RefreshSetting::Standard);
         options.no_refresh = true;
         assert_eq!(
             options.controller().refresh_mode,
             Some(tbi_dram::RefreshMode::Disabled)
         );
+        assert_eq!(options.refresh_setting(), RefreshSetting::Disabled);
+    }
+
+    #[test]
+    fn run_table1_returns_adjacent_pairs_in_paper_order() {
+        let options = HarnessOptions {
+            bursts: 2_000,
+            ..HarnessOptions::new()
+        };
+        let records = run_table1(&options).unwrap();
+        assert_eq!(records.len(), 2 * tbi_dram::standards::ALL_CONFIGS.len());
+        for (pair, (standard, rate)) in records
+            .chunks(2)
+            .zip(tbi_dram::standards::ALL_CONFIGS.iter())
+        {
+            let label = format!("{}-{rate}", standard.name());
+            assert_eq!(pair[0].dram_label, label);
+            assert_eq!(pair[0].mapping, "row-major");
+            assert_eq!(pair[1].dram_label, label);
+            assert_eq!(pair[1].mapping, "optimized");
+        }
+    }
+
+    #[test]
+    fn run_table1_propagates_oversize_errors() {
+        let options = HarnessOptions {
+            bursts: 100_000_000_000,
+            ..HarnessOptions::new()
+        };
+        let err = run_table1(&options).unwrap_err();
+        let message = err.to_string();
+        assert!(matches!(err, ExpError::Scenario { .. }));
+        assert!(message.contains("scenario"), "got: {message}");
+        assert!(message.contains("bursts"), "got: {message}");
     }
 
     #[test]
@@ -171,12 +403,16 @@ mod tests {
         let options = HarnessOptions {
             bursts: 5_000,
             no_refresh: true,
+            ..HarnessOptions::new()
         };
-        let dram = DramConfig::preset(tbi_dram::DramStandard::Ddr3, 800).unwrap();
-        let evaluator = options.evaluator(dram);
-        let a = evaluator.evaluate(MappingKind::RowMajor).unwrap();
-        let b = evaluator.evaluate(MappingKind::Optimized).unwrap();
-        let row = format_table1_row("DDR3-800", &a, &b);
+        let grid = SweepGrid::new()
+            .preset(tbi_dram::DramStandard::Ddr3, 800)
+            .unwrap()
+            .size(options.bursts)
+            .mappings(MappingKind::TABLE1)
+            .refresh(options.refresh_setting());
+        let records = options.run_grid(grid).unwrap();
+        let row = format_table1_row("DDR3-800", &records[0], &records[1]);
         assert!(row.starts_with("DDR3-800"));
         assert_eq!(row.matches('%').count(), 4);
     }

@@ -1,0 +1,104 @@
+//! Structured results collected by experiments.
+
+/// Link-level error rates from a scenario's optional channel/FEC stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkRecord {
+    /// Frame (code word) error rate after decoding.
+    pub frame_error_rate: f64,
+    /// Symbol error rate on the channel (before decoding).
+    pub channel_symbol_error_rate: f64,
+    /// Residual (post-decoding) symbol error rate.
+    pub residual_symbol_error_rate: f64,
+}
+
+/// The typed result of one scenario run.
+///
+/// Records compare bit-exactly ([`PartialEq`]): the DRAM simulation is
+/// deterministic, so two runs of the same scenario — regardless of worker
+/// count — produce identical records.  They serialize to JSON and CSV via
+/// [`crate::serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Stable ID of the scenario that produced this record.
+    pub scenario_id: String,
+    /// DRAM configuration label, e.g. `DDR4-3200`.
+    pub dram_label: String,
+    /// Mapping scheme name, e.g. `optimized`.
+    pub mapping: String,
+    /// Requested interleaver size in bursts.
+    pub bursts: u64,
+    /// Dimension `n` of the triangular index space.
+    pub dimension: u32,
+    /// Whether DRAM refresh was disabled for the run.
+    pub refresh_disabled: bool,
+    /// Write-phase (row-wise) data-bus utilization in `[0, 1]`.
+    pub write_utilization: f64,
+    /// Read-phase (column-wise) data-bus utilization in `[0, 1]`.
+    pub read_utilization: f64,
+    /// Minimum of both phases — the throughput-limiting utilization (the
+    /// bold column of the paper's Table I).
+    pub min_utilization: f64,
+    /// Sustained interleaver throughput in Gbit/s.
+    pub sustained_gbps: f64,
+    /// Row-buffer hit rate during the write phase, in `[0, 1]`.
+    pub write_row_hit_rate: f64,
+    /// Row-buffer hit rate during the read phase, in `[0, 1]`.
+    pub read_row_hit_rate: f64,
+    /// Activate commands issued across both phases.
+    pub activates: u64,
+    /// Estimated total energy of both phases in millijoules.
+    pub energy_total_mj: f64,
+    /// Estimated energy per transferred byte in nanojoules.
+    pub energy_nj_per_byte: f64,
+    /// Error rates of the optional channel/FEC stage.
+    pub link: Option<LinkRecord>,
+}
+
+impl Record {
+    /// Speedup of this record's minimum utilization over a baseline record
+    /// (e.g. optimized vs. row-major), guarding against division by zero.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &Record) -> f64 {
+        self.min_utilization / baseline.min_utilization.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(id: &str, min: f64) -> Record {
+        Record {
+            scenario_id: id.to_string(),
+            dram_label: "DDR4-3200".to_string(),
+            mapping: "optimized".to_string(),
+            bursts: 1000,
+            dimension: 45,
+            refresh_disabled: false,
+            write_utilization: 0.97,
+            read_utilization: min,
+            min_utilization: min,
+            sustained_gbps: 100.0 * min,
+            write_row_hit_rate: 0.9,
+            read_row_hit_rate: 0.8,
+            activates: 123,
+            energy_total_mj: 1.5,
+            energy_nj_per_byte: 2.5,
+            link: None,
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_min_utilizations() {
+        let base = sample("a", 0.4);
+        let opt = sample("b", 0.96);
+        assert!((opt.speedup_over(&base) - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_survives_zero_baseline() {
+        let base = sample("a", 0.0);
+        let opt = sample("b", 0.96);
+        assert!(opt.speedup_over(&base).is_finite());
+    }
+}

@@ -1,0 +1,388 @@
+//! One fully specified evaluation run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tbi_dram::{
+    ControllerConfig, DramConfig, DramStandard, EnergyParams, EnergyReport, RefreshMode,
+};
+use tbi_interleaver::mapping::DramMapping;
+use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
+use tbi_satcom::{GilbertElliott, LinkConfig, LinkSimulation};
+
+use crate::record::{LinkRecord, Record};
+use crate::ExpError;
+
+/// An optional end-to-end channel/FEC stage attached to a scenario.
+///
+/// When present, [`Scenario::run`] additionally pushes Reed–Solomon code
+/// words through a [`GilbertElliott`] burst channel (seeded, so results are
+/// reproducible) and reports the link-level error rates in the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStage {
+    /// Code and interleaver-choice parameters of the link simulation.
+    pub config: LinkConfig,
+    /// Burst (bad-state) error rate of the Gilbert–Elliott optical channel.
+    pub burst_error_rate: f64,
+    /// RNG seed; identical seeds reproduce identical link records.
+    pub seed: u64,
+}
+
+impl LinkStage {
+    /// Creates a link stage with the default CCSDS-style code and the given
+    /// channel burst error rate.
+    #[must_use]
+    pub fn new(burst_error_rate: f64) -> Self {
+        Self {
+            config: LinkConfig::default(),
+            burst_error_rate,
+            seed: 0x7B1_5EED,
+        }
+    }
+
+    /// Replaces the link-simulation configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: LinkConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the link simulation and summarizes it as a [`LinkRecord`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError::Satcom`] if the code or link configuration is
+    /// invalid.
+    pub fn run(&self) -> Result<LinkRecord, ExpError> {
+        let simulation = LinkSimulation::new(self.config)?;
+        let channel = GilbertElliott::optical_downlink(self.burst_error_rate);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let report = simulation.run(&channel, &mut rng)?;
+        Ok(LinkRecord {
+            frame_error_rate: report.frame_error_rate(),
+            channel_symbol_error_rate: report.channel_symbol_error_rate(),
+            residual_symbol_error_rate: report.residual_symbol_error_rate(),
+        })
+    }
+}
+
+/// One fully specified run: DRAM configuration, mapping scheme, interleaver
+/// sizing, controller options and an optional link stage.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::DramStandard;
+/// use tbi_interleaver::{InterleaverSpec, MappingKind};
+/// use tbi_exp::Scenario;
+///
+/// # fn main() -> Result<(), tbi_exp::ExpError> {
+/// let scenario = Scenario::preset(
+///     DramStandard::Lpddr4,
+///     4266,
+///     MappingKind::Optimized,
+///     InterleaverSpec::from_burst_count(5_000),
+/// )?;
+/// let record = scenario.run()?;
+/// assert_eq!(record.dram_label, "LPDDR4-4266");
+/// assert!(record.min_utilization > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    dram: DramConfig,
+    mapping: MappingKind,
+    spec: InterleaverSpec,
+    controller: ControllerConfig,
+    link: Option<LinkStage>,
+    custom_id: Option<String>,
+}
+
+impl Scenario {
+    /// Creates a scenario on one of the paper's preset DRAM configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError::Dram`] if the (standard, data rate) pair is not a
+    /// known preset.
+    pub fn preset(
+        standard: DramStandard,
+        data_rate_mtps: u32,
+        mapping: MappingKind,
+        spec: InterleaverSpec,
+    ) -> Result<Self, ExpError> {
+        Ok(Self::custom(
+            DramConfig::preset(standard, data_rate_mtps)?,
+            mapping,
+            spec,
+        ))
+    }
+
+    /// Creates a scenario on an arbitrary (e.g. builder-produced) DRAM
+    /// configuration.
+    #[must_use]
+    pub fn custom(dram: DramConfig, mapping: MappingKind, spec: InterleaverSpec) -> Self {
+        Self {
+            dram,
+            mapping,
+            spec,
+            controller: ControllerConfig::default(),
+            link: None,
+            custom_id: None,
+        }
+    }
+
+    /// Replaces the controller configuration.
+    #[must_use]
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Disables refresh (the paper's in-text experiment, legal when the
+    /// interleaver data lifetime stays below the DRAM refresh period).
+    #[must_use]
+    pub fn without_refresh(mut self) -> Self {
+        self.controller.refresh_mode = Some(RefreshMode::Disabled);
+        self
+    }
+
+    /// Attaches a channel/FEC stage whose error rates are reported alongside
+    /// the DRAM metrics.
+    #[must_use]
+    pub fn with_link(mut self, link: LinkStage) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Overrides the derived scenario ID.
+    #[must_use]
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.custom_id = Some(id.into());
+        self
+    }
+
+    /// The stable scenario ID: either the explicit override or
+    /// `<label>/b<bursts>/<mapping>/refresh=<mode>`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        if let Some(id) = &self.custom_id {
+            return id.clone();
+        }
+        format!(
+            "{}/b{}/{}/refresh={}",
+            self.dram.label(),
+            self.spec.burst_count(),
+            self.mapping.name(),
+            refresh_tag(self.controller.refresh_mode)
+        )
+    }
+
+    /// The DRAM configuration under evaluation.
+    #[must_use]
+    pub fn dram(&self) -> &DramConfig {
+        &self.dram
+    }
+
+    /// The mapping scheme under evaluation.
+    #[must_use]
+    pub fn mapping(&self) -> MappingKind {
+        self.mapping
+    }
+
+    /// The interleaver sizing under evaluation.
+    #[must_use]
+    pub fn spec(&self) -> &InterleaverSpec {
+        &self.spec
+    }
+
+    /// The controller configuration used by the run.
+    #[must_use]
+    pub fn controller(&self) -> &ControllerConfig {
+        &self.controller
+    }
+
+    /// The optional link stage.
+    #[must_use]
+    pub fn link(&self) -> Option<&LinkStage> {
+        self.link.as_ref()
+    }
+
+    /// The throughput evaluator implied by the scenario.
+    #[must_use]
+    pub fn evaluator(&self) -> ThroughputEvaluator {
+        ThroughputEvaluator::with_controller(self.dram.clone(), self.spec, self.controller)
+    }
+
+    /// Builds the scenario's DRAM mapping (used e.g. to render Figure 1
+    /// grids without running a simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError::Interleaver`] if the index space does not fit the
+    /// device under this scheme.
+    pub fn build_mapping(&self) -> Result<Box<dyn DramMapping>, ExpError> {
+        Ok(self.mapping.build(&self.dram, self.spec.dimension())?)
+    }
+
+    /// Runs the scenario and collects a structured [`Record`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError`] if the mapping cannot be built, the interleaver
+    /// does not fit the device, or the optional link stage fails.
+    pub fn run(&self) -> Result<Record, ExpError> {
+        let report = self.evaluator().evaluate(self.mapping)?;
+        let mut totals = report.write.stats.clone();
+        totals.merge(&report.read.stats);
+        let energy =
+            EnergyReport::from_stats(&totals, &self.dram, &EnergyParams::for_config(&self.dram));
+        let link = self.link.as_ref().map(LinkStage::run).transpose()?;
+        Ok(Record {
+            scenario_id: self.id(),
+            dram_label: self.dram.label(),
+            mapping: self.mapping.name().to_string(),
+            bursts: self.spec.burst_count(),
+            dimension: self.spec.dimension(),
+            refresh_disabled: self.controller.refresh_mode == Some(RefreshMode::Disabled),
+            write_utilization: report.write.utilization,
+            read_utilization: report.read.utilization,
+            min_utilization: report.min_utilization(),
+            sustained_gbps: report.sustained_throughput_gbps(),
+            write_row_hit_rate: report.write.stats.row_hit_rate(),
+            read_row_hit_rate: report.read.stats.row_hit_rate(),
+            activates: totals.activates,
+            energy_total_mj: energy.total_mj,
+            energy_nj_per_byte: energy.nj_per_byte,
+            link,
+        })
+    }
+}
+
+/// Short textual tag for a refresh-mode override (used in scenario IDs).
+fn refresh_tag(mode: Option<RefreshMode>) -> &'static str {
+    match mode {
+        None => "default",
+        Some(RefreshMode::AllBank) => "all-bank",
+        Some(RefreshMode::PerBank) => "per-bank",
+        Some(RefreshMode::Disabled) => "off",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> InterleaverSpec {
+        InterleaverSpec::from_burst_count(2_000)
+    }
+
+    #[test]
+    fn preset_scenario_derives_a_stable_id() {
+        let s = Scenario::preset(
+            DramStandard::Ddr4,
+            3200,
+            MappingKind::Optimized,
+            small_spec(),
+        )
+        .unwrap();
+        assert_eq!(s.id(), "DDR4-3200/b2000/optimized/refresh=default");
+        assert_eq!(
+            s.without_refresh().id(),
+            "DDR4-3200/b2000/optimized/refresh=off"
+        );
+    }
+
+    #[test]
+    fn unknown_preset_is_rejected() {
+        let err = Scenario::preset(
+            DramStandard::Ddr4,
+            1234,
+            MappingKind::RowMajor,
+            small_spec(),
+        );
+        assert!(matches!(err, Err(ExpError::Dram(_))));
+    }
+
+    #[test]
+    fn id_override_wins() {
+        let s = Scenario::preset(DramStandard::Ddr3, 800, MappingKind::RowMajor, small_spec())
+            .unwrap()
+            .with_id("custom");
+        assert_eq!(s.id(), "custom");
+    }
+
+    #[test]
+    fn run_produces_consistent_record() {
+        let s = Scenario::preset(
+            DramStandard::Lpddr4,
+            4266,
+            MappingKind::Optimized,
+            small_spec(),
+        )
+        .unwrap();
+        let record = s.run().unwrap();
+        assert_eq!(record.scenario_id, s.id());
+        assert_eq!(record.mapping, "optimized");
+        assert_eq!(record.bursts, 2_000);
+        assert!(record.min_utilization <= record.write_utilization);
+        assert!(record.min_utilization <= record.read_utilization);
+        assert!(record.sustained_gbps > 0.0);
+        assert!(record.energy_total_mj > 0.0);
+        assert!(record.energy_nj_per_byte > 0.0);
+        assert!(record.link.is_none());
+    }
+
+    #[test]
+    fn oversized_interleaver_errors_cleanly() {
+        let s = Scenario::preset(
+            DramStandard::Ddr3,
+            800,
+            MappingKind::RowMajor,
+            InterleaverSpec::from_burst_count(100_000_000_000),
+        )
+        .unwrap();
+        assert!(matches!(s.run(), Err(ExpError::Interleaver(_))));
+    }
+
+    #[test]
+    fn link_stage_is_reproducible() {
+        let stage = LinkStage::new(0.05).with_seed(42);
+        let a = stage.run().unwrap();
+        let b = stage.run().unwrap();
+        assert_eq!(a, b);
+        assert!(a.frame_error_rate >= 0.0 && a.frame_error_rate <= 1.0);
+    }
+
+    #[test]
+    fn scenario_with_link_reports_error_rates() {
+        let s = Scenario::preset(
+            DramStandard::Ddr3,
+            800,
+            MappingKind::Optimized,
+            small_spec(),
+        )
+        .unwrap()
+        .with_link(LinkStage::new(0.02).with_seed(7));
+        let record = s.run().unwrap();
+        let link = record.link.expect("link record present");
+        assert!(link.channel_symbol_error_rate > 0.0);
+    }
+
+    #[test]
+    fn build_mapping_matches_kind() {
+        let s =
+            Scenario::preset(DramStandard::Ddr4, 1600, MappingKind::Tiled, small_spec()).unwrap();
+        let mapping = s.build_mapping().unwrap();
+        assert_eq!(mapping.name(), "tiled");
+        assert_eq!(mapping.dimension(), s.spec().dimension());
+    }
+}

@@ -1,0 +1,297 @@
+//! Hand-rolled JSON and CSV serialization for [`Record`]s.
+//!
+//! The build environment has no crates.io access, so rather than pulling in
+//! `serde` the record schema is flat and small enough to serialize by hand.
+//! The emitted JSON is an array of objects (one per record, one per line);
+//! the CSV uses a fixed header with empty link columns when no channel/FEC
+//! stage ran.  [`crate::json::parse`] can re-parse the emitted JSON, which
+//! the test-suite and the CI smoke run use to validate the artifacts.
+
+use std::path::Path;
+
+use crate::record::Record;
+use crate::ExpError;
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+#[must_use]
+pub fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (`null` for non-finite values).
+#[must_use]
+pub fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        // `Display` for f64 prints the shortest representation that parses
+        // back to the same value, which is exactly what JSON wants.
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn record_to_json(record: &Record) -> String {
+    let link = match &record.link {
+        None => "null".to_string(),
+        Some(l) => format!(
+            "{{\"frame_error_rate\":{},\"channel_symbol_error_rate\":{},\"residual_symbol_error_rate\":{}}}",
+            json_number(l.frame_error_rate),
+            json_number(l.channel_symbol_error_rate),
+            json_number(l.residual_symbol_error_rate),
+        ),
+    };
+    format!(
+        "{{\"scenario_id\":{},\"dram\":{},\"mapping\":{},\"bursts\":{},\"dimension\":{},\
+         \"refresh_disabled\":{},\"write_utilization\":{},\"read_utilization\":{},\
+         \"min_utilization\":{},\"sustained_gbps\":{},\"write_row_hit_rate\":{},\
+         \"read_row_hit_rate\":{},\"activates\":{},\"energy_total_mj\":{},\
+         \"energy_nj_per_byte\":{},\"link\":{}}}",
+        json_string(&record.scenario_id),
+        json_string(&record.dram_label),
+        json_string(&record.mapping),
+        record.bursts,
+        record.dimension,
+        record.refresh_disabled,
+        json_number(record.write_utilization),
+        json_number(record.read_utilization),
+        json_number(record.min_utilization),
+        json_number(record.sustained_gbps),
+        json_number(record.write_row_hit_rate),
+        json_number(record.read_row_hit_rate),
+        record.activates,
+        json_number(record.energy_total_mj),
+        json_number(record.energy_nj_per_byte),
+        link,
+    )
+}
+
+/// Serializes records as a JSON array (one object per line).
+#[must_use]
+pub fn records_to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, record) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&record_to_json(record));
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// The CSV header emitted by [`records_to_csv`].
+pub const CSV_HEADER: &str = "scenario_id,dram,mapping,bursts,dimension,refresh_disabled,\
+write_utilization,read_utilization,min_utilization,sustained_gbps,write_row_hit_rate,\
+read_row_hit_rate,activates,energy_total_mj,energy_nj_per_byte,frame_error_rate,\
+channel_symbol_error_rate,residual_symbol_error_rate";
+
+/// Quotes a CSV field if it contains a comma, quote or newline.
+fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Serializes records as CSV with a fixed header; the three link columns are
+/// empty for records without a channel/FEC stage.
+#[must_use]
+pub fn records_to_csv(records: &[Record]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        let (fer, cser, rser) = match &r.link {
+            None => (String::new(), String::new(), String::new()),
+            Some(l) => (
+                json_number(l.frame_error_rate),
+                json_number(l.channel_symbol_error_rate),
+                json_number(l.residual_symbol_error_rate),
+            ),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            csv_field(&r.scenario_id),
+            csv_field(&r.dram_label),
+            csv_field(&r.mapping),
+            r.bursts,
+            r.dimension,
+            r.refresh_disabled,
+            json_number(r.write_utilization),
+            json_number(r.read_utilization),
+            json_number(r.min_utilization),
+            json_number(r.sustained_gbps),
+            json_number(r.write_row_hit_rate),
+            json_number(r.read_row_hit_rate),
+            r.activates,
+            json_number(r.energy_total_mj),
+            json_number(r.energy_nj_per_byte),
+            fer,
+            cser,
+            rser,
+        ));
+    }
+    out
+}
+
+fn write_artifact(path: &Path, contents: &str) -> Result<(), ExpError> {
+    std::fs::write(path, contents).map_err(|e| ExpError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Writes the JSON serialization of `records` to `path`.
+///
+/// # Errors
+///
+/// Returns [`ExpError::Io`] if the file cannot be written.
+pub fn write_json(path: &Path, records: &[Record]) -> Result<(), ExpError> {
+    write_artifact(path, &records_to_json(records))
+}
+
+/// Writes the CSV serialization of `records` to `path`.
+///
+/// # Errors
+///
+/// Returns [`ExpError::Io`] if the file cannot be written.
+pub fn write_csv(path: &Path, records: &[Record]) -> Result<(), ExpError> {
+    write_artifact(path, &records_to_csv(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+    use crate::record::LinkRecord;
+
+    fn sample(id: &str, link: bool) -> Record {
+        Record {
+            scenario_id: id.to_string(),
+            dram_label: "LPDDR4-4266".to_string(),
+            mapping: "row-major".to_string(),
+            bursts: 20_000,
+            dimension: 200,
+            refresh_disabled: false,
+            write_utilization: 0.9871,
+            read_utilization: 0.3577,
+            min_utilization: 0.3577,
+            sustained_gbps: 48.82,
+            write_row_hit_rate: 0.99,
+            read_row_hit_rate: 0.01,
+            activates: 40_000,
+            energy_total_mj: 3.25,
+            energy_nj_per_byte: 1.27,
+            link: link.then_some(LinkRecord {
+                frame_error_rate: 0.015625,
+                channel_symbol_error_rate: 0.05,
+                residual_symbol_error_rate: 0.001,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let records = vec![sample("a", false), sample("b \"quoted\"", true)];
+        let text = records_to_json(&records);
+        let value = parse(&text).expect("emitted JSON parses");
+        let array = value.as_array().expect("top level is an array");
+        assert_eq!(array.len(), 2);
+        let first = &array[0];
+        assert_eq!(
+            first.get("scenario_id").and_then(JsonValue::as_str),
+            Some("a")
+        );
+        assert_eq!(
+            first.get("read_utilization").and_then(JsonValue::as_f64),
+            Some(0.3577)
+        );
+        assert!(matches!(first.get("link"), Some(JsonValue::Null)));
+        let second = &array[1];
+        assert_eq!(
+            second.get("scenario_id").and_then(JsonValue::as_str),
+            Some("b \"quoted\"")
+        );
+        let link = second.get("link").expect("link object");
+        assert_eq!(
+            link.get("frame_error_rate").and_then(JsonValue::as_f64),
+            Some(0.015625)
+        );
+    }
+
+    #[test]
+    fn json_handles_non_finite_floats() {
+        let mut record = sample("nan", false);
+        record.sustained_gbps = f64::NAN;
+        let text = records_to_json(&[record]);
+        let value = parse(&text).expect("NaN serialized as null still parses");
+        let first = &value.as_array().unwrap()[0];
+        assert!(matches!(first.get("sustained_gbps"), Some(JsonValue::Null)));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_record() {
+        let records = vec![sample("a", false), sample("b", true)];
+        let text = records_to_csv(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines[0].split(',').count(), 18);
+        assert_eq!(lines[1].split(',').count(), 18);
+        assert!(
+            lines[1].ends_with(",,,"),
+            "link columns empty: {}",
+            lines[1]
+        );
+        assert!(lines[2].contains("0.015625"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        let mut record = sample("id,with,commas", false);
+        record.mapping = "has \"quotes\"".to_string();
+        let text = records_to_csv(&[record]);
+        assert!(text.contains("\"id,with,commas\""));
+        assert!(text.contains("\"has \"\"quotes\"\"\""));
+    }
+
+    #[test]
+    fn files_are_written_and_readable() {
+        let dir = std::env::temp_dir().join("tbi_exp_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("records.json");
+        let csv_path = dir.join("records.csv");
+        let records = vec![sample("file", true)];
+        write_json(&json_path, &records).unwrap();
+        write_csv(&csv_path, &records).unwrap();
+        let json_text = std::fs::read_to_string(&json_path).unwrap();
+        assert!(parse(&json_text).is_ok());
+        let csv_text = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv_text.starts_with("scenario_id,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_path_reports_io_error() {
+        let path = Path::new("/nonexistent-dir-tbi/records.json");
+        let err = write_json(path, &[]).unwrap_err();
+        assert!(matches!(err, ExpError::Io { .. }));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property and determinism tests for the sweep engine.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use tbi_dram::standards::ALL_CONFIGS;
+use tbi_exp::{RefreshSetting, Scenario, SweepGrid};
+use tbi_interleaver::MappingKind;
+
+/// Builds a grid from index vectors into the preset/mapping tables plus raw
+/// sizes; duplicates in the inputs are intentional — the grid must dedupe.
+fn grid_from(
+    preset_idx: &[usize],
+    sizes: &[u64],
+    mapping_idx: &[usize],
+    refresh: usize,
+) -> SweepGrid {
+    let mut grid = SweepGrid::new();
+    for &p in preset_idx {
+        let (standard, rate) = ALL_CONFIGS[p % ALL_CONFIGS.len()];
+        grid = grid.preset(standard, rate).expect("preset exists");
+    }
+    grid = grid.sizes(sizes.iter().copied());
+    for &m in mapping_idx {
+        grid = grid.mapping(MappingKind::ALL[m % MappingKind::ALL.len()]);
+    }
+    match refresh % 3 {
+        0 => grid, // untouched axis: implicit default
+        1 => grid.refresh(RefreshSetting::Disabled),
+        _ => grid.refresh_axis(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The expansion count equals the product of the (deduplicated) axis
+    /// lengths, and every derived scenario ID is unique.
+    #[test]
+    fn expansion_count_is_axis_product_and_ids_are_unique(
+        preset_idx in proptest::collection::vec(0usize..10, 1..6),
+        sizes in proptest::collection::vec(100u64..100_000, 1..5),
+        mapping_idx in proptest::collection::vec(0usize..5, 1..6),
+        refresh in 0usize..3,
+    ) {
+        let grid = grid_from(&preset_idx, &sizes, &mapping_idx, refresh);
+        let [drams, size_axis, mappings, refresh_axis] = grid.axis_lengths();
+        let product = drams * size_axis * mappings * refresh_axis;
+        prop_assert_eq!(grid.len(), product);
+
+        let scenarios = grid.scenarios();
+        prop_assert_eq!(scenarios.len(), product);
+
+        let ids: HashSet<String> = scenarios.iter().map(Scenario::id).collect();
+        prop_assert_eq!(ids.len(), scenarios.len(), "scenario IDs must be unique");
+
+        // Axis lengths never exceed the (possibly duplicated) input lengths.
+        prop_assert!(drams <= preset_idx.len());
+        prop_assert!(size_axis <= sizes.len());
+        prop_assert!(mappings <= mapping_idx.len());
+        prop_assert!(refresh_axis <= 2);
+    }
+
+    /// Expanding the same grid twice yields identical scenario IDs in
+    /// identical order (the expansion is deterministic).
+    #[test]
+    fn expansion_is_deterministic(
+        preset_idx in proptest::collection::vec(0usize..10, 1..4),
+        sizes in proptest::collection::vec(100u64..10_000, 1..4),
+        mapping_idx in proptest::collection::vec(0usize..5, 1..4),
+        refresh in 0usize..3,
+    ) {
+        let a = grid_from(&preset_idx, &sizes, &mapping_idx, refresh);
+        let b = grid_from(&preset_idx, &sizes, &mapping_idx, refresh);
+        let ids_a: Vec<String> = a.scenarios().iter().map(Scenario::id).collect();
+        let ids_b: Vec<String> = b.scenarios().iter().map(Scenario::id).collect();
+        prop_assert_eq!(ids_a, ids_b);
+    }
+}
+
+/// A 1-worker and an N-worker run of the same experiment produce identical
+/// record vectors — bit-exact, including the scenario order.
+#[test]
+fn single_and_multi_worker_runs_are_identical() {
+    let grid = || {
+        SweepGrid::new()
+            .preset(tbi_dram::DramStandard::Ddr4, 3200)
+            .unwrap()
+            .preset(tbi_dram::DramStandard::Lpddr4, 4266)
+            .unwrap()
+            .sizes([1_500, 4_000])
+            .mappings(MappingKind::TABLE1)
+            .refresh_axis()
+    };
+    let sequential = grid().into_experiment().with_workers(1).run().unwrap();
+    assert_eq!(sequential.len(), 2 * 2 * 2 * 2);
+    for workers in [2, 4, 7] {
+        let parallel = grid()
+            .into_experiment()
+            .with_workers(workers)
+            .run()
+            .unwrap();
+        assert_eq!(
+            sequential, parallel,
+            "records diverged at {workers} workers"
+        );
+    }
+}
+
+/// Refresh-axis scenarios really differ: the disabled-refresh record of a
+/// refresh-sensitive configuration must be at least as good and issue no
+/// refresh energy.
+#[test]
+fn refresh_axis_produces_distinct_records() {
+    let records = SweepGrid::new()
+        .preset(tbi_dram::DramStandard::Ddr4, 1600)
+        .unwrap()
+        .size(30_000)
+        .mapping(MappingKind::Optimized)
+        .refresh_axis()
+        .into_experiment()
+        .with_workers(2)
+        .run()
+        .unwrap();
+    assert_eq!(records.len(), 2);
+    let (standard, disabled) = (&records[0], &records[1]);
+    assert!(!standard.refresh_disabled);
+    assert!(disabled.refresh_disabled);
+    assert!(disabled.min_utilization >= standard.min_utilization);
+}

@@ -95,6 +95,10 @@ impl MappingKind {
     /// Builds the mapping for a DRAM configuration and an index space of
     /// dimension `n`.
     ///
+    /// Identical to [`MappingKind::build_for_geometry`] except that the
+    /// row-major baseline honours the configuration's
+    /// [`decode_scheme`](DramConfig::decode_scheme) instead of the default.
+    ///
     /// # Errors
     ///
     /// Returns [`InterleaverError`] if the index space does not fit into the
@@ -104,17 +108,39 @@ impl MappingKind {
         config: &DramConfig,
         dimension: u32,
     ) -> Result<Box<dyn DramMapping>, InterleaverError> {
+        if self == MappingKind::RowMajor {
+            Ok(Box::new(RowMajorMapping::for_config(config, dimension)?))
+        } else {
+            self.build_for_geometry(config.geometry, dimension)
+        }
+    }
+
+    /// Builds the mapping for a bare device geometry and an index space of
+    /// dimension `n`.
+    ///
+    /// Every scheme — including the row-major baseline, which uses the
+    /// default [`tbi_dram::DecodeScheme`] here — is constructed from the
+    /// same (geometry, dimension) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError`] if the index space does not fit into the
+    /// device under this scheme.
+    pub fn build_for_geometry(
+        self,
+        geometry: DeviceGeometry,
+        dimension: u32,
+    ) -> Result<Box<dyn DramMapping>, InterleaverError> {
         Ok(match self {
-            MappingKind::RowMajor => Box::new(RowMajorMapping::new(config, dimension)?),
+            MappingKind::RowMajor => Box::new(RowMajorMapping::new(geometry, dimension)?),
             MappingKind::BankRoundRobin => {
-                Box::new(BankRoundRobinMapping::new(config.geometry, dimension)?)
+                Box::new(BankRoundRobinMapping::new(geometry, dimension)?)
             }
-            MappingKind::Tiled => Box::new(TiledMapping::new(config.geometry, dimension)?),
-            MappingKind::OptimizedNoStagger => Box::new(OptimizedMapping::without_stagger(
-                config.geometry,
-                dimension,
-            )?),
-            MappingKind::Optimized => Box::new(OptimizedMapping::new(config.geometry, dimension)?),
+            MappingKind::Tiled => Box::new(TiledMapping::new(geometry, dimension)?),
+            MappingKind::OptimizedNoStagger => {
+                Box::new(OptimizedMapping::without_stagger(geometry, dimension)?)
+            }
+            MappingKind::Optimized => Box::new(OptimizedMapping::new(geometry, dimension)?),
         })
     }
 }
@@ -178,6 +204,20 @@ mod tests {
                         config.label()
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn build_for_geometry_matches_build_on_presets() {
+        // Presets use the default decode scheme, so the two builders agree
+        // for every kind — the constructor surface is uniform.
+        let config = ddr4();
+        for kind in MappingKind::ALL {
+            let a = kind.build(&config, 128).unwrap();
+            let b = kind.build_for_geometry(config.geometry, 128).unwrap();
+            for (i, j) in [(0, 0), (3, 5), (100, 27)] {
+                assert_eq!(a.map(i, j), b.map(i, j), "{kind} diverged at ({i},{j})");
             }
         }
     }

@@ -1,6 +1,6 @@
 //! The row-major baseline mapping.
 
-use tbi_dram::{AddressDecoder, DeviceGeometry, DramConfig, PhysicalAddress};
+use tbi_dram::{AddressDecoder, DecodeScheme, DeviceGeometry, DramConfig, PhysicalAddress};
 
 use crate::mapping::DramMapping;
 use crate::triangular::TriangularInterleaver;
@@ -24,7 +24,10 @@ use crate::InterleaverError;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let config = DramConfig::preset(DramStandard::Ddr4, 3200)?;
-/// let mapping = RowMajorMapping::new(&config, 1000)?;
+/// // Like every other mapping scheme, the constructor takes the device
+/// // geometry; the decode scheme defaults to the standard controller
+/// // mapping (use `with_scheme` to model a different controller).
+/// let mapping = RowMajorMapping::new(config.geometry, 1000)?;
 /// // Consecutive positions of one row are consecutive bursts.
 /// let a = mapping.map(0, 0);
 /// let b = mapping.map(0, 1);
@@ -41,25 +44,55 @@ pub struct RowMajorMapping {
 
 impl RowMajorMapping {
     /// Creates the baseline mapping for an index space of dimension `n` on
-    /// the given DRAM configuration (using its default decode scheme).
+    /// the given device geometry, decoded with the default
+    /// [`DecodeScheme`] (the convention assumed for the paper's baseline).
+    ///
+    /// The signature is deliberately identical to the other mapping
+    /// constructors (geometry + dimension); use
+    /// [`RowMajorMapping::with_scheme`] to model a controller with a
+    /// different address-decode scheme.
     ///
     /// # Errors
     ///
     /// Returns [`InterleaverError`] if `n` is zero or the index space exceeds
     /// the device capacity.
-    pub fn new(config: &DramConfig, n: u32) -> Result<Self, InterleaverError> {
+    pub fn new(geometry: DeviceGeometry, n: u32) -> Result<Self, InterleaverError> {
+        Self::with_scheme(geometry, DecodeScheme::default(), n)
+    }
+
+    /// Creates the baseline mapping with an explicit address-decode scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError`] if `n` is zero or the index space exceeds
+    /// the device capacity.
+    pub fn with_scheme(
+        geometry: DeviceGeometry,
+        scheme: DecodeScheme,
+        n: u32,
+    ) -> Result<Self, InterleaverError> {
         let interleaver = TriangularInterleaver::new(n)?;
-        if interleaver.len() > config.geometry.total_bursts() {
+        if interleaver.len() > geometry.total_bursts() {
             return Err(InterleaverError::CapacityExceeded {
                 required_bursts: interleaver.len(),
-                available_bursts: config.geometry.total_bursts(),
+                available_bursts: geometry.total_bursts(),
             });
         }
         Ok(Self {
-            geometry: config.geometry,
-            decoder: AddressDecoder::new(config.geometry, config.decode_scheme),
+            geometry,
+            decoder: AddressDecoder::new(geometry, scheme),
             interleaver,
         })
+    }
+
+    /// Creates the baseline mapping for a full DRAM configuration, honouring
+    /// the configuration's decode scheme.
+    ///
+    /// # Errors
+    ///
+    /// See [`RowMajorMapping::with_scheme`].
+    pub fn for_config(config: &DramConfig, n: u32) -> Result<Self, InterleaverError> {
+        Self::with_scheme(config.geometry, config.decode_scheme, n)
     }
 
     /// The linear burst index of position `(i, j)` (compact triangular
@@ -95,7 +128,7 @@ mod tests {
 
     fn mapping(n: u32) -> RowMajorMapping {
         let config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
-        RowMajorMapping::new(&config, n).unwrap()
+        RowMajorMapping::new(config.geometry, n).unwrap()
     }
 
     #[test]
@@ -126,8 +159,20 @@ mod tests {
     fn capacity_is_enforced() {
         let config = DramConfig::preset(DramStandard::Lpddr4, 2133).unwrap();
         // An absurdly large dimension cannot fit.
-        let err = RowMajorMapping::new(&config, 600_000).unwrap_err();
+        let err = RowMajorMapping::new(config.geometry, 600_000).unwrap_err();
         assert!(matches!(err, InterleaverError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn for_config_honours_the_config_decode_scheme() {
+        let mut config = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        config.decode_scheme = tbi_dram::DecodeScheme::BankBankGroupRowColumn;
+        let by_config = RowMajorMapping::for_config(&config, 64).unwrap();
+        let by_scheme =
+            RowMajorMapping::with_scheme(config.geometry, config.decode_scheme, 64).unwrap();
+        let default_scheme = RowMajorMapping::new(config.geometry, 64).unwrap();
+        assert_eq!(by_config.map(5, 3), by_scheme.map(5, 3));
+        assert_ne!(by_config.map(5, 3), default_scheme.map(5, 3));
     }
 
     #[test]

@@ -11,23 +11,30 @@
 //!   mappings, including the paper's optimized mapping
 //!   ([`tbi_interleaver`]);
 //! * [`satcom`] — Reed–Solomon FEC, burst channels and the end-to-end
-//!   optical-downlink simulation ([`tbi_satcom`]).
+//!   optical-downlink simulation ([`tbi_satcom`]);
+//! * [`exp`] — the declarative [`Scenario`]/[`SweepGrid`]/[`Experiment`]
+//!   evaluation layer with parallel sweeps and JSON/CSV results
+//!   ([`tbi_exp`]).
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
 //! ## Example
 //!
 //! Compare the row-major and optimized mappings on LPDDR4-4266 (one cell pair
-//! of the paper's Table I):
+//! of the paper's Table I) through the experiment layer:
 //!
 //! ```
-//! use tbi::{DramConfig, DramStandard, InterleaverSpec, MappingKind, ThroughputEvaluator};
+//! use tbi::{DramStandard, MappingKind, SweepGrid};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let dram = DramConfig::preset(DramStandard::Lpddr4, 4266)?;
-//! let evaluator = ThroughputEvaluator::new(dram, InterleaverSpec::from_burst_count(20_000));
-//! let (row_major, optimized) = evaluator.evaluate_table1_pair()?;
-//! assert!(optimized.min_utilization() > row_major.min_utilization());
+//! let records = SweepGrid::new()
+//!     .preset(DramStandard::Lpddr4, 4266)?
+//!     .size(20_000)
+//!     .mappings(MappingKind::TABLE1)
+//!     .into_experiment()
+//!     .run()?;
+//! let [row_major, optimized] = &records[..] else { unreachable!() };
+//! assert!(optimized.min_utilization > row_major.min_utilization);
 //! # Ok(())
 //! # }
 //! ```
@@ -36,12 +43,16 @@
 #![warn(missing_docs)]
 
 pub use tbi_dram as dram;
+pub use tbi_exp as exp;
 pub use tbi_interleaver as interleaver;
 pub use tbi_satcom as satcom;
 
 pub use tbi_dram::{
     ControllerConfig, DramConfig, DramStandard, MemorySystem, PagePolicy, PhysicalAddress,
     RefreshMode, Request, SchedulingPolicy, Stats,
+};
+pub use tbi_exp::{
+    ExpError, Experiment, LinkRecord, LinkStage, Record, RefreshSetting, Scenario, SweepGrid,
 };
 pub use tbi_interleaver::{
     AccessPhase, BlockInterleaver, DramMapping, InterleaverSpec, MappingKind, OptimizedMapping,

@@ -1,0 +1,124 @@
+//! Integration test for the experiment layer: reproduces the qualitative
+//! Table I ordering through a declarative [`SweepGrid`] and proves that the
+//! parallel runner is deterministic — a 1-worker and a multi-worker run
+//! produce identical record vectors.
+
+use tbi::{MappingKind, Record, SweepGrid};
+
+const REDUCED_BURSTS: u64 = 20_000;
+
+fn table1_grid() -> SweepGrid {
+    SweepGrid::new()
+        .all_presets()
+        .expect("all presets build")
+        .size(REDUCED_BURSTS)
+        .mappings(MappingKind::TABLE1)
+}
+
+fn run_with_workers(workers: usize) -> Vec<Record> {
+    table1_grid()
+        .into_experiment()
+        .with_workers(workers)
+        .run()
+        .expect("table1 sweep runs")
+}
+
+#[test]
+fn golden_table1_ordering_via_sweep_grid_is_worker_count_invariant() {
+    // One experiment, executed sequentially and with several worker counts:
+    // the records must be bit-identical, and the paper's qualitative Table I
+    // ordering must hold in all of them.
+    let sequential = run_with_workers(1);
+    assert_eq!(
+        sequential.len(),
+        2 * tbi::dram::standards::ALL_CONFIGS.len()
+    );
+    let parallel = run_with_workers(4);
+    assert_eq!(sequential, parallel, "worker count changed the records");
+
+    // Golden pin of the paper's qualitative Table I ordering at a
+    // deliberately small burst count.  Two configurations (DDR3-800,
+    // DDR5-3200) never collapse under row-major in this reproduction — both
+    // mappings sit above 95 % and the difference is simulation noise — so
+    // the pin is:
+    //
+    //   * wherever the row-major baseline's worst phase drops below 90 %,
+    //     the optimized mapping must beat it strictly AND stay above 90 %;
+    //   * everywhere else the optimized mapping must be no worse than the
+    //     baseline minus a 1 % noise tolerance.
+    const NOISE: f64 = 0.01;
+    let mut collapsing_rows = 0;
+    for pair in sequential.chunks(2) {
+        let [row_major, optimized] = pair else {
+            panic!("TABLE1 grids expand to (row-major, optimized) pairs");
+        };
+        assert_eq!(row_major.dram_label, optimized.dram_label);
+        assert_eq!(row_major.mapping, "row-major");
+        assert_eq!(optimized.mapping, "optimized");
+        let (rm, opt) = (row_major.min_utilization, optimized.min_utilization);
+        if rm < 0.90 {
+            collapsing_rows += 1;
+            assert!(
+                opt > rm && opt > 0.90,
+                "{}: optimized min utilization {opt:.4} should beat collapsed \
+                 row-major {rm:.4} and exceed 90 %",
+                row_major.dram_label
+            );
+        } else {
+            assert!(
+                opt >= rm - NOISE,
+                "{}: optimized min utilization {opt:.4} fell more than {NOISE} \
+                 below row-major {rm:.4}",
+                row_major.dram_label
+            );
+        }
+    }
+    // The paper's table has a majority of configurations where row-major
+    // collapses; if none did here, this golden test would be vacuous.
+    assert!(
+        collapsing_rows >= 6,
+        "only {collapsing_rows}/10 configurations showed a row-major collapse"
+    );
+}
+
+#[test]
+fn sweep_grid_ids_match_paper_row_order() {
+    let scenarios = table1_grid().scenarios();
+    let labels: Vec<String> = scenarios
+        .iter()
+        .step_by(2)
+        .map(|s| s.dram().label())
+        .collect();
+    let expected: Vec<String> = tbi::dram::standards::ALL_CONFIGS
+        .iter()
+        .map(|(standard, rate)| format!("{}-{rate}", standard.name()))
+        .collect();
+    assert_eq!(labels, expected);
+}
+
+#[test]
+fn records_serialize_to_parseable_json() {
+    // A tiny sweep through the whole pipeline: run, serialize, re-parse.
+    let records = SweepGrid::new()
+        .preset(tbi::DramStandard::Ddr3, 800)
+        .expect("preset exists")
+        .size(2_000)
+        .mappings(MappingKind::TABLE1)
+        .into_experiment()
+        .run()
+        .expect("sweep runs");
+    let json = tbi::exp::serialize::records_to_json(&records);
+    let value = tbi::exp::json::parse(&json).expect("emitted JSON parses");
+    let array = value.as_array().expect("array of records");
+    assert_eq!(array.len(), records.len());
+    for (parsed, record) in array.iter().zip(&records) {
+        assert_eq!(
+            parsed.get("scenario_id").and_then(|v| v.as_str()),
+            Some(record.scenario_id.as_str())
+        );
+        assert_eq!(
+            parsed.get("min_utilization").and_then(|v| v.as_f64()),
+            Some(record.min_utilization)
+        );
+    }
+}
