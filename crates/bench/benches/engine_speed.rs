@@ -1,0 +1,64 @@
+//! Benchmarks the wall-clock speed of the two timing engines on identical
+//! workloads (simulated requests per second of host time).
+//!
+//! The `engine_speed` *binary* measures the same thing on the full Table I
+//! sweep and emits `BENCH_engine.json`; this criterion bench is the
+//! fine-grained per-configuration view that `cargo bench` users get.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tbi_dram::{ControllerConfig, DramConfig, DramStandard, TimingEngine};
+use tbi_interleaver::{AccessPhase, InterleaverSpec, MappingKind, TraceGenerator};
+
+const BURSTS: u64 = 60_000;
+
+fn run_both_phases(
+    config: &DramConfig,
+    generator: &TraceGenerator<'_>,
+    engine: TimingEngine,
+) -> u64 {
+    let ctrl = ControllerConfig {
+        engine,
+        ..ControllerConfig::default()
+    };
+    let mut system =
+        tbi_dram::MemorySystem::with_controller(config.clone(), ctrl).expect("valid config");
+    let write = system.run_trace(generator.requests(AccessPhase::Write));
+    system.reset_stats();
+    let read = system.run_trace(generator.requests(AccessPhase::Read));
+    write.elapsed_cycles + read.elapsed_cycles
+}
+
+fn bench_engine_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_speed");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        2 * InterleaverSpec::from_burst_count(BURSTS).total_positions(),
+    ));
+
+    let spec = InterleaverSpec::from_burst_count(BURSTS);
+    for (standard, rate) in [(DramStandard::Ddr4, 3200u32), (DramStandard::Lpddr4, 4266)] {
+        let config = DramConfig::preset(standard, rate).expect("preset exists");
+        for mapping_kind in MappingKind::TABLE1 {
+            let mapping = mapping_kind
+                .build(&config, spec.dimension())
+                .expect("mapping fits");
+            let generator = TraceGenerator::new(spec.triangular(), mapping.as_ref());
+            for engine in [TimingEngine::Cycle, TimingEngine::Event] {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}/{}", config.label(), mapping_kind.name()),
+                        engine,
+                    ),
+                    &engine,
+                    |b, &engine| {
+                        b.iter(|| run_both_phases(&config, &generator, engine));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_speed);
+criterion_main!(benches);

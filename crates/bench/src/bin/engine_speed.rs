@@ -1,0 +1,158 @@
+//! Measures the wall-clock speed of the event-driven timing engine against
+//! the cycle-accurate reference on the **full Table I sweep** (all ten DRAM
+//! presets × the row-major/optimized mapping pair), verifies that both
+//! engines produce bit-identical records, and emits a script-friendly
+//! `BENCH_engine.json` so the workspace's performance trajectory accumulates
+//! run over run.
+//!
+//! ```text
+//! cargo run --release -p tbi_bench --bin engine_speed [-- --full | --bursts <n> |
+//!                                                        --workers <n> | --json <p>]
+//! ```
+//!
+//! `--json` overrides the output path (default `BENCH_engine.json` in the
+//! current directory).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tbi_bench::{run_table1, HarnessOptions};
+use tbi_dram::TimingEngine;
+use tbi_exp::serialize::{json_number, json_string};
+use tbi_exp::Record;
+
+const DEFAULT_OUTPUT: &str = "BENCH_engine.json";
+
+fn timed_sweep(base: &HarnessOptions, engine: TimingEngine) -> (Vec<Record>, f64) {
+    let options = HarnessOptions {
+        engine,
+        json: None,
+        csv: None,
+        ..base.clone()
+    };
+    let started = Instant::now();
+    let records = match run_table1(&options) {
+        Ok(records) => records,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    };
+    (records, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let options = match HarnessOptions::parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!(
+                "{}",
+                HarnessOptions::usage_for(
+                    "engine_speed",
+                    &["--full", "--bursts", "--workers", "--json"]
+                )
+            );
+            std::process::exit(2);
+        }
+    };
+    if options.help {
+        println!(
+            "{}",
+            HarnessOptions::usage_for(
+                "engine_speed",
+                &["--full", "--bursts", "--workers", "--json"]
+            )
+        );
+        return;
+    }
+    if options.no_refresh || options.csv.is_some() || options.engine != TimingEngine::default() {
+        eprintln!(
+            "error: engine_speed always times both engines on the default-refresh sweep; \
+             --engine/--no-refresh/--csv are not supported"
+        );
+        eprintln!(
+            "{}",
+            HarnessOptions::usage_for(
+                "engine_speed",
+                &["--full", "--bursts", "--workers", "--json"]
+            )
+        );
+        std::process::exit(2);
+    }
+
+    let output = options
+        .json
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_OUTPUT));
+
+    eprintln!(
+        "engine_speed: full Table I sweep at {} bursts per scenario",
+        options.bursts
+    );
+    eprintln!("running cycle-accurate reference engine ...");
+    let (cycle_records, cycle_wall_s) = timed_sweep(&options, TimingEngine::Cycle);
+    eprintln!("  cycle engine: {cycle_wall_s:.3} s");
+    eprintln!("running event-driven engine ...");
+    let (event_records, event_wall_s) = timed_sweep(&options, TimingEngine::Event);
+    eprintln!("  event engine: {event_wall_s:.3} s");
+
+    // `Record`'s PartialEq deliberately ignores the wall-clock fields, so
+    // this compares exactly the deterministic simulation outputs.
+    let identical = cycle_records == event_records;
+    if !identical {
+        for (c, e) in cycle_records.iter().zip(&event_records) {
+            if c != e {
+                eprintln!(
+                    "RECORD DIVERGENCE in {}:\n  cycle: {c:?}\n  event: {e:?}",
+                    c.scenario_id
+                );
+            }
+        }
+    }
+
+    let simulated_cycles: u64 = event_records.iter().map(|r| r.simulated_cycles).sum();
+    let speedup = if event_wall_s > 0.0 {
+        cycle_wall_s / event_wall_s
+    } else {
+        f64::INFINITY
+    };
+
+    println!(
+        "Table I sweep ({} scenarios, {} bursts each):",
+        event_records.len(),
+        options.bursts
+    );
+    println!("  simulated cycles (total) : {simulated_cycles}");
+    println!("  cycle engine wall time   : {cycle_wall_s:.3} s");
+    println!("  event engine wall time   : {event_wall_s:.3} s");
+    println!("  speedup (cycle / event)  : {speedup:.2}x");
+    println!("  records bit-identical    : {identical}");
+
+    let json = format!(
+        "{{\n  \"bench\": {},\n  \"bursts\": {},\n  \"scenarios\": {},\n  \"workers\": {},\n  \
+         \"simulated_cycles_total\": {},\n  \"cycle_wall_s\": {},\n  \"event_wall_s\": {},\n  \
+         \"speedup\": {},\n  \"cycle_sim_cycles_per_second\": {},\n  \
+         \"event_sim_cycles_per_second\": {},\n  \"records_identical\": {}\n}}\n",
+        json_string("engine_speed"),
+        options.bursts,
+        event_records.len(),
+        options.workers,
+        simulated_cycles,
+        json_number(cycle_wall_s),
+        json_number(event_wall_s),
+        json_number(speedup),
+        json_number(simulated_cycles as f64 / cycle_wall_s.max(f64::MIN_POSITIVE)),
+        json_number(simulated_cycles as f64 / event_wall_s.max(f64::MIN_POSITIVE)),
+        identical,
+    );
+    if let Err(error) = std::fs::write(&output, json) {
+        eprintln!("error: cannot write {}: {error}", output.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", output.display());
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -125,13 +125,46 @@ impl DecodeScheme {
 pub struct AddressDecoder {
     geometry: DeviceGeometry,
     scheme: DecodeScheme,
+    /// Shift/mask fast path, available when every geometry dimension is a
+    /// power of two (true for all JEDEC presets).  Hardware address decoders
+    /// are pure bit-slicing for the same reason; the fallback divide chain
+    /// only exists for exotic custom geometries.
+    shifts: Option<DecodeShifts>,
+}
+
+/// Precomputed log2 field widths for power-of-two geometries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DecodeShifts {
+    cols: u32,
+    bgs: u32,
+    banks: u32,
+    rows: u32,
+}
+
+impl DecodeShifts {
+    fn for_geometry(g: &DeviceGeometry) -> Option<Self> {
+        let all_pow2 = g.columns_per_row.is_power_of_two()
+            && g.bank_groups.is_power_of_two()
+            && g.banks_per_group.is_power_of_two()
+            && g.rows.is_power_of_two();
+        all_pow2.then(|| Self {
+            cols: g.columns_per_row.trailing_zeros(),
+            bgs: g.bank_groups.trailing_zeros(),
+            banks: g.banks_per_group.trailing_zeros(),
+            rows: g.rows.trailing_zeros(),
+        })
+    }
 }
 
 impl AddressDecoder {
     /// Creates a decoder for the given geometry and scheme.
     #[must_use]
     pub fn new(geometry: DeviceGeometry, scheme: DecodeScheme) -> Self {
-        Self { geometry, scheme }
+        Self {
+            geometry,
+            scheme,
+            shifts: DecodeShifts::for_geometry(&geometry),
+        }
     }
 
     /// The decode scheme used by this decoder.
@@ -152,6 +185,46 @@ impl AddressDecoder {
     /// reduced modulo the row count), which keeps synthetic sweeps simple.
     #[must_use]
     pub fn decode(&self, burst_index: u64) -> PhysicalAddress {
+        if let Some(s) = self.shifts {
+            // Pure bit-slicing for power-of-two geometries (the hot path:
+            // every preset qualifies).
+            let mask = |v: u64, bits: u32| v & ((1u64 << bits) - 1);
+            let (bank_group, bank, row, column) = match self.scheme {
+                DecodeScheme::RowBankBankGroupColumn => {
+                    let column = mask(burst_index, s.cols);
+                    let rest = burst_index >> s.cols;
+                    let bank_group = mask(rest, s.bgs);
+                    let rest = rest >> s.bgs;
+                    let bank = mask(rest, s.banks);
+                    let row = mask(rest >> s.banks, s.rows);
+                    (bank_group, bank, row, column)
+                }
+                DecodeScheme::RowColumnBankBankGroup => {
+                    let bank_group = mask(burst_index, s.bgs);
+                    let rest = burst_index >> s.bgs;
+                    let bank = mask(rest, s.banks);
+                    let rest = rest >> s.banks;
+                    let column = mask(rest, s.cols);
+                    let row = mask(rest >> s.cols, s.rows);
+                    (bank_group, bank, row, column)
+                }
+                DecodeScheme::BankBankGroupRowColumn => {
+                    let column = mask(burst_index, s.cols);
+                    let rest = burst_index >> s.cols;
+                    let row = mask(rest, s.rows);
+                    let rest = rest >> s.rows;
+                    let bank_group = mask(rest, s.bgs);
+                    let bank = mask(rest >> s.bgs, s.banks);
+                    (bank_group, bank, row, column)
+                }
+            };
+            return PhysicalAddress {
+                bank_group: bank_group as u32,
+                bank: bank as u32,
+                row: row as u32,
+                column: column as u32,
+            };
+        }
         let g = &self.geometry;
         let cols = u64::from(g.columns_per_row);
         let bgs = u64::from(g.bank_groups);
@@ -224,6 +297,31 @@ impl AddressDecoder {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn shift_mask_decode_matches_generic_divide_chain() {
+        for (standard, rate) in crate::standards::ALL_CONFIGS {
+            let config = crate::standards::DramConfig::preset(*standard, *rate).unwrap();
+            for scheme in [
+                DecodeScheme::RowBankBankGroupColumn,
+                DecodeScheme::RowColumnBankBankGroup,
+                DecodeScheme::BankBankGroupRowColumn,
+            ] {
+                let fast = AddressDecoder::new(config.geometry, scheme);
+                assert!(fast.shifts.is_some(), "presets must take the fast path");
+                let mut generic = fast;
+                generic.shifts = None;
+                let total = config.geometry.total_bursts();
+                for burst in (0..10_000).chain((total - 1_000)..(total + 1_000)) {
+                    assert_eq!(
+                        fast.decode(burst),
+                        generic.decode(burst),
+                        "burst {burst} {standard:?}-{rate} {scheme:?}"
+                    );
+                }
+            }
+        }
+    }
 
     fn geometry() -> DeviceGeometry {
         DeviceGeometry {

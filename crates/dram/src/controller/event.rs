@@ -1,0 +1,342 @@
+//! The event engine's incremental scheduler.
+//!
+//! The cycle-accurate reference re-derives every bank's candidate command
+//! from scratch each cycle.  The event engine cannot afford that: its whole
+//! point is that scheduler work scales with *state transitions*, not with
+//! simulated cycles.  This module maintains a per-bank **head candidate
+//! cache** with the per-bank component of each candidate's earliest-ready
+//! cycle.  The cache only changes when the owning bank changes — a request
+//! arrives at an empty bank, the bank's head is retired, or a command
+//! mutates the bank state — all O(1) events hooked into
+//! [`Controller::enqueue`](super::Controller::enqueue) and
+//! [`Controller::issue`](super::Controller).
+//!
+//! Channel-level constraints (tCCD, tRRD, tFAW, write-to-read turnaround,
+//! data-bus occupancy) shift the ready cycles of *many* candidates whenever
+//! any command issues, so they are deliberately **not** cached: they
+//! collapse into one small floor table — indexed by (command class, bank
+//! group) — computed once per scheduling decision, making the per-candidate
+//! scan a table lookup, a `max` and a packed-key comparison.
+//!
+//! The fast path is only taken in states where it provably reproduces the
+//! full scheduler's decision: FR-FCFS scheduling, open-page policy, at most
+//! 8 bank groups, and no owed refresh other than the per-bank kind (an owed
+//! per-bank refresh adds exactly one priority-0 candidate for its target
+//! bank, which the fast path models directly).  Everything else — all-bank
+//! refresh drains, FCFS, closed-page, exotic geometries — falls back to the
+//! full scan that the cycle engine uses.  The cross-engine golden tests pin
+//! the equivalence.
+
+use crate::address::PhysicalAddress;
+use crate::command::Command;
+
+use super::{Controller, PagePolicy, SchedulingPolicy};
+
+/// Command-class indices of the floor table (`floor_idx = class * 8 + bank
+/// group`).
+const CLASS_READ: u8 = 0;
+const CLASS_WRITE: u8 = 1;
+const CLASS_ACTIVATE: u8 = 2;
+const CLASS_PRECHARGE: u8 = 3;
+
+/// Cached scheduling candidate for the head request of one bank, packed for
+/// the branch-light selection scan.  Banks without a queued head hold the
+/// `INVALID` sentinel, whose selection key compares above every real
+/// candidate, so the scan needs no validity branches.  The winner's target
+/// address lives in the controller's parallel `head_addr` array, keeping
+/// this struct at 24 bytes so a 32-bank scan touches 12 cache lines.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct HeadCandidate {
+    /// Per-bank component of the earliest-ready cycle (`col_allowed_at`,
+    /// `act_allowed_at` or `pre_allowed_at` of the owning bank).
+    pub perbank_ready: u64,
+    /// `(priority << 56) | seq`: compares like `(priority, seq)` as long as
+    /// sequence numbers stay below 2^56 (10^16 requests — unreachable).
+    pub prio_seq: u64,
+    /// Floor-table index: `class * 8 + bank_group`.
+    pub floor_idx: u8,
+}
+
+impl HeadCandidate {
+    const INVALID: Self = Self {
+        perbank_ready: u64::MAX,
+        prio_seq: u64::MAX,
+        floor_idx: 0,
+    };
+}
+
+impl Default for HeadCandidate {
+    fn default() -> Self {
+        Self::INVALID
+    }
+}
+
+impl Controller {
+    /// Whether the incremental fast path may serve scheduling decisions in
+    /// the current *configuration* (per-step state such as owed refreshes is
+    /// checked in [`Controller::advance`]).
+    #[inline]
+    pub(super) fn fast_path_configured(&self) -> bool {
+        self.ctrl.scheduling == SchedulingPolicy::FrFcfs
+            && self.ctrl.page_policy == PagePolicy::Open
+            && self.last_act_per_group.len() <= 8
+    }
+
+    /// Derives the candidate for `flat_bank`'s head request from the current
+    /// bank state, mirroring the classification of the full scheduler scan.
+    fn classify_head(&self, flat_bank: usize) -> Option<(HeadCandidate, PhysicalAddress)> {
+        let head = self.queues.head(flat_bank)?;
+        let address = head.request.address;
+        let bank = &self.banks[flat_bank];
+        let group = address.bank_group as u8;
+        let (priority, perbank_ready, class) = if bank.is_row_open(address.row) {
+            let class = if head.request.is_write() {
+                CLASS_WRITE
+            } else {
+                CLASS_READ
+            };
+            (1u64, bank.col_allowed_at, class)
+        } else if bank.is_idle() {
+            (2, bank.act_allowed_at, CLASS_ACTIVATE)
+        } else {
+            (3, bank.pre_allowed_at, CLASS_PRECHARGE)
+        };
+        debug_assert!(head.seq < 1 << 56, "sequence number overflows the key");
+        Some((
+            HeadCandidate {
+                perbank_ready,
+                prio_seq: (priority << 56) | head.seq,
+                floor_idx: class * 8 + group,
+            },
+            address,
+        ))
+    }
+
+    /// Re-derives the cached candidate of `flat_bank` (called whenever that
+    /// bank's queue head or bank state changes).
+    pub(super) fn reclassify_bank(&mut self, flat_bank: usize) {
+        match self.classify_head(flat_bank) {
+            Some((candidate, address)) => {
+                self.head_cand[flat_bank] = candidate;
+                self.head_addr[flat_bank] = address;
+            }
+            None => self.head_cand[flat_bank] = HeadCandidate::INVALID,
+        }
+    }
+
+    /// Rebuilds the entire cache (all-bank refresh / precharge-all mutate
+    /// every bank at once; both are rare).
+    pub(super) fn reclassify_all_banks(&mut self) {
+        for flat_bank in 0..self.banks.len() {
+            self.reclassify_bank(flat_bank);
+        }
+    }
+
+    /// Rebuilds the read/write rows of the floor table (invalidated by
+    /// column commands, which move tCCD/turnaround/bus state).
+    ///
+    /// Per group the floor takes one of at most four values (same/different
+    /// group relative to the last column and the last write), so the rows
+    /// are filled with the different-group base and the two special groups
+    /// are adjusted afterwards.
+    fn rebuild_column_floors(&mut self) {
+        let t = &self.config.timing;
+        let groups = self.last_act_per_group.len();
+        debug_assert!(groups <= 8);
+        let (bus_floor_write, bus_floor_read) = {
+            let mut write_free = self.data_bus_free_at;
+            let mut read_free = self.data_bus_free_at;
+            match self.last_data_was_write {
+                Some(true) => read_free += t.t_bus_turn,
+                Some(false) => write_free += t.t_bus_turn,
+                None => {}
+            }
+            (
+                write_free.saturating_sub(t.cwl),
+                read_free.saturating_sub(t.cl),
+            )
+        };
+        let (ccd_diff, ccd_same, ccd_group) = match self.last_column {
+            Some(col) => (
+                t.column_ready_after_column(col.time, false),
+                t.column_ready_after_column(col.time, true),
+                col.bank_group as usize,
+            ),
+            None => (0, 0, usize::MAX),
+        };
+        let (wtr_diff, wtr_same, wtr_group) = match self.last_write_data_end {
+            Some((end, group)) => (
+                t.read_ready_after_write_data(end, false),
+                t.read_ready_after_write_data(end, true),
+                group as usize,
+            ),
+            None => (0, 0, usize::MAX),
+        };
+        let rd_base = ccd_diff.max(wtr_diff).max(bus_floor_read);
+        let wr_base = ccd_diff.max(bus_floor_write);
+        let rd = (CLASS_READ * 8) as usize;
+        let wr = (CLASS_WRITE * 8) as usize;
+        for g in 0..groups {
+            self.floors[rd + g] = rd_base;
+            self.floors[wr + g] = wr_base;
+        }
+        if ccd_group < groups {
+            self.floors[rd + ccd_group] = self.floors[rd + ccd_group].max(ccd_same);
+            self.floors[wr + ccd_group] = self.floors[wr + ccd_group].max(ccd_same);
+        }
+        if wtr_group < groups {
+            self.floors[rd + wtr_group] = self.floors[rd + wtr_group].max(wtr_same);
+        }
+    }
+
+    /// Rebuilds the activate rows of the floor table (invalidated by ACT
+    /// commands, which move tRRD/tFAW state).
+    fn rebuild_activate_floors(&mut self) {
+        let t = &self.config.timing;
+        let groups = self.last_act_per_group.len();
+        debug_assert!(groups <= 8);
+        let act_floor_any = self
+            .last_act_any
+            .map_or(0, |last| t.act_ready_after_act(last, false));
+        let faw_floor = if self.act_count >= 4 {
+            t.act_ready_after_faw(self.act_ring[(self.act_count & 3) as usize])
+        } else {
+            0
+        };
+        for g in 0..groups {
+            let group_floor = match self.last_act_per_group[g] {
+                Some(last) => t.act_ready_after_act(last, true),
+                None => 0,
+            };
+            self.floors[(CLASS_ACTIVATE * 8) as usize + g] =
+                act_floor_any.max(group_floor).max(faw_floor);
+        }
+    }
+
+    /// One event-engine step on the fast path.
+    ///
+    /// Caller guarantees: [`Self::fast_path_configured`], and any owed
+    /// refresh (`refresh_pending`) is of the **per-bank** kind.  Under those
+    /// preconditions the candidate set consists exactly of the cached
+    /// per-bank head candidates — plus, while a per-bank refresh is owed,
+    /// one priority-0 candidate for the refresh target (REFpb if the bank is
+    /// idle, otherwise the precharge clearing it; an idle target's own
+    /// request candidate is blocked, exactly as in the full scan).  The full
+    /// scheduler's decision is the lexicographic minimum of
+    /// `(max(ready, now), priority, seq)` over that set.
+    pub(super) fn advance_fast(&mut self, refresh_pending: bool) -> bool {
+        // Refresh the per-(class, bank group) channel floor table where the
+        // last issued commands invalidated it (column and activate floors
+        // shift independently; precharge floors are always 0).  O(bank
+        // groups) on invalidation, so the per-candidate scan below is one
+        // lookup, one `max` and one packed comparison.
+        if self.floors_col_dirty {
+            self.rebuild_column_floors();
+            self.floors_col_dirty = false;
+        }
+        if self.floors_act_dirty {
+            self.rebuild_activate_floors();
+            self.floors_act_dirty = false;
+        }
+        let floors = &self.floors;
+
+        // While a per-bank refresh is owed, the target's own request
+        // candidate is blocked if the bank is idle (it must not be
+        // reopened); stash the INVALID sentinel over it for the scan.
+        let refresh_target = if refresh_pending {
+            self.refresh.target_bank() as usize
+        } else {
+            usize::MAX
+        };
+        let mut stashed = HeadCandidate::INVALID;
+        if refresh_pending && self.banks[refresh_target].is_idle() {
+            stashed =
+                std::mem::replace(&mut self.head_cand[refresh_target], HeadCandidate::INVALID);
+        }
+
+        // Selection scan: the winner minimizes (max(ready, now), priority,
+        // seq), packed into one u128 key so the compare is branch-light.
+        // Empty banks hold the INVALID sentinel whose key is u128::MAX, so a
+        // straight sequential sweep needs no validity checks.
+        let now = self.now;
+        let mut best_key = u128::MAX;
+        let mut best_bank = usize::MAX;
+        for (flat_bank, cand) in self.head_cand.iter().enumerate() {
+            let ready = cand
+                .perbank_ready
+                .max(floors[(cand.floor_idx & 31) as usize])
+                .max(now);
+            let key = (u128::from(ready) << 64) | u128::from(cand.prio_seq);
+            // Written as selects (not an if-block) so the winner update
+            // compiles to conditional moves; winner position is erratic and
+            // a branch here mispredicts constantly.
+            let better = key < best_key;
+            best_bank = if better { flat_bank } else { best_bank };
+            best_key = if better { key } else { best_key };
+        }
+
+        // The per-bank refresh candidate: priority 0, sequence 0, exactly as
+        // the full scan's `consider(0, 0, ...)` calls.
+        let mut refresh_command = None;
+        if refresh_pending {
+            let bank = &self.banks[refresh_target];
+            let (ready, command) = if bank.is_idle() {
+                // Restore the stashed request candidate before any return.
+                self.head_cand[refresh_target] = stashed;
+                (
+                    bank.act_allowed_at,
+                    Command {
+                        kind: crate::command::CommandKind::RefreshBank,
+                        address: self.bank_address(refresh_target),
+                    },
+                )
+            } else {
+                (
+                    bank.pre_allowed_at,
+                    Command::precharge(self.bank_address(refresh_target)),
+                )
+            };
+            let key = u128::from(ready.max(now)) << 64;
+            if key < best_key {
+                best_key = key;
+                best_bank = refresh_target;
+                refresh_command = Some(command);
+            }
+        }
+
+        if best_bank == usize::MAX {
+            // No queued work (and no refresh owed, by precondition): one idle
+            // cycle, exactly like the reference engine.
+            self.now += 1;
+            return false;
+        }
+        let at = (best_key >> 64) as u64;
+        let command = match refresh_command {
+            Some(command) => command,
+            None => {
+                let address = self.head_addr[best_bank];
+                match self.head_cand[best_bank].floor_idx >> 3 {
+                    CLASS_READ => Command::read(address),
+                    CLASS_WRITE => Command::write(address),
+                    CLASS_ACTIVATE => Command::activate(address),
+                    _ => Command::precharge(address),
+                }
+            }
+        };
+        if at > self.now {
+            // Never jump past a refresh deadline: crossing it changes the
+            // candidate set, so stop there and rescan.
+            let due = self.refresh.next_due();
+            if due <= at {
+                self.stats.stall_cycles += due - self.now;
+                self.now = due;
+                return true;
+            }
+            self.stats.stall_cycles += at - self.now;
+            self.now = at;
+        }
+        self.issue(command, best_bank);
+        self.now += 1;
+        !self.queues.is_empty() || self.refresh.is_pending()
+    }
+}

@@ -4,20 +4,41 @@
 //! The controller models a single-channel DRAM controller with per-bank
 //! transaction queues, an FR-FCFS (first-ready, first-come-first-served)
 //! scheduler with an open-page policy by default, and a refresh engine.  It
-//! advances an internal clock and issues at most one command per cycle, while
-//! enforcing the JEDEC constraints defined in
-//! [`TimingParams`](crate::TimingParams).
+//! issues at most one command per cycle while enforcing the JEDEC constraints
+//! defined in [`TimingParams`](crate::TimingParams).
+//!
+//! ## Timing engines
+//!
+//! Time can be advanced in two ways (see [`TimingEngine`]):
+//!
+//! * **Event-driven** ([`Controller::advance`], the default) — one scheduling
+//!   decision per *state transition*: the controller computes the earliest
+//!   cycle at which any command becomes issuable (across per-bank timing
+//!   expiries, channel-level constraints and the next refresh deadline) and
+//!   jumps the clock directly to it, issuing the winning command in the same
+//!   step.
+//! * **Cycle-accurate** ([`Controller::tick`]) — the classic reference loop
+//!   that advances exactly one device clock cycle per call, re-evaluating the
+//!   scheduler every cycle.  It is kept as the ground truth for tests that
+//!   pin cycle-level behaviour.
+//!
+//! Both engines call the *same* scheduling and issue functions; the only
+//! difference is how the clock reaches the next decision point.  Because the
+//! candidate set can only change when a command issues, when a refresh
+//! deadline passes, or when a request arrives, the two engines make identical
+//! decisions at identical cycles and produce bit-identical [`Stats`] — a
+//! property pinned by the cross-engine golden tests (see
+//! `tests/integration_engines.rs` at the workspace root).
 //!
 //! Most users drive the controller through [`MemorySystem`](crate::sim::MemorySystem)
 //! rather than using it directly.
 
+mod event;
 mod queue;
 mod refresh;
 
 pub use queue::{CommandQueues, QueuedRequest};
 pub use refresh::{RefreshEngine, RefreshMode};
-
-use std::collections::VecDeque;
 
 use crate::bank::{BankId, BankState};
 use crate::command::{Command, CommandKind};
@@ -51,6 +72,41 @@ pub enum SchedulingPolicy {
     Fcfs,
 }
 
+/// How the controller advances its clock between scheduling decisions.
+///
+/// Both engines execute the *same* scheduler and therefore produce
+/// bit-identical [`Stats`]; the event engine merely skips the cycles in
+/// which the cycle engine would find nothing to do.  See the
+/// [module documentation](self) for the invariants behind this guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TimingEngine {
+    /// Cycle-accurate reference: one device clock cycle per step
+    /// ([`Controller::tick`]).
+    Cycle,
+    /// Event-driven: jump directly to the next cycle at which any state
+    /// transition can occur ([`Controller::advance`]).
+    #[default]
+    Event,
+}
+
+impl TimingEngine {
+    /// Short lowercase name (`"cycle"` / `"event"`), e.g. for CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TimingEngine::Cycle => "cycle",
+            TimingEngine::Event => "event",
+        }
+    }
+}
+
+impl std::fmt::Display for TimingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Controller configuration knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -65,6 +121,9 @@ pub struct ControllerConfig {
     /// Refresh mode; `None` selects the standard's default
     /// ([`DramConfig::default_refresh`]).
     pub refresh_mode: Option<RefreshMode>,
+    /// Clock-advancement strategy used by [`Controller::step`] (and thereby
+    /// [`MemorySystem::run_trace`](crate::sim::MemorySystem::run_trace)).
+    pub engine: TimingEngine,
 }
 
 impl Default for ControllerConfig {
@@ -74,18 +133,26 @@ impl Default for ControllerConfig {
             page_policy: PagePolicy::Open,
             scheduling: SchedulingPolicy::FrFcfs,
             refresh_mode: None,
+            engine: TimingEngine::Event,
         }
     }
 }
 
-/// What the scheduler decided for the current cycle.
+/// What the scheduler decided at the current cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ScheduleOutcome {
+enum ScheduleDecision {
     /// Issue this command for the request queued on `flat_bank` (if a column
     /// command, the head request of that bank is retired).
     Issue { command: Command, flat_bank: usize },
-    /// Nothing can be issued before the contained cycle.
-    Wait(u64),
+    /// Nothing is issuable right now; the earliest candidate becomes ready
+    /// at `at` and, barring a refresh deadline before then, `command` is the
+    /// one the scheduler will pick at that cycle (the best `(priority, seq)`
+    /// among candidates ready exactly at `at`).
+    WaitIssue {
+        at: u64,
+        command: Command,
+        flat_bank: usize,
+    },
     /// Nothing to do at all (queues empty, no refresh owed).
     Idle,
 }
@@ -111,11 +178,26 @@ pub struct Controller {
     // Channel-level timing state.
     last_act_any: Option<u64>,
     last_act_per_group: Vec<Option<u64>>,
-    act_window: VecDeque<u64>,
+    // Four-activate-window ring: slot `act_count & 3` is the next to be
+    // overwritten and therefore holds the 4th-last ACT once `act_count >= 4`.
+    act_ring: [u64; 4],
+    act_count: u64,
     last_column: Option<LastColumn>,
     last_write_data_end: Option<(u64, u32)>,
     data_bus_free_at: u64,
     last_data_was_write: Option<bool>,
+    // Incremental head-candidate cache of the event engine (see `event`);
+    // `head_addr` holds the candidates' target addresses out of line so the
+    // selection scan array stays compact.
+    head_cand: Vec<event::HeadCandidate>,
+    head_addr: Vec<crate::address::PhysicalAddress>,
+    // Per-(class, bank group) channel floor table with class-level dirty
+    // tracking (column and activate floors are invalidated independently).
+    floors: [u64; 32],
+    floors_col_dirty: bool,
+    floors_act_dirty: bool,
+    // `fast_path_configured()` evaluated once at construction.
+    fast_path_ok: bool,
 }
 
 impl Controller {
@@ -136,7 +218,7 @@ impl Controller {
         let total_banks = config.geometry.total_banks() as usize;
         let refresh_mode = ctrl.refresh_mode.unwrap_or(config.default_refresh);
         let refresh = RefreshEngine::new(refresh_mode, &config.timing, total_banks as u32);
-        Ok(Self {
+        let mut controller = Self {
             banks: vec![BankState::new(); total_banks],
             queues: CommandQueues::new(total_banks, ctrl.queue_capacity),
             refresh,
@@ -146,14 +228,23 @@ impl Controller {
             last_completion: 0,
             last_act_any: None,
             last_act_per_group: vec![None; config.geometry.bank_groups as usize],
-            act_window: VecDeque::with_capacity(4),
+            act_ring: [0; 4],
+            act_count: 0,
             last_column: None,
             last_write_data_end: None,
             data_bus_free_at: 0,
             last_data_was_write: None,
+            head_cand: vec![event::HeadCandidate::default(); total_banks],
+            head_addr: vec![crate::address::PhysicalAddress::default(); total_banks],
+            floors: [0; 32],
+            floors_col_dirty: true,
+            floors_act_dirty: true,
+            fast_path_ok: false,
             config,
             ctrl,
-        })
+        };
+        controller.fast_path_ok = controller.fast_path_configured();
+        Ok(controller)
     }
 
     /// The DRAM configuration simulated by this controller.
@@ -190,6 +281,12 @@ impl Controller {
     #[must_use]
     pub fn can_accept(&self) -> bool {
         self.queues.has_space()
+    }
+
+    /// Number of requests that can be accepted right now.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.queues.free_slots()
     }
 
     /// Statistics for the current measurement window.
@@ -230,27 +327,116 @@ impl Controller {
             request.address
         );
         let flat = request.address.flat_bank(&self.config.geometry) as usize;
-        self.queues.push(flat, request)
+        let pushed = self.queues.push(flat, request);
+        if pushed && self.queues.bank_len(flat) == 1 {
+            // The request became the head of a previously empty bank.
+            self.reclassify_bank(flat);
+        }
+        pushed
     }
 
-    /// Advances the controller by one scheduling step (one cycle, or a jump
-    /// to the next cycle where any command can be issued).
+    /// Advances the controller by one step of the configured
+    /// [`TimingEngine`]: one cycle under [`TimingEngine::Cycle`], one state
+    /// transition under [`TimingEngine::Event`].
+    ///
+    /// Returns `true` if any work remains (queued requests or owed refresh).
+    pub fn step(&mut self) -> bool {
+        match self.ctrl.engine {
+            TimingEngine::Cycle => self.tick(),
+            TimingEngine::Event => self.advance(),
+        }
+    }
+
+    /// Advances the controller by exactly **one device clock cycle**, issuing
+    /// at most one command (the cycle-accurate reference engine).
+    ///
+    /// This is the `tick()`-compatible shim kept for tests that pin
+    /// cycle-level behaviour; bulk simulation goes through [`Self::advance`]
+    /// (or [`Self::step`], which dispatches on the configured engine).
     ///
     /// Returns `true` if any work remains (queued requests or owed refresh).
     pub fn tick(&mut self) -> bool {
         self.refresh.tick(self.now);
-        let outcome = self.schedule();
-        match outcome {
-            ScheduleOutcome::Issue { command, flat_bank } => {
+        match self.schedule() {
+            ScheduleDecision::Issue { command, flat_bank } => {
+                self.issue(command, flat_bank);
+            }
+            ScheduleDecision::WaitIssue { at, .. } => {
+                debug_assert!(at > self.now);
+                self.stats.stall_cycles += 1;
+            }
+            ScheduleDecision::Idle => {}
+        }
+        self.now += 1;
+        !self.queues.is_empty() || self.refresh.is_pending()
+    }
+
+    /// Advances the controller to the **next state transition** (the
+    /// event-driven engine).
+    ///
+    /// If a command is issuable at the current cycle it is issued, exactly as
+    /// under [`Self::tick`].  Otherwise the clock jumps directly to the
+    /// earlier of (a) the earliest cycle at which any candidate command
+    /// becomes ready and (b) the next refresh deadline.  In case (a) the
+    /// winning candidate is issued in the same step — the scheduler already
+    /// knows it is the best `(priority, seq)` among the candidates maturing
+    /// at that cycle, and nothing else can change the candidate set before
+    /// then.  In case (b) the step ends without issuing so the next decision
+    /// sees the refresh obligation, exactly like the per-cycle engine would.
+    ///
+    /// Returns `true` if any work remains (queued requests or owed refresh).
+    pub fn advance(&mut self) -> bool {
+        self.refresh.tick(self.now);
+        if self.fast_path_ok {
+            // Incremental scheduler: O(1)-maintained per-bank candidates
+            // combined with per-step channel floors (see `event`).  An owed
+            // *per-bank* refresh is a single extra O(1) candidate; only
+            // all-bank refresh drains need the full scan.
+            let pending = self.refresh.is_pending();
+            if !pending || self.refresh.mode() == RefreshMode::PerBank {
+                return self.advance_fast(pending);
+            }
+        }
+        self.advance_slow()
+    }
+
+    /// One event-engine step via the full scheduler scan (refresh windows,
+    /// FCFS, closed-page and exotic geometries take this path).
+    pub(crate) fn advance_slow(&mut self) -> bool {
+        match self.schedule() {
+            ScheduleDecision::Issue { command, flat_bank } => {
                 self.issue(command, flat_bank);
                 self.now += 1;
             }
-            ScheduleOutcome::Wait(at) => {
+            ScheduleDecision::WaitIssue {
+                at,
+                command,
+                flat_bank,
+            } => {
                 debug_assert!(at > self.now);
-                self.stats.stall_cycles += at - self.now;
-                self.now = at;
+                if self.queues.is_empty() && !self.refresh.is_pending() {
+                    // No work remains (the candidate is a proactive
+                    // closed-page precharge): the cycle engine's drive loop
+                    // stops after one more cycle without reaching it, so
+                    // mirror that final cycle instead of jump-issuing.
+                    self.stats.stall_cycles += 1;
+                    self.now += 1;
+                    return false;
+                }
+                // Between `now` and `at` the candidate set can only change at
+                // a refresh deadline; never jump past one.
+                let due = self.refresh.next_due();
+                if due <= at {
+                    self.stats.stall_cycles += due - self.now;
+                    self.now = due;
+                } else {
+                    self.stats.stall_cycles += at - self.now;
+                    self.now = at;
+                    self.issue(command, flat_bank);
+                    self.now += 1;
+                }
             }
-            ScheduleOutcome::Idle => {
+            ScheduleDecision::Idle => {
                 self.now += 1;
             }
         }
@@ -258,9 +444,9 @@ impl Controller {
     }
 
     /// Runs until all queued requests have been issued and all owed refreshes
-    /// have been performed.
+    /// have been performed, using the configured [`TimingEngine`].
     pub fn drain(&mut self) {
-        while self.tick() {}
+        while self.step() {}
         // Account for the tail of the last data burst.
         self.finalize_elapsed();
     }
@@ -274,31 +460,40 @@ impl Controller {
     // Scheduling
     // ----------------------------------------------------------------- //
 
-    fn schedule(&self) -> ScheduleOutcome {
+    fn schedule(&self) -> ScheduleDecision {
         let mut best_issue: Option<(u8, u64, Command, usize)> = None; // (priority, seq, cmd, bank)
-        let mut earliest_wait: Option<u64> = None;
+                                                                      // (ready_at, priority, seq, cmd, bank): the best candidate at the
+                                                                      // earliest future ready cycle — what the scheduler will pick there
+                                                                      // unless a refresh deadline intervenes.
+        let mut best_wait: Option<(u64, u8, u64, Command, usize)> = None;
 
-        let consider = |priority: u8,
-                        seq: u64,
-                        ready_at: u64,
-                        command: Command,
-                        flat_bank: usize,
-                        now: u64,
-                        best_issue: &mut Option<(u8, u64, Command, usize)>,
-                        earliest_wait: &mut Option<u64>| {
-            if ready_at <= now {
-                let candidate = (priority, seq, command, flat_bank);
-                let better = match best_issue {
-                    None => true,
-                    Some((p, s, _, _)) => (priority, seq) < (*p, *s),
-                };
-                if better {
-                    *best_issue = Some(candidate);
+        let consider =
+            |priority: u8,
+             seq: u64,
+             ready_at: u64,
+             command: Command,
+             flat_bank: usize,
+             now: u64,
+             best_issue: &mut Option<(u8, u64, Command, usize)>,
+             best_wait: &mut Option<(u64, u8, u64, Command, usize)>| {
+                if ready_at <= now {
+                    let better = match best_issue {
+                        None => true,
+                        Some((p, s, _, _)) => (priority, seq) < (*p, *s),
+                    };
+                    if better {
+                        *best_issue = Some((priority, seq, command, flat_bank));
+                    }
+                } else {
+                    let better = match best_wait {
+                        None => true,
+                        Some((a, p, s, _, _)) => (ready_at, priority, seq) < (*a, *p, *s),
+                    };
+                    if better {
+                        *best_wait = Some((ready_at, priority, seq, command, flat_bank));
+                    }
                 }
-            } else {
-                *earliest_wait = Some(earliest_wait.map_or(ready_at, |w: u64| w.min(ready_at)));
-            }
-        };
+            };
 
         // Refresh handling gets dedicated candidates.
         let (block_all_acts, blocked_bank) = match (self.refresh.is_pending(), self.refresh.mode())
@@ -331,7 +526,7 @@ impl Controller {
                             0,
                             self.now,
                             &mut best_issue,
-                            &mut earliest_wait,
+                            &mut best_wait,
                         );
                     } else {
                         for (i, bank) in self.banks.iter().enumerate() {
@@ -345,7 +540,7 @@ impl Controller {
                                     i,
                                     self.now,
                                     &mut best_issue,
-                                    &mut earliest_wait,
+                                    &mut best_wait,
                                 );
                             }
                         }
@@ -368,7 +563,7 @@ impl Controller {
                             target,
                             self.now,
                             &mut best_issue,
-                            &mut earliest_wait,
+                            &mut best_wait,
                         );
                     } else {
                         consider(
@@ -379,7 +574,7 @@ impl Controller {
                             target,
                             self.now,
                             &mut best_issue,
-                            &mut earliest_wait,
+                            &mut best_wait,
                         );
                     }
                 }
@@ -417,7 +612,7 @@ impl Controller {
                     flat_bank,
                     self.now,
                     &mut best_issue,
-                    &mut earliest_wait,
+                    &mut best_wait,
                 );
             } else if bank.is_idle() {
                 if blocked_bank == Some(flat_bank) {
@@ -433,7 +628,7 @@ impl Controller {
                     flat_bank,
                     self.now,
                     &mut best_issue,
-                    &mut earliest_wait,
+                    &mut best_wait,
                 );
             } else {
                 // Row conflict: precharge first.
@@ -446,7 +641,7 @@ impl Controller {
                     flat_bank,
                     self.now,
                     &mut best_issue,
-                    &mut earliest_wait,
+                    &mut best_wait,
                 );
             }
         }
@@ -464,22 +659,27 @@ impl Controller {
                         i,
                         self.now,
                         &mut best_issue,
-                        &mut earliest_wait,
+                        &mut best_wait,
                     );
                 }
             }
         }
 
         if let Some((_, _, command, flat_bank)) = best_issue {
-            ScheduleOutcome::Issue { command, flat_bank }
-        } else if let Some(at) = earliest_wait {
-            ScheduleOutcome::Wait(at.max(self.now + 1))
-        } else if self.refresh.is_pending() {
-            ScheduleOutcome::Wait(self.now + 1)
-        } else if self.queues.is_empty() {
-            ScheduleOutcome::Idle
+            ScheduleDecision::Issue { command, flat_bank }
+        } else if let Some((at, _, _, command, flat_bank)) = best_wait {
+            ScheduleDecision::WaitIssue {
+                at: at.max(self.now + 1),
+                command,
+                flat_bank,
+            }
         } else {
-            ScheduleOutcome::Wait(self.now + 1)
+            // Work pending always yields at least one candidate: every
+            // active bank produces a hit/activate/precharge candidate and a
+            // pending refresh produces a refresh or drain-precharge
+            // candidate.  Only truly idle controllers land here.
+            debug_assert!(self.queues.is_empty() && !self.refresh.is_pending());
+            ScheduleDecision::Idle
         }
     }
 
@@ -497,46 +697,44 @@ impl Controller {
     // Timing
     // ----------------------------------------------------------------- //
 
+    /// Earliest cycle an ACT command may be issued to `flat_bank`, combining
+    /// the bank's own `act_allowed_at` with the channel-level activation-rate
+    /// limits (`t_rrd_s`/`t_rrd_l`/`t_faw`).
     fn earliest_activate(&self, flat_bank: usize, bank_group: u32) -> u64 {
         let t = &self.config.timing;
         let mut ready = self.banks[flat_bank].act_allowed_at;
         if let Some(last) = self.last_act_any {
-            ready = ready.max(last + t.t_rrd_s);
+            ready = ready.max(t.act_ready_after_act(last, false));
         }
         if let Some(Some(last)) = self.last_act_per_group.get(bank_group as usize) {
-            ready = ready.max(*last + t.t_rrd_l);
+            ready = ready.max(t.act_ready_after_act(*last, true));
         }
-        if self.act_window.len() >= 4 {
-            let fourth_last = self.act_window[self.act_window.len() - 4];
-            ready = ready.max(fourth_last + t.t_faw);
+        if self.act_count >= 4 {
+            let fourth_last = self.act_ring[(self.act_count & 3) as usize];
+            ready = ready.max(t.act_ready_after_faw(fourth_last));
         }
         ready
     }
 
+    /// Earliest cycle a RD/WR command may be issued to `flat_bank`, combining
+    /// the bank's own `col_allowed_at` with the channel-level column-gap,
+    /// write-to-read and data-bus constraints.
     fn earliest_column(&self, flat_bank: usize, bank_group: u32, is_write: bool) -> u64 {
         let t = &self.config.timing;
-        let burst = self.config.geometry.burst_cycles();
         let mut ready = self.banks[flat_bank].col_allowed_at;
         if let Some(col) = self.last_column {
-            let gap = if col.bank_group == bank_group {
-                t.t_ccd_l
-            } else {
-                t.t_ccd_s
-            };
-            ready = ready.max(col.time + gap);
+            ready = ready.max(t.column_ready_after_column(col.time, col.bank_group == bank_group));
         }
         if !is_write {
             if let Some((wr_data_end, wr_group)) = self.last_write_data_end {
-                let gap = if wr_group == bank_group {
-                    t.t_wtr_l
-                } else {
-                    t.t_wtr_s
-                };
-                ready = ready.max(wr_data_end + gap);
+                ready =
+                    ready.max(t.read_ready_after_write_data(wr_data_end, wr_group == bank_group));
             }
         }
-        // Data bus availability.
-        let latency = if is_write { t.cwl } else { t.cl };
+        // Data bus availability: the command must not start its data burst
+        // before the bus is free (plus a turnaround bubble on direction
+        // changes).
+        let latency = t.column_latency(is_write);
         let mut bus_free = self.data_bus_free_at;
         if let Some(last_write) = self.last_data_was_write {
             if last_write != is_write {
@@ -544,7 +742,6 @@ impl Controller {
             }
         }
         ready = ready.max(bus_free.saturating_sub(latency));
-        let _ = burst;
         ready
     }
 
@@ -553,25 +750,23 @@ impl Controller {
     // ----------------------------------------------------------------- //
 
     fn issue(&mut self, command: Command, flat_bank: usize) {
-        let t = self.config.timing;
+        let t = &self.config.timing;
         let burst = self.config.geometry.burst_cycles();
         let now = self.now;
         match command.kind {
             CommandKind::Activate => {
-                self.banks[flat_bank].record_activate(now, command.address.row, &t);
+                self.banks[flat_bank].record_activate(now, command.address.row, t);
                 self.last_act_any = Some(now);
                 self.last_act_per_group[command.address.bank_group as usize] = Some(now);
-                if self.act_window.len() == 4 {
-                    self.act_window.pop_front();
-                }
-                self.act_window.push_back(now);
+                self.act_ring[(self.act_count & 3) as usize] = now;
+                self.act_count += 1;
                 self.stats.activates += 1;
                 if let Some(head) = self.queues.head_mut(flat_bank) {
                     head.caused_activate = true;
                 }
             }
             CommandKind::Precharge => {
-                self.banks[flat_bank].record_precharge(now, &t);
+                self.banks[flat_bank].record_precharge(now, t);
                 self.stats.precharges += 1;
                 if let Some(head) = self.queues.head_mut(flat_bank) {
                     head.caused_conflict = true;
@@ -580,7 +775,7 @@ impl Controller {
             CommandKind::PrechargeAll => {
                 for bank in &mut self.banks {
                     if !bank.is_idle() {
-                        bank.record_precharge(now, &t);
+                        bank.record_precharge(now, t);
                     }
                 }
                 self.stats.precharges += 1;
@@ -588,11 +783,11 @@ impl Controller {
             CommandKind::Read | CommandKind::Write => {
                 let is_write = command.kind == CommandKind::Write;
                 if is_write {
-                    self.banks[flat_bank].record_write(now, burst, &t);
+                    self.banks[flat_bank].record_write(now, burst, t);
                 } else {
-                    self.banks[flat_bank].record_read(now, burst, &t);
+                    self.banks[flat_bank].record_read(now, burst, t);
                 }
-                let latency = if is_write { t.cwl } else { t.cl };
+                let latency = t.column_latency(is_write);
                 let data_start = now + latency;
                 let data_end = data_start + burst;
                 self.data_bus_free_at = data_end;
@@ -618,13 +813,14 @@ impl Controller {
                     RequestKind::Read => self.stats.read_bursts += 1,
                     RequestKind::Write => self.stats.write_bursts += 1,
                 }
-                if entry.caused_conflict {
-                    self.stats.row_conflicts += 1;
-                } else if entry.caused_activate {
-                    self.stats.row_empties += 1;
-                } else {
-                    self.stats.row_hits += 1;
-                }
+                // Branchless row-class accounting: the class alternates
+                // erratically in conflict-heavy phases, so a branch chain
+                // here mispredicts on the hottest per-command path.
+                let conflict = u64::from(entry.caused_conflict);
+                let empty = u64::from(!entry.caused_conflict & entry.caused_activate);
+                self.stats.row_conflicts += conflict;
+                self.stats.row_empties += empty;
+                self.stats.row_hits += 1 - conflict - empty;
             }
             CommandKind::RefreshAll => {
                 for bank in &mut self.banks {
@@ -643,6 +839,20 @@ impl Controller {
                 self.stats.refreshes_per_bank += 1;
                 self.refresh.complete_one();
             }
+        }
+        // Keep the event engine's head-candidate cache in sync: single-bank
+        // commands only mutate their own bank, all-bank commands mutate
+        // every bank.  Channel-level state is not cached per candidate, but
+        // the per-class floor table derived from it is — mark the classes
+        // this command shifted.
+        match command.kind {
+            CommandKind::PrechargeAll | CommandKind::RefreshAll => self.reclassify_all_banks(),
+            _ => self.reclassify_bank(flat_bank),
+        }
+        match command.kind {
+            CommandKind::Read | CommandKind::Write => self.floors_col_dirty = true,
+            CommandKind::Activate => self.floors_act_dirty = true,
+            _ => {}
         }
     }
 }

@@ -85,6 +85,12 @@ impl CommandQueues {
         true
     }
 
+    /// Number of requests queued for `flat_bank`.
+    #[must_use]
+    pub fn bank_len(&self, flat_bank: usize) -> usize {
+        self.queues[flat_bank].len()
+    }
+
     /// The oldest request queued for `flat_bank`, if any.
     #[must_use]
     pub fn head(&self, flat_bank: usize) -> Option<&QueuedRequest> {

@@ -1,4 +1,4 @@
-//! # tbi-dram — a cycle-accurate DRAM device and memory-controller model
+//! # tbi-dram — a timing-faithful DRAM device and memory-controller model
 //!
 //! This crate is the DRAM substrate used by the
 //! [`tbi-interleaver`](https://example.org/tbi) workspace to study how the
@@ -6,8 +6,16 @@
 //! devices (DDR3, DDR4, DDR5, LPDDR4, LPDDR5).  It plays the role that the
 //! DRAMSys simulator plays in the original paper: given a stream of read or
 //! write bursts addressed by (bank group, bank, row, column), it simulates a
-//! single-channel memory controller plus device at cycle granularity and
-//! reports the achieved **data-bus bandwidth utilization**.
+//! single-channel memory controller plus device under the JEDEC timing
+//! constraints and reports the achieved **data-bus bandwidth utilization**.
+//!
+//! Two interchangeable [`TimingEngine`]s advance the clock: the
+//! **event-driven** engine (default) jumps from state transition to state
+//! transition, while the **cycle-accurate** reference steps one device clock
+//! cycle at a time.  They execute the same scheduler and are verified to
+//! produce bit-identical statistics; the event engine is simply an order of
+//! magnitude faster on interleaver-scale traces (see the
+//! [`controller`] module documentation for the invariants).
 //!
 //! The model enforces the first-order JEDEC timing constraints that determine
 //! the difference between "good" and "bad" access patterns:
@@ -53,8 +61,8 @@
 //! | [`command`] | the DRAM command set issued by the controller |
 //! | [`bank`] | per-bank state machine with earliest-issue bookkeeping |
 //! | [`request`] | read/write burst requests |
-//! | [`controller`] | transaction queues, FR-FCFS scheduler, page policies, refresh |
-//! | [`sim`] | [`MemorySystem`]: the user-facing cycle loop |
+//! | [`controller`] | transaction queues, FR-FCFS scheduler, page policies, refresh, the two timing engines |
+//! | [`sim`] | [`MemorySystem`]: the user-facing simulation driver |
 //! | [`stats`] | bandwidth and page hit/miss statistics |
 //! | [`energy`] | a DRAMPower-style energy estimate |
 
@@ -79,7 +87,9 @@ pub use address::{AddressDecoder, DecodeScheme, PhysicalAddress};
 pub use bank::{BankId, BankState};
 pub use builder::DramConfigBuilder;
 pub use command::{Command, CommandKind};
-pub use controller::{Controller, ControllerConfig, PagePolicy, RefreshMode, SchedulingPolicy};
+pub use controller::{
+    Controller, ControllerConfig, PagePolicy, RefreshMode, SchedulingPolicy, TimingEngine,
+};
 pub use energy::{EnergyParams, EnergyReport};
 pub use error::ConfigError;
 pub use geometry::DeviceGeometry;

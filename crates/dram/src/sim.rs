@@ -1,6 +1,6 @@
 //! The user-facing memory system: a thin driver around [`Controller`].
 
-use crate::controller::{Controller, ControllerConfig};
+use crate::controller::{Controller, ControllerConfig, TimingEngine};
 use crate::energy::{EnergyParams, EnergyReport};
 use crate::error::ConfigError;
 use crate::request::Request;
@@ -74,11 +74,27 @@ impl MemorySystem {
         self.controller.enqueue(request)
     }
 
-    /// Advances the simulation by one scheduling step.
+    /// The timing engine driving [`Self::run_trace`] /
+    /// [`Self::run_to_completion`].
+    #[must_use]
+    pub fn engine(&self) -> TimingEngine {
+        self.controller.controller_config().engine
+    }
+
+    /// Advances the simulation by exactly one device clock cycle (the
+    /// cycle-accurate reference shim; see [`Controller::tick`]).
     ///
     /// Returns `true` while work remains.
     pub fn tick(&mut self) -> bool {
         self.controller.tick()
+    }
+
+    /// Advances the simulation by one step of the configured
+    /// [`TimingEngine`] (see [`Controller::step`]).
+    ///
+    /// Returns `true` while work remains.
+    pub fn step(&mut self) -> bool {
+        self.controller.step()
     }
 
     /// Runs until all queued requests and owed refreshes have completed and
@@ -100,33 +116,29 @@ impl MemorySystem {
         I: IntoIterator<Item = Request>,
     {
         let mut trace = trace.into_iter();
-        let mut pending_item: Option<Request> = None;
+        let mut exhausted = false;
         loop {
-            // Fill the queue as far as possible.
-            loop {
-                let item = match pending_item.take() {
-                    Some(item) => item,
-                    None => match trace.next() {
-                        Some(item) => item,
-                        None => break,
-                    },
-                };
-                if !self.controller.enqueue(item) {
-                    pending_item = Some(item);
-                    break;
+            // Fill exactly the free queue slots (no failed-enqueue probing).
+            let mut free = self.controller.free_slots();
+            while free > 0 && !exhausted {
+                match trace.next() {
+                    Some(item) => {
+                        let accepted = self.controller.enqueue(item);
+                        debug_assert!(accepted, "enqueue within free_slots cannot fail");
+                        free -= 1;
+                    }
+                    None => exhausted = true,
                 }
             }
-            if pending_item.is_none() {
-                // Trace exhausted (or queue empty): drain what is left.
-                if self.controller.pending_requests() == 0 {
-                    break;
-                }
-                self.controller.tick();
-                if self.controller.pending_requests() == 0 {
-                    break;
-                }
-            } else {
-                self.controller.tick();
+            if self.controller.pending_requests() == 0 {
+                break;
+            }
+            // While the queue is full no request can arrive, so stepping
+            // repeatedly is indistinguishable from re-entering this loop;
+            // batching until a slot frees up skips the refill bookkeeping.
+            self.controller.step();
+            while !self.controller.can_accept() && self.controller.pending_requests() > 0 {
+                self.controller.step();
             }
         }
         self.controller.drain();

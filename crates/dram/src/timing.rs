@@ -142,6 +142,90 @@ impl TimingParams {
     pub fn row_miss_penalty(&self) -> u64 {
         self.t_rp + self.t_rcd
     }
+
+    // ----------------------------------------------------------------- //
+    // Earliest-ready-cycle queries
+    //
+    // The event-driven engine never polls "can I issue now?" cycle by
+    // cycle; instead it asks the timing table directly for the earliest
+    // cycle at which a follow-up command satisfies each constraint and
+    // jumps the clock there.  These helpers answer those queries.
+    // ----------------------------------------------------------------- //
+
+    /// Minimum spacing between two column (RD/WR) commands, depending on
+    /// whether both target the **same bank group** (`t_ccd_l`) or different
+    /// ones (`t_ccd_s`).
+    #[must_use]
+    pub fn ccd(&self, same_bank_group: bool) -> u64 {
+        if same_bank_group {
+            self.t_ccd_l
+        } else {
+            self.t_ccd_s
+        }
+    }
+
+    /// Minimum spacing between two ACT commands to different banks,
+    /// depending on whether both target the **same bank group** (`t_rrd_l`)
+    /// or different ones (`t_rrd_s`).
+    #[must_use]
+    pub fn rrd(&self, same_bank_group: bool) -> u64 {
+        if same_bank_group {
+            self.t_rrd_l
+        } else {
+            self.t_rrd_s
+        }
+    }
+
+    /// Write-to-read turnaround measured from the last write data beat,
+    /// depending on whether the read targets the **same bank group**
+    /// (`t_wtr_l`) or a different one (`t_wtr_s`).
+    #[must_use]
+    pub fn wtr(&self, same_bank_group: bool) -> u64 {
+        if same_bank_group {
+            self.t_wtr_l
+        } else {
+            self.t_wtr_s
+        }
+    }
+
+    /// Command-to-first-data-beat latency of a column command (`cwl` for
+    /// writes, `cl` for reads).
+    #[must_use]
+    pub fn column_latency(&self, is_write: bool) -> u64 {
+        if is_write {
+            self.cwl
+        } else {
+            self.cl
+        }
+    }
+
+    /// Earliest cycle a column command may follow a column command issued at
+    /// `last_column_at`.
+    #[must_use]
+    pub fn column_ready_after_column(&self, last_column_at: u64, same_bank_group: bool) -> u64 {
+        last_column_at + self.ccd(same_bank_group)
+    }
+
+    /// Earliest cycle a read command may follow a write whose **data** ended
+    /// at `write_data_end`.
+    #[must_use]
+    pub fn read_ready_after_write_data(&self, write_data_end: u64, same_bank_group: bool) -> u64 {
+        write_data_end + self.wtr(same_bank_group)
+    }
+
+    /// Earliest cycle an ACT command may follow an ACT issued at
+    /// `last_act_at` on a *different* bank.
+    #[must_use]
+    pub fn act_ready_after_act(&self, last_act_at: u64, same_bank_group: bool) -> u64 {
+        last_act_at + self.rrd(same_bank_group)
+    }
+
+    /// Earliest cycle a fifth ACT may follow the ACT that opened the current
+    /// four-activate window at `fourth_last_act_at`.
+    #[must_use]
+    pub fn act_ready_after_faw(&self, fourth_last_act_at: u64) -> u64 {
+        fourth_last_act_at + self.t_faw
+    }
 }
 
 /// Converts a nanosecond datasheet value to clock cycles at `clock_mhz`,

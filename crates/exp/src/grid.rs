@@ -2,7 +2,7 @@
 
 use std::collections::HashSet;
 
-use tbi_dram::{ControllerConfig, DramConfig, DramStandard, RefreshMode};
+use tbi_dram::{ControllerConfig, DramConfig, DramStandard, RefreshMode, TimingEngine};
 use tbi_interleaver::{InterleaverSpec, MappingKind};
 
 use crate::runner::Experiment;
@@ -174,6 +174,14 @@ impl SweepGrid {
     #[must_use]
     pub fn controller(mut self, controller: ControllerConfig) -> Self {
         self.controller = controller;
+        self
+    }
+
+    /// Selects the timing engine for every scenario of the grid (the
+    /// event-driven engine is the default).
+    #[must_use]
+    pub fn engine(mut self, engine: TimingEngine) -> Self {
+        self.controller.engine = engine;
         self
     }
 
@@ -372,6 +380,20 @@ mod tests {
             scenarios[0].controller().refresh_mode,
             Some(RefreshMode::Disabled)
         );
+    }
+
+    #[test]
+    fn engine_propagates_to_every_scenario() {
+        let scenarios = SweepGrid::new()
+            .preset(DramStandard::Ddr3, 800)
+            .unwrap()
+            .size(500)
+            .mappings(MappingKind::TABLE1)
+            .engine(TimingEngine::Cycle)
+            .scenarios();
+        assert!(scenarios
+            .iter()
+            .all(|s| s.controller().engine == TimingEngine::Cycle));
     }
 
     #[test]

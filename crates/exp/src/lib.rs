@@ -79,6 +79,10 @@ pub enum ExpError {
     Scenario {
         /// The stable ID of the failing scenario.
         id: String,
+        /// The full grid-axis value set of the failing scenario
+        /// ([`Scenario`]'s `Display`), so a failing sweep cell is
+        /// diagnosable from a CI log without re-running the sweep.
+        detail: String,
         /// The underlying failure.
         source: Box<ExpError>,
     },
@@ -97,7 +101,9 @@ impl std::fmt::Display for ExpError {
             ExpError::Interleaver(e) => write!(f, "{e}"),
             ExpError::Dram(e) => write!(f, "DRAM configuration error: {e}"),
             ExpError::Satcom(e) => write!(f, "link stage error: {e}"),
-            ExpError::Scenario { id, source } => write!(f, "scenario `{id}`: {source}"),
+            ExpError::Scenario { id, detail, source } => {
+                write!(f, "scenario `{id}` ({detail}): {source}")
+            }
             ExpError::Io { path, message } => write!(f, "cannot write `{path}`: {message}"),
         }
     }
@@ -145,12 +151,40 @@ mod tests {
         });
         let err = ExpError::Scenario {
             id: "DDR4-3200/b100/row-major/refresh=default".to_string(),
+            detail: "dram=DDR4-3200 bursts=100 mapping=row-major".to_string(),
             source: Box::new(inner),
         };
         let text = err.to_string();
         assert!(text.contains("DDR4-3200"));
         assert!(text.contains("100 bursts"));
+        assert!(
+            text.contains("dram=DDR4-3200 bursts=100"),
+            "axis detail missing: {text}"
+        );
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn scenario_errors_from_experiments_carry_axis_values() {
+        use tbi_interleaver::{InterleaverSpec, MappingKind};
+        let scenario = Scenario::preset(
+            tbi_dram::DramStandard::Ddr3,
+            800,
+            MappingKind::RowMajor,
+            InterleaverSpec::from_burst_count(100_000_000_000),
+        )
+        .unwrap();
+        let err = Experiment::new(vec![scenario]).run().unwrap_err();
+        let text = err.to_string();
+        for fragment in [
+            "dram=DDR3-800",
+            "bursts=100000000000",
+            "mapping=row-major",
+            "refresh=default",
+            "engine=event",
+        ] {
+            assert!(text.contains(fragment), "`{fragment}` missing from: {text}");
+        }
     }
 
     #[test]

@@ -15,9 +15,14 @@ pub struct LinkRecord {
 ///
 /// Records compare bit-exactly ([`PartialEq`]): the DRAM simulation is
 /// deterministic, so two runs of the same scenario — regardless of worker
-/// count — produce identical records.  They serialize to JSON and CSV via
-/// [`crate::serialize`].
-#[derive(Debug, Clone, PartialEq)]
+/// count or [timing engine](tbi_dram::TimingEngine) — produce identical
+/// records.  The two **wall-clock** fields ([`Record::wall_time_s`] and
+/// [`Record::sim_cycles_per_second`]) are the only non-deterministic ones;
+/// they are deliberately excluded from the manual [`PartialEq`]
+/// implementation so that "bit-identical" remains a meaningful cross-run
+/// property while speedups still get recorded.  Records serialize to JSON
+/// and CSV via [`crate::serialize`].
+#[derive(Debug, Clone)]
 pub struct Record {
     /// Stable ID of the scenario that produced this record.
     pub scenario_id: String,
@@ -50,8 +55,41 @@ pub struct Record {
     pub energy_total_mj: f64,
     /// Estimated energy per transferred byte in nanojoules.
     pub energy_nj_per_byte: f64,
+    /// Simulated device clock cycles across both phases (deterministic).
+    pub simulated_cycles: u64,
+    /// Wall-clock seconds spent simulating the DRAM phases (host-dependent;
+    /// **excluded** from [`PartialEq`]).
+    pub wall_time_s: f64,
+    /// Simulation speed in simulated cycles per wall-clock second
+    /// (host-dependent; **excluded** from [`PartialEq`]).
+    pub sim_cycles_per_second: f64,
     /// Error rates of the optional channel/FEC stage.
     pub link: Option<LinkRecord>,
+}
+
+/// Equality over the *deterministic* fields only: everything except
+/// [`Record::wall_time_s`] and [`Record::sim_cycles_per_second`], which vary
+/// run to run on the same scenario.
+impl PartialEq for Record {
+    fn eq(&self, other: &Self) -> bool {
+        self.scenario_id == other.scenario_id
+            && self.dram_label == other.dram_label
+            && self.mapping == other.mapping
+            && self.bursts == other.bursts
+            && self.dimension == other.dimension
+            && self.refresh_disabled == other.refresh_disabled
+            && self.write_utilization == other.write_utilization
+            && self.read_utilization == other.read_utilization
+            && self.min_utilization == other.min_utilization
+            && self.sustained_gbps == other.sustained_gbps
+            && self.write_row_hit_rate == other.write_row_hit_rate
+            && self.read_row_hit_rate == other.read_row_hit_rate
+            && self.activates == other.activates
+            && self.energy_total_mj == other.energy_total_mj
+            && self.energy_nj_per_byte == other.energy_nj_per_byte
+            && self.simulated_cycles == other.simulated_cycles
+            && self.link == other.link
+    }
 }
 
 impl Record {
@@ -84,8 +122,23 @@ mod tests {
             activates: 123,
             energy_total_mj: 1.5,
             energy_nj_per_byte: 2.5,
+            simulated_cycles: 4_000,
+            wall_time_s: 0.25,
+            sim_cycles_per_second: 16_000.0,
             link: None,
         }
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_fields() {
+        let a = sample("a", 0.5);
+        let mut b = a.clone();
+        b.wall_time_s = 99.0;
+        b.sim_cycles_per_second = 1.0;
+        assert_eq!(a, b, "wall-clock fields must not affect equality");
+        let mut c = a.clone();
+        c.simulated_cycles += 1;
+        assert_ne!(a, c, "simulated cycles are deterministic and compared");
     }
 
     #[test]

@@ -84,6 +84,28 @@ impl Experiment {
 
     /// Runs every scenario and returns the records in scenario order.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tbi_dram::DramStandard;
+    /// use tbi_exp::{Experiment, Scenario};
+    /// use tbi_interleaver::{InterleaverSpec, MappingKind};
+    ///
+    /// # fn main() -> Result<(), tbi_exp::ExpError> {
+    /// let scenario = Scenario::preset(
+    ///     DramStandard::Ddr4,
+    ///     3200,
+    ///     MappingKind::Optimized,
+    ///     InterleaverSpec::from_burst_count(2_000),
+    /// )?;
+    /// let records = Experiment::new(vec![scenario]).run()?;
+    /// assert_eq!(records.len(), 1);
+    /// assert!(records[0].min_utilization > 0.5);
+    /// assert!(records[0].simulated_cycles > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`ExpError::Scenario`] naming the first failing scenario in
@@ -123,10 +145,12 @@ impl Experiment {
     }
 }
 
-/// Runs one scenario, wrapping failures with the scenario's ID.
+/// Runs one scenario, wrapping failures with the scenario's ID and its full
+/// axis-value display (so a failing sweep cell is diagnosable from the log).
 fn run_one(scenario: &Scenario) -> Result<Record, ExpError> {
     scenario.run().map_err(|source| ExpError::Scenario {
         id: scenario.id(),
+        detail: scenario.to_string(),
         source: Box::new(source),
     })
 }

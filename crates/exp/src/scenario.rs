@@ -5,6 +5,7 @@ use rand::SeedableRng;
 
 use tbi_dram::{
     ControllerConfig, DramConfig, DramStandard, EnergyParams, EnergyReport, RefreshMode,
+    TimingEngine,
 };
 use tbi_interleaver::mapping::DramMapping;
 use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
@@ -155,6 +156,15 @@ impl Scenario {
         self
     }
 
+    /// Selects the timing engine advancing the DRAM clock (the event-driven
+    /// engine is the default; the cycle-accurate engine remains available as
+    /// the reference for equivalence checks and benchmarks).
+    #[must_use]
+    pub fn with_engine(mut self, engine: TimingEngine) -> Self {
+        self.controller.engine = engine;
+        self
+    }
+
     /// Attaches a channel/FEC stage whose error rates are reported alongside
     /// the DRAM metrics.
     #[must_use]
@@ -235,14 +245,28 @@ impl Scenario {
 
     /// Runs the scenario and collects a structured [`Record`].
     ///
+    /// The DRAM simulation is timed with a monotonic clock; the resulting
+    /// [`Record::wall_time_s`] and [`Record::sim_cycles_per_second`] record
+    /// how fast the configured [`TimingEngine`]
+    /// chewed through the simulated cycles (they are excluded from record
+    /// equality, see [`Record`]).
+    ///
     /// # Errors
     ///
     /// Returns [`ExpError`] if the mapping cannot be built, the interleaver
     /// does not fit the device, or the optional link stage fails.
     pub fn run(&self) -> Result<Record, ExpError> {
+        let started = std::time::Instant::now();
         let report = self.evaluator().evaluate(self.mapping)?;
+        let wall_time_s = started.elapsed().as_secs_f64();
         let mut totals = report.write.stats.clone();
         totals.merge(&report.read.stats);
+        let simulated_cycles = totals.elapsed_cycles;
+        let sim_cycles_per_second = if wall_time_s > 0.0 {
+            simulated_cycles as f64 / wall_time_s
+        } else {
+            0.0
+        };
         let energy =
             EnergyReport::from_stats(&totals, &self.dram, &EnergyParams::for_config(&self.dram));
         let link = self.link.as_ref().map(LinkStage::run).transpose()?;
@@ -262,8 +286,34 @@ impl Scenario {
             activates: totals.activates,
             energy_total_mj: energy.total_mj,
             energy_nj_per_byte: energy.nj_per_byte,
+            simulated_cycles,
+            wall_time_s,
+            sim_cycles_per_second,
             link,
         })
+    }
+}
+
+/// The full grid-axis value set of the scenario, one line: DRAM label,
+/// interleaver size and dimension, mapping, refresh mode, scheduling/page
+/// policy, queue capacity and timing engine.  Experiment errors embed this
+/// so a failing sweep cell is diagnosable from the log alone.
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dram={} bursts={} dimension={} mapping={} refresh={} \
+             scheduling={:?} page_policy={:?} queue_capacity={} engine={}",
+            self.dram.label(),
+            self.spec.burst_count(),
+            self.spec.dimension(),
+            self.mapping.name(),
+            refresh_tag(self.controller.refresh_mode),
+            self.controller.scheduling,
+            self.controller.page_policy,
+            self.controller.queue_capacity,
+            self.controller.engine,
+        )
     }
 }
 
@@ -310,6 +360,65 @@ mod tests {
             small_spec(),
         );
         assert!(matches!(err, Err(ExpError::Dram(_))));
+    }
+
+    #[test]
+    fn display_carries_every_grid_axis_value() {
+        let s = Scenario::preset(
+            DramStandard::Lpddr5,
+            8533,
+            MappingKind::Optimized,
+            small_spec(),
+        )
+        .unwrap()
+        .without_refresh();
+        let text = s.to_string();
+        for fragment in [
+            "dram=LPDDR5-8533",
+            "bursts=2000",
+            "dimension=",
+            "mapping=optimized",
+            "refresh=off",
+            "scheduling=FrFcfs",
+            "page_policy=Open",
+            "queue_capacity=64",
+            "engine=event",
+        ] {
+            assert!(text.contains(fragment), "`{fragment}` missing from {text}");
+        }
+    }
+
+    #[test]
+    fn with_engine_selects_the_timing_engine() {
+        let s = Scenario::preset(
+            DramStandard::Ddr4,
+            3200,
+            MappingKind::Optimized,
+            small_spec(),
+        )
+        .unwrap();
+        assert_eq!(s.controller().engine, TimingEngine::Event);
+        let cycle = s.clone().with_engine(TimingEngine::Cycle);
+        assert_eq!(cycle.controller().engine, TimingEngine::Cycle);
+        assert!(cycle.to_string().contains("engine=cycle"));
+        // Equal results either way — the records only differ in wall time.
+        assert_eq!(s.run().unwrap(), cycle.run().unwrap());
+    }
+
+    #[test]
+    fn records_report_simulation_speed() {
+        let record = Scenario::preset(
+            DramStandard::Ddr4,
+            3200,
+            MappingKind::Optimized,
+            small_spec(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(record.simulated_cycles > 0);
+        assert!(record.wall_time_s > 0.0);
+        assert!(record.sim_cycles_per_second > 0.0);
     }
 
     #[test]

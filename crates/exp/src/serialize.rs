@@ -59,7 +59,8 @@ fn record_to_json(record: &Record) -> String {
          \"refresh_disabled\":{},\"write_utilization\":{},\"read_utilization\":{},\
          \"min_utilization\":{},\"sustained_gbps\":{},\"write_row_hit_rate\":{},\
          \"read_row_hit_rate\":{},\"activates\":{},\"energy_total_mj\":{},\
-         \"energy_nj_per_byte\":{},\"link\":{}}}",
+         \"energy_nj_per_byte\":{},\"simulated_cycles\":{},\"wall_time_s\":{},\
+         \"sim_cycles_per_second\":{},\"link\":{}}}",
         json_string(&record.scenario_id),
         json_string(&record.dram_label),
         json_string(&record.mapping),
@@ -75,6 +76,9 @@ fn record_to_json(record: &Record) -> String {
         record.activates,
         json_number(record.energy_total_mj),
         json_number(record.energy_nj_per_byte),
+        record.simulated_cycles,
+        json_number(record.wall_time_s),
+        json_number(record.sim_cycles_per_second),
         link,
     )
 }
@@ -99,7 +103,8 @@ pub fn records_to_json(records: &[Record]) -> String {
 /// The CSV header emitted by [`records_to_csv`].
 pub const CSV_HEADER: &str = "scenario_id,dram,mapping,bursts,dimension,refresh_disabled,\
 write_utilization,read_utilization,min_utilization,sustained_gbps,write_row_hit_rate,\
-read_row_hit_rate,activates,energy_total_mj,energy_nj_per_byte,frame_error_rate,\
+read_row_hit_rate,activates,energy_total_mj,energy_nj_per_byte,simulated_cycles,\
+wall_time_s,sim_cycles_per_second,frame_error_rate,\
 channel_symbol_error_rate,residual_symbol_error_rate";
 
 /// Quotes a CSV field if it contains a comma, quote or newline.
@@ -127,7 +132,7 @@ pub fn records_to_csv(records: &[Record]) -> String {
             ),
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(&r.scenario_id),
             csv_field(&r.dram_label),
             csv_field(&r.mapping),
@@ -143,6 +148,9 @@ pub fn records_to_csv(records: &[Record]) -> String {
             r.activates,
             json_number(r.energy_total_mj),
             json_number(r.energy_nj_per_byte),
+            r.simulated_cycles,
+            json_number(r.wall_time_s),
+            json_number(r.sim_cycles_per_second),
             fer,
             cser,
             rser,
@@ -199,6 +207,9 @@ mod tests {
             activates: 40_000,
             energy_total_mj: 3.25,
             energy_nj_per_byte: 1.27,
+            simulated_cycles: 123_456,
+            wall_time_s: 0.5,
+            sim_cycles_per_second: 246_912.0,
             link: link.then_some(LinkRecord {
                 frame_error_rate: 0.015625,
                 channel_symbol_error_rate: 0.05,
@@ -253,8 +264,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], CSV_HEADER);
-        assert_eq!(lines[0].split(',').count(), 18);
-        assert_eq!(lines[1].split(',').count(), 18);
+        assert_eq!(lines[0].split(',').count(), 21);
+        assert_eq!(lines[1].split(',').count(), 21);
         assert!(
             lines[1].ends_with(",,,"),
             "link columns empty: {}",

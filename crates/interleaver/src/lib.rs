@@ -72,7 +72,7 @@ pub use block::BlockInterleaver;
 pub use config::InterleaverSpec;
 pub use mapping::{DramMapping, MappingKind, OptimizedMapping, RowMajorMapping};
 pub use throughput::{PhaseReport, ThroughputEvaluator, UtilizationReport};
-pub use trace::{AccessPhase, TraceGenerator};
+pub use trace::{AccessPhase, PhaseTrace, TraceGenerator};
 pub use triangular::TriangularInterleaver;
 pub use two_stage::TwoStageInterleaver;
 

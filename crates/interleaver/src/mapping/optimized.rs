@@ -64,6 +64,23 @@ pub struct OptimizedMapping {
     padded_height: u32,
     tiles_per_row_padded: u32,
     stagger: bool,
+    /// Shift/mask fast path for power-of-two geometries (all presets).  The
+    /// mapping is evaluated once per simulated burst, so the divide chain in
+    /// the generic path is hot enough to matter.
+    shifts: Option<OptShifts>,
+}
+
+/// Precomputed log2 widths and strides for the power-of-two fast path.
+#[derive(Debug, Clone, Copy)]
+struct OptShifts {
+    groups: u32,
+    tile_w: u32,
+    tile_h: u32,
+    banks_per_group: u32,
+    /// `tiles_per_row_padded / banks_per_group` (DRAM rows per tile-row).
+    row_stride: u32,
+    /// `tile_w / groups` (page columns per tile row).
+    col_stride: u32,
 }
 
 impl OptimizedMapping {
@@ -130,6 +147,20 @@ impl OptimizedMapping {
                 available_bursts: geometry.total_bursts(),
             });
         }
+        let all_pow2 = groups.is_power_of_two()
+            && banks_per_group.is_power_of_two()
+            && tile_w.is_power_of_two()
+            && tile_h.is_power_of_two()
+            && tile_w >= groups
+            && tile_h >= groups;
+        let shifts = all_pow2.then(|| OptShifts {
+            groups: groups.trailing_zeros(),
+            tile_w: tile_w.trailing_zeros(),
+            tile_h: tile_h.trailing_zeros(),
+            banks_per_group: banks_per_group.trailing_zeros(),
+            row_stride: tiles_per_row_padded / banks_per_group,
+            col_stride: tile_w / groups,
+        });
         Ok(Self {
             geometry,
             n,
@@ -139,6 +170,7 @@ impl OptimizedMapping {
             padded_height,
             tiles_per_row_padded,
             stagger,
+            shifts,
         })
     }
 
@@ -183,6 +215,42 @@ impl OptimizedMapping {
 impl DramMapping for OptimizedMapping {
     fn map(&self, i: u32, j: u32) -> PhysicalAddress {
         debug_assert!(i < self.n && j < self.n, "({i},{j}) outside index space");
+        if let Some(s) = self.shifts {
+            // Shift/mask fast path (all divisors are powers of two for the
+            // preset geometries; the stagger wrap needs at most one
+            // subtraction because `i < padded_height` and the offset is
+            // below one tile height).
+            let group = (i + j) & ((1 << s.groups) - 1);
+            let (off_i, off_j) = if self.stagger {
+                (
+                    group << (s.tile_h - s.groups),
+                    group << (s.tile_w - s.groups),
+                )
+            } else {
+                (0, 0)
+            };
+            let mut i_shifted = i + off_i;
+            if i_shifted >= self.padded_height {
+                i_shifted -= self.padded_height;
+            }
+            let mut j_shifted = j + off_j;
+            if j_shifted >= self.padded_width {
+                j_shifted -= self.padded_width;
+            }
+            let ti = i_shifted >> s.tile_h;
+            let tj = j_shifted >> s.tile_w;
+            let oi = i_shifted & ((1 << s.tile_h) - 1);
+            let oj = j_shifted & ((1 << s.tile_w) - 1);
+            let bank = (ti + tj) & ((1 << s.banks_per_group) - 1);
+            let row = ti * s.row_stride + (tj >> s.banks_per_group);
+            let column = oi * s.col_stride + (oj >> s.groups);
+            return PhysicalAddress {
+                bank_group: group,
+                bank,
+                row,
+                column,
+            };
+        }
         let groups = self.geometry.bank_groups;
         let banks_per_group = self.geometry.banks_per_group;
 
@@ -244,6 +312,39 @@ impl DramMapping for OptimizedMapping {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shift_mask_fast_path_matches_generic_arithmetic() {
+        // Force the generic divide chain on an otherwise identical mapping
+        // and compare every position of a moderately sized index space, with
+        // and without the stagger.
+        for standard_rate in [
+            (tbi_dram::DramStandard::Ddr3, 800),
+            (tbi_dram::DramStandard::Ddr4, 3200),
+            (tbi_dram::DramStandard::Ddr5, 6400),
+            (tbi_dram::DramStandard::Lpddr4, 4266),
+            (tbi_dram::DramStandard::Lpddr5, 8533),
+        ] {
+            let geometry = tbi_dram::DramConfig::preset(standard_rate.0, standard_rate.1)
+                .unwrap()
+                .geometry;
+            for stagger in [true, false] {
+                let fast = OptimizedMapping::build(geometry, 300, stagger).unwrap();
+                assert!(fast.shifts.is_some(), "presets must take the fast path");
+                let mut generic = fast.clone();
+                generic.shifts = None;
+                for i in 0..300 {
+                    for j in 0..300 {
+                        assert_eq!(
+                            fast.map(i, j),
+                            generic.map(i, j),
+                            "({i},{j}) stagger={stagger} {standard_rate:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
     use std::collections::HashSet;
     use tbi_dram::{DramConfig, DramStandard};
 

@@ -100,26 +100,22 @@ impl<'a> TraceGenerator<'a> {
     }
 
     /// Lazily yields the request stream of `phase` in its natural order.
-    pub fn requests(&self, phase: AccessPhase) -> impl Iterator<Item = Request> + '_ {
-        let mapping = self.mapping;
-        let write_iter = match phase {
-            AccessPhase::Write => Some(self.interleaver.write_order()),
-            AccessPhase::Read => None,
-        };
-        let read_iter = match phase {
-            AccessPhase::Write => None,
-            AccessPhase::Read => Some(self.interleaver.read_order()),
-        };
-        write_iter
-            .into_iter()
-            .flatten()
-            .map(move |(i, j)| Request::write(mapping.map(i, j)))
-            .chain(
-                read_iter
-                    .into_iter()
-                    .flatten()
-                    .map(move |(i, j)| Request::read(mapping.map(i, j))),
-            )
+    ///
+    /// The returned [`PhaseTrace`] streams one [`Request`] at a time —
+    /// nothing is materialised, so even the paper's 12.5 M-burst interleaver
+    /// costs O(1) memory, and the DRAM engines consume requests exactly as
+    /// fast as they can retire them (back-pressure through
+    /// [`MemorySystem::run_trace`](tbi_dram::MemorySystem::run_trace)).
+    #[must_use]
+    pub fn requests(&self, phase: AccessPhase) -> PhaseTrace<'a> {
+        PhaseTrace {
+            mapping: self.mapping,
+            phase,
+            n: self.interleaver.dimension(),
+            outer: 0,
+            inner: 0,
+            remaining: self.interleaver.len(),
+        }
     }
 
     /// Number of requests per phase (equal to the interleaver length).
@@ -128,6 +124,92 @@ impl<'a> TraceGenerator<'a> {
         self.interleaver.len()
     }
 }
+
+/// A streaming iterator over the burst-level DRAM requests of one interleaver
+/// access phase.
+///
+/// Produced by [`TraceGenerator::requests`].  Write phases walk the triangle
+/// row-wise and yield [`Request::write`]s; read phases walk it column-wise
+/// and yield [`Request::read`]s.  The iterator is exact-sized and fused.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{DramConfig, DramStandard};
+/// use tbi_interleaver::triangular::TriangularInterleaver;
+/// use tbi_interleaver::{AccessPhase, MappingKind, TraceGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = DramConfig::preset(DramStandard::Ddr4, 1600)?;
+/// let mapping = MappingKind::Optimized.build(&config, 32)?;
+/// let interleaver = TriangularInterleaver::new(32)?;
+/// let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+/// let mut trace = gen.requests(AccessPhase::Read);
+/// assert_eq!(trace.len(), interleaver.len() as usize);
+/// let first = trace.next().expect("non-empty trace");
+/// assert!(!first.is_write());
+/// assert_eq!(trace.len() as u64, interleaver.len() - 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct PhaseTrace<'a> {
+    mapping: &'a dyn DramMapping,
+    phase: AccessPhase,
+    n: u32,
+    /// Row index (write phase) or column index (read phase).
+    outer: u32,
+    /// Position within the current row/column, `0..n - outer`.
+    inner: u32,
+    remaining: u64,
+}
+
+impl std::fmt::Debug for PhaseTrace<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseTrace")
+            .field("mapping", &self.mapping.name())
+            .field("phase", &self.phase)
+            .field("n", &self.n)
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+impl Iterator for PhaseTrace<'_> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Both phases sweep lines of length `n - outer`; they only differ in
+        // which coordinate is the line index.
+        let (i, j) = match self.phase {
+            AccessPhase::Write => (self.outer, self.inner),
+            AccessPhase::Read => (self.inner, self.outer),
+        };
+        self.inner += 1;
+        if self.inner >= self.n - self.outer {
+            self.inner = 0;
+            self.outer += 1;
+        }
+        let address = self.mapping.map(i, j);
+        Some(match self.phase {
+            AccessPhase::Write => Request::write(address),
+            AccessPhase::Read => Request::read(address),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for PhaseTrace<'_> {}
+
+impl std::iter::FusedIterator for PhaseTrace<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -173,6 +255,42 @@ mod tests {
         assert!(gen.requests(AccessPhase::Write).all(|r| r.is_write()));
         assert!(gen.requests(AccessPhase::Read).all(|r| !r.is_write()));
         assert_eq!(gen.requests_per_phase(), interleaver.len());
+    }
+
+    #[test]
+    fn phase_trace_matches_the_reference_index_orders() {
+        let (config, interleaver) = setup(33);
+        let mapping = MappingKind::Optimized.build(&config, 33).unwrap();
+        let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+        let writes: Vec<_> = gen.requests(AccessPhase::Write).collect();
+        let expected: Vec<_> = interleaver
+            .write_order()
+            .map(|(i, j)| Request::write(mapping.map(i, j)))
+            .collect();
+        assert_eq!(writes, expected);
+        let reads: Vec<_> = gen.requests(AccessPhase::Read).collect();
+        let expected: Vec<_> = interleaver
+            .read_order()
+            .map(|(i, j)| Request::read(mapping.map(i, j)))
+            .collect();
+        assert_eq!(reads, expected);
+    }
+
+    #[test]
+    fn phase_trace_is_exact_sized_and_fused() {
+        let (config, interleaver) = setup(12);
+        let mapping = MappingKind::RowMajor.build(&config, 12).unwrap();
+        let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+        let mut trace = gen.requests(AccessPhase::Write);
+        let mut remaining = interleaver.len() as usize;
+        assert_eq!(trace.len(), remaining);
+        while trace.next().is_some() {
+            remaining -= 1;
+            assert_eq!(trace.len(), remaining);
+        }
+        assert_eq!(trace.len(), 0);
+        assert!(trace.next().is_none(), "fused after exhaustion");
+        assert!(trace.next().is_none());
     }
 
     #[test]

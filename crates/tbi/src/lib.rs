@@ -49,7 +49,7 @@ pub use tbi_satcom as satcom;
 
 pub use tbi_dram::{
     ControllerConfig, DramConfig, DramStandard, MemorySystem, PagePolicy, PhysicalAddress,
-    RefreshMode, Request, SchedulingPolicy, Stats,
+    RefreshMode, Request, SchedulingPolicy, Stats, TimingEngine,
 };
 pub use tbi_exp::{
     ExpError, Experiment, LinkRecord, LinkStage, Record, RefreshSetting, Scenario, SweepGrid,
