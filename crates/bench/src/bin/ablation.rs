@@ -3,11 +3,12 @@
 //!
 //! ```text
 //! cargo run --release -p tbi_bench --bin ablation [-- --bursts <n> | --no-refresh | --full |
+//!                                                    --channels <n> | --ranks <n> |
 //!                                                    --workers <n> | --json <p> | --csv <p>]
 //! ```
 //!
 //! Declared as one [`tbi_exp::SweepGrid`]: all presets × every mapping
-//! scheme, executed in parallel.
+//! scheme on the selected channel/rank topology, executed in parallel.
 
 use tbi_exp::SweepGrid;
 use tbi_interleaver::MappingKind;
@@ -30,9 +31,12 @@ fn main() {
 
     let grid = match SweepGrid::new().all_presets() {
         Ok(grid) => grid
+            .channel_count(options.channels)
+            .rank_count(options.ranks)
             .size(options.bursts)
             .mappings(MappingKind::ALL)
-            .refresh(options.refresh_setting()),
+            .refresh(options.refresh_setting())
+            .controller(options.controller()),
         Err(error) => {
             eprintln!("error: {error}");
             std::process::exit(1);

@@ -50,7 +50,14 @@ fn main() {
                 "{}",
                 HarnessOptions::usage_for(
                     "engine_speed",
-                    &["--full", "--bursts", "--workers", "--json"]
+                    &[
+                        "--full",
+                        "--bursts",
+                        "--channels",
+                        "--ranks",
+                        "--workers",
+                        "--json"
+                    ]
                 )
             );
             std::process::exit(2);
@@ -61,7 +68,14 @@ fn main() {
             "{}",
             HarnessOptions::usage_for(
                 "engine_speed",
-                &["--full", "--bursts", "--workers", "--json"]
+                &[
+                    "--full",
+                    "--bursts",
+                    "--channels",
+                    "--ranks",
+                    "--workers",
+                    "--json"
+                ]
             )
         );
         return;
@@ -75,7 +89,14 @@ fn main() {
             "{}",
             HarnessOptions::usage_for(
                 "engine_speed",
-                &["--full", "--bursts", "--workers", "--json"]
+                &[
+                    "--full",
+                    "--bursts",
+                    "--channels",
+                    "--ranks",
+                    "--workers",
+                    "--json"
+                ]
             )
         );
         std::process::exit(2);

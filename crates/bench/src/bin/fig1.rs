@@ -107,10 +107,14 @@ fn main() {
         println!("\npositional arguments: [a|b|c|d|all] [rows cols] (grid corner size)");
         return;
     }
-    if options.bursts != tbi_bench::DEFAULT_BURSTS || options.no_refresh {
+    if options.bursts != tbi_bench::DEFAULT_BURSTS
+        || options.no_refresh
+        || options.channels != 1
+        || options.ranks != 1
+    {
         eprintln!(
-            "error: fig1 always uses the paper's miniature device; \
-             --full/--bursts/--no-refresh are not supported"
+            "error: fig1 always uses the paper's miniature single-channel device; \
+             --full/--bursts/--no-refresh/--channels/--ranks are not supported"
         );
         usage_exit();
     }

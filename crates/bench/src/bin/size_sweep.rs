@@ -39,10 +39,10 @@ fn main() {
         );
         return;
     }
-    if options.bursts != tbi_bench::DEFAULT_BURSTS {
+    if options.bursts != tbi_bench::DEFAULT_BURSTS || options.channels != 1 || options.ranks != 1 {
         eprintln!(
-            "error: size_sweep sweeps a fixed list of interleaver sizes; \
-             --full/--bursts are not supported"
+            "error: size_sweep sweeps a fixed list of interleaver sizes on the \
+             single-channel device; --full/--bursts/--channels/--ranks are not supported"
         );
         eprintln!(
             "{}",

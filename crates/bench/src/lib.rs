@@ -37,6 +37,10 @@ pub struct HarnessOptions {
     /// Timing engine advancing the DRAM clock (event-driven by default; the
     /// cycle-accurate engine remains selectable during the transition).
     pub engine: TimingEngine,
+    /// Independent DRAM channels per configuration (1 = the paper's device).
+    pub channels: u32,
+    /// Ranks per channel (1 = the paper's device).
+    pub ranks: u32,
     /// `--help`/`-h` was requested; the binary should print usage and exit.
     pub help: bool,
 }
@@ -52,6 +56,8 @@ impl HarnessOptions {
             json: None,
             csv: None,
             engine: TimingEngine::default(),
+            channels: 1,
+            ranks: 1,
             help: false,
         }
     }
@@ -60,13 +66,15 @@ impl HarnessOptions {
     ///
     /// Supported flags: `--full` (12.5 M bursts as in the paper),
     /// `--bursts <n>`, `--no-refresh`, `--workers <n>`, `--json <path>`,
-    /// `--csv <path>` and `--help`/`-h` (which sets [`HarnessOptions::help`]
+    /// `--csv <path>`, `--engine <cycle|event>`, `--channels <n>`,
+    /// `--ranks <n>` and `--help`/`-h` (which sets [`HarnessOptions::help`]
     /// and stops parsing).
     ///
     /// # Errors
     ///
-    /// Returns a human-readable error message for unknown flags or malformed
-    /// numbers.
+    /// Returns a human-readable error message for unknown flags, malformed
+    /// or out-of-range numbers and missing flag values.  Parsing never
+    /// panics.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut options = Self::new();
         let mut iter = args.into_iter();
@@ -96,6 +104,38 @@ impl HarnessOptions {
                     options.workers = value
                         .parse()
                         .map_err(|e| format!("invalid worker count `{value}`: {e}"))?;
+                    if options.workers == 0 {
+                        return Err(
+                            "worker count must be at least 1 (omit --workers for all cores)"
+                                .to_string(),
+                        );
+                    }
+                }
+                "--channels" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--channels requires a value".to_string())?;
+                    options.channels = value
+                        .parse()
+                        .map_err(|e| format!("invalid channel count `{value}`: {e}"))?;
+                    if options.channels == 0 || !options.channels.is_power_of_two() {
+                        return Err(format!(
+                            "channel count must be a non-zero power of two, got `{value}`"
+                        ));
+                    }
+                }
+                "--ranks" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--ranks requires a value".to_string())?;
+                    options.ranks = value
+                        .parse()
+                        .map_err(|e| format!("invalid rank count `{value}`: {e}"))?;
+                    if options.ranks == 0 || !options.ranks.is_power_of_two() {
+                        return Err(format!(
+                            "rank count must be a non-zero power of two, got `{value}`"
+                        ));
+                    }
                 }
                 "--json" => {
                     let value = iter
@@ -139,6 +179,8 @@ impl HarnessOptions {
                 "--bursts",
                 "--no-refresh",
                 "--engine",
+                "--channels",
+                "--ranks",
                 "--workers",
                 "--json",
                 "--csv",
@@ -151,7 +193,7 @@ impl HarnessOptions {
     /// always included.
     #[must_use]
     pub fn usage_for(binary: &str, flags: &[&str]) -> String {
-        let known: [(&str, &str, String); 7] = [
+        let known: [(&str, &str, String); 9] = [
             (
                 "--full",
                 "--full",
@@ -171,6 +213,16 @@ impl HarnessOptions {
                 "--engine",
                 "--engine <e>",
                 "timing engine: `event` (default) or `cycle` (reference)".to_string(),
+            ),
+            (
+                "--channels",
+                "--channels <n>",
+                "independent DRAM channels per configuration (default 1)".to_string(),
+            ),
+            (
+                "--ranks",
+                "--ranks <n>",
+                "ranks per channel (default 1)".to_string(),
             ),
             (
                 "--workers",
@@ -283,6 +335,8 @@ pub fn format_table1_row(label: &str, row_major: &Record, optimized: &Record) ->
 pub fn run_table1(options: &HarnessOptions) -> Result<Vec<Record>, ExpError> {
     let grid = SweepGrid::new()
         .all_presets()?
+        .channel_count(options.channels)
+        .rank_count(options.ranks)
         .size(options.bursts)
         .mappings(MappingKind::TABLE1)
         .refresh(options.refresh_setting())
@@ -380,6 +434,67 @@ mod tests {
         assert!(HarnessOptions::parse(["--csv"].map(String::from)).is_err());
     }
 
+    /// Every malformed command line must produce a clean `Err` with a
+    /// human-readable message — parsing never panics, whatever the input.
+    #[test]
+    fn parse_errors_cleanly_never_panics() {
+        let cases: &[&[&str]] = &[
+            // Explicit zero workers: ambiguous (0 used to mean "auto"), now
+            // rejected with a hint.
+            &["--workers", "0"],
+            // Missing values for every value-taking flag.
+            &["--bursts"],
+            &["--workers"],
+            &["--json"],
+            &["--csv"],
+            &["--engine"],
+            &["--channels"],
+            &["--ranks"],
+            // Unknown flags, including near-misses.
+            &["--nope"],
+            &["--burst", "100"],
+            &["-x"],
+            &["bursts"],
+            // Engine typos.
+            &["--engine", "warp"],
+            &["--engine", "Event"],
+            &["--engine", ""],
+            // Malformed and out-of-range numbers.
+            &["--bursts", "-5"],
+            &["--bursts", "1e6"],
+            &["--workers", "many"],
+            &["--channels", "0"],
+            &["--channels", "3"],
+            &["--ranks", "0"],
+            &["--ranks", "6"],
+            &["--channels", "x"],
+        ];
+        for case in cases {
+            let args: Vec<String> = case.iter().map(|s| (*s).to_string()).collect();
+            let result = std::panic::catch_unwind(|| HarnessOptions::parse(args.clone()));
+            let outcome = result.unwrap_or_else(|_| panic!("{case:?} panicked"));
+            let err = outcome.expect_err(&format!("{case:?} should be rejected"));
+            assert!(!err.is_empty(), "{case:?} produced an empty error message");
+        }
+    }
+
+    #[test]
+    fn parse_workers_zero_error_names_the_remedy() {
+        let err = HarnessOptions::parse(["--workers", "0"].map(String::from)).unwrap_err();
+        assert!(err.contains("omit --workers"), "unhelpful message: {err}");
+    }
+
+    #[test]
+    fn parse_channel_and_rank_flags() {
+        let options =
+            HarnessOptions::parse(["--channels", "4", "--ranks", "2"].map(String::from)).unwrap();
+        assert_eq!(options.channels, 4);
+        assert_eq!(options.ranks, 2);
+        let defaults = HarnessOptions::new();
+        assert_eq!(defaults.channels, 1);
+        assert_eq!(defaults.ranks, 1);
+    }
+
     #[test]
     fn usage_mentions_every_flag() {
         let usage = HarnessOptions::usage("table1");
@@ -388,6 +503,8 @@ mod tests {
             "--bursts",
             "--no-refresh",
             "--engine",
+            "--channels",
+            "--ranks",
             "--workers",
             "--json",
             "--csv",
@@ -396,6 +513,19 @@ mod tests {
             assert!(usage.contains(flag), "usage missing {flag}");
         }
         assert!(usage.starts_with("usage: table1"));
+    }
+
+    #[test]
+    fn channel_flags_flow_into_table1_records() {
+        let options = HarnessOptions {
+            bursts: 2_000,
+            channels: 2,
+            ..HarnessOptions::new()
+        };
+        let records = run_table1(&options).unwrap();
+        assert_eq!(records.len(), 20);
+        assert!(records.iter().all(|r| r.channels == 2 && r.ranks == 1));
+        assert!(records.iter().all(|r| r.scenario_id.ends_with("/c2r1")));
     }
 
     #[test]

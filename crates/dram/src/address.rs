@@ -15,6 +15,8 @@ use crate::geometry::DeviceGeometry;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhysicalAddress {
+    /// Rank index within the channel (0 on single-rank channels).
+    pub rank: u32,
     /// Bank group index (0 for standards without bank groups).
     pub bank_group: u32,
     /// Bank index within the bank group.
@@ -26,10 +28,12 @@ pub struct PhysicalAddress {
 }
 
 impl PhysicalAddress {
-    /// Creates a new physical address.
+    /// Creates a new rank-0 physical address (use
+    /// [`PhysicalAddress::with_rank`] to target another rank).
     #[must_use]
     pub fn new(bank_group: u32, bank: u32, row: u32, column: u32) -> Self {
         Self {
+            rank: 0,
             bank_group,
             bank,
             row,
@@ -37,14 +41,24 @@ impl PhysicalAddress {
         }
     }
 
-    /// Flat bank identifier combining bank group and bank
-    /// (`bank_group * banks_per_group + bank`).
+    /// Returns this address moved to `rank`.
     #[must_use]
-    pub fn flat_bank(&self, geometry: &DeviceGeometry) -> u32 {
-        self.bank_group * geometry.banks_per_group + self.bank
+    pub fn with_rank(mut self, rank: u32) -> Self {
+        self.rank = rank;
+        self
     }
 
-    /// Checks that every component is within the bounds of `geometry`.
+    /// Flat bank identifier combining rank, bank group and bank
+    /// (`(rank * bank_groups + bank_group) * banks_per_group + bank`); on
+    /// rank 0 this is the classic `bank_group * banks_per_group + bank`.
+    #[must_use]
+    pub fn flat_bank(&self, geometry: &DeviceGeometry) -> u32 {
+        (self.rank * geometry.bank_groups + self.bank_group) * geometry.banks_per_group + self.bank
+    }
+
+    /// Checks that every component is within the bounds of one rank of
+    /// `geometry` (the rank index itself is checked against the topology by
+    /// [`PhysicalAddress::is_valid_for_ranks`]).
     #[must_use]
     pub fn is_valid_for(&self, geometry: &DeviceGeometry) -> bool {
         self.bank_group < geometry.bank_groups
@@ -52,10 +66,19 @@ impl PhysicalAddress {
             && self.row < geometry.rows
             && self.column < geometry.columns_per_row
     }
+
+    /// Checks validity against `geometry` replicated over `ranks` ranks.
+    #[must_use]
+    pub fn is_valid_for_ranks(&self, geometry: &DeviceGeometry, ranks: u32) -> bool {
+        self.rank < ranks && self.is_valid_for(geometry)
+    }
 }
 
 impl std::fmt::Display for PhysicalAddress {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.rank != 0 {
+            write!(f, "K{} ", self.rank)?;
+        }
         write!(
             f,
             "BG{} B{} R{} C{}",
@@ -125,6 +148,10 @@ impl DecodeScheme {
 pub struct AddressDecoder {
     geometry: DeviceGeometry,
     scheme: DecodeScheme,
+    /// Ranks the linear space spans; rank bits are spliced into the decode
+    /// chain directly above the bank bits (below them for the
+    /// bank-partitioned scheme, where the rank owns a contiguous slice).
+    ranks: u32,
     /// Shift/mask fast path, available when every geometry dimension is a
     /// power of two (true for all JEDEC presets).  Hardware address decoders
     /// are pure bit-slicing for the same reason; the fallback divide chain
@@ -139,31 +166,48 @@ struct DecodeShifts {
     bgs: u32,
     banks: u32,
     rows: u32,
+    ranks: u32,
 }
 
 impl DecodeShifts {
-    fn for_geometry(g: &DeviceGeometry) -> Option<Self> {
+    fn for_geometry(g: &DeviceGeometry, ranks: u32) -> Option<Self> {
         let all_pow2 = g.columns_per_row.is_power_of_two()
             && g.bank_groups.is_power_of_two()
             && g.banks_per_group.is_power_of_two()
-            && g.rows.is_power_of_two();
+            && g.rows.is_power_of_two()
+            && ranks.is_power_of_two();
         all_pow2.then(|| Self {
             cols: g.columns_per_row.trailing_zeros(),
             bgs: g.bank_groups.trailing_zeros(),
             banks: g.banks_per_group.trailing_zeros(),
             rows: g.rows.trailing_zeros(),
+            ranks: ranks.trailing_zeros(),
         })
     }
 }
 
 impl AddressDecoder {
-    /// Creates a decoder for the given geometry and scheme.
+    /// Creates a single-rank decoder for the given geometry and scheme.
     #[must_use]
     pub fn new(geometry: DeviceGeometry, scheme: DecodeScheme) -> Self {
+        Self::with_ranks(geometry, scheme, 1)
+    }
+
+    /// Creates a decoder whose linear space spans `ranks` ranks of
+    /// `geometry`.  With `ranks == 1` this is exactly [`AddressDecoder::new`]
+    /// (the rank field decodes to 0 and no bits are consumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero.
+    #[must_use]
+    pub fn with_ranks(geometry: DeviceGeometry, scheme: DecodeScheme, ranks: u32) -> Self {
+        assert!(ranks > 0, "rank count must be non-zero");
         Self {
             geometry,
             scheme,
-            shifts: DecodeShifts::for_geometry(&geometry),
+            ranks,
+            shifts: DecodeShifts::for_geometry(&geometry, ranks),
         }
     }
 
@@ -179,6 +223,12 @@ impl AddressDecoder {
         self.geometry
     }
 
+    /// The number of ranks the linear space spans.
+    #[must_use]
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
     /// Decodes a linear burst index into a physical address.
     ///
     /// Indices beyond the device capacity wrap around (the row field is
@@ -187,26 +237,32 @@ impl AddressDecoder {
     pub fn decode(&self, burst_index: u64) -> PhysicalAddress {
         if let Some(s) = self.shifts {
             // Pure bit-slicing for power-of-two geometries (the hot path:
-            // every preset qualifies).
+            // every preset qualifies).  The rank field sits directly above
+            // the bank bits (above row/column for the bank-partitioned
+            // scheme); with one rank it is a zero-width no-op.
             let mask = |v: u64, bits: u32| v & ((1u64 << bits) - 1);
-            let (bank_group, bank, row, column) = match self.scheme {
+            let (rank, bank_group, bank, row, column) = match self.scheme {
                 DecodeScheme::RowBankBankGroupColumn => {
                     let column = mask(burst_index, s.cols);
                     let rest = burst_index >> s.cols;
                     let bank_group = mask(rest, s.bgs);
                     let rest = rest >> s.bgs;
                     let bank = mask(rest, s.banks);
-                    let row = mask(rest >> s.banks, s.rows);
-                    (bank_group, bank, row, column)
+                    let rest = rest >> s.banks;
+                    let rank = mask(rest, s.ranks);
+                    let row = mask(rest >> s.ranks, s.rows);
+                    (rank, bank_group, bank, row, column)
                 }
                 DecodeScheme::RowColumnBankBankGroup => {
                     let bank_group = mask(burst_index, s.bgs);
                     let rest = burst_index >> s.bgs;
                     let bank = mask(rest, s.banks);
                     let rest = rest >> s.banks;
+                    let rank = mask(rest, s.ranks);
+                    let rest = rest >> s.ranks;
                     let column = mask(rest, s.cols);
                     let row = mask(rest >> s.cols, s.rows);
-                    (bank_group, bank, row, column)
+                    (rank, bank_group, bank, row, column)
                 }
                 DecodeScheme::BankBankGroupRowColumn => {
                     let column = mask(burst_index, s.cols);
@@ -214,11 +270,14 @@ impl AddressDecoder {
                     let row = mask(rest, s.rows);
                     let rest = rest >> s.rows;
                     let bank_group = mask(rest, s.bgs);
-                    let bank = mask(rest >> s.bgs, s.banks);
-                    (bank_group, bank, row, column)
+                    let rest = rest >> s.bgs;
+                    let bank = mask(rest, s.banks);
+                    let rank = mask(rest >> s.banks, s.ranks);
+                    (rank, bank_group, bank, row, column)
                 }
             };
             return PhysicalAddress {
+                rank: rank as u32,
                 bank_group: bank_group as u32,
                 bank: bank as u32,
                 row: row as u32,
@@ -230,25 +289,30 @@ impl AddressDecoder {
         let bgs = u64::from(g.bank_groups);
         let banks = u64::from(g.banks_per_group);
         let rows = u64::from(g.rows);
+        let ranks = u64::from(self.ranks);
 
-        let (bank_group, bank, row, column) = match self.scheme {
+        let (rank, bank_group, bank, row, column) = match self.scheme {
             DecodeScheme::RowBankBankGroupColumn => {
                 let column = burst_index % cols;
                 let rest = burst_index / cols;
                 let bank_group = rest % bgs;
                 let rest = rest / bgs;
                 let bank = rest % banks;
-                let row = (rest / banks) % rows;
-                (bank_group, bank, row, column)
+                let rest = rest / banks;
+                let rank = rest % ranks;
+                let row = (rest / ranks) % rows;
+                (rank, bank_group, bank, row, column)
             }
             DecodeScheme::RowColumnBankBankGroup => {
                 let bank_group = burst_index % bgs;
                 let rest = burst_index / bgs;
                 let bank = rest % banks;
                 let rest = rest / banks;
+                let rank = rest % ranks;
+                let rest = rest / ranks;
                 let column = rest % cols;
                 let row = (rest / cols) % rows;
-                (bank_group, bank, row, column)
+                (rank, bank_group, bank, row, column)
             }
             DecodeScheme::BankBankGroupRowColumn => {
                 let column = burst_index % cols;
@@ -256,11 +320,14 @@ impl AddressDecoder {
                 let row = rest % rows;
                 let rest = rest / rows;
                 let bank_group = rest % bgs;
-                let bank = (rest / bgs) % banks;
-                (bank_group, bank, row, column)
+                let rest = rest / bgs;
+                let bank = rest % banks;
+                let rank = (rest / banks) % ranks;
+                (rank, bank_group, bank, row, column)
             }
         };
         PhysicalAddress {
+            rank: rank as u32,
             bank_group: bank_group as u32,
             bank: bank as u32,
             row: row as u32,
@@ -279,16 +346,24 @@ impl AddressDecoder {
         let bgs = u64::from(g.bank_groups);
         let banks = u64::from(g.banks_per_group);
         let rows = u64::from(g.rows);
-        let (bg, b, r, c) = (
+        let ranks = u64::from(self.ranks);
+        let (k, bg, b, r, c) = (
+            u64::from(addr.rank),
             u64::from(addr.bank_group),
             u64::from(addr.bank),
             u64::from(addr.row),
             u64::from(addr.column),
         );
         match self.scheme {
-            DecodeScheme::RowBankBankGroupColumn => ((r * banks + b) * bgs + bg) * cols + c,
-            DecodeScheme::RowColumnBankBankGroup => ((r * cols + c) * banks + b) * bgs + bg,
-            DecodeScheme::BankBankGroupRowColumn => ((b * bgs + bg) * rows + r) * cols + c,
+            DecodeScheme::RowBankBankGroupColumn => {
+                (((r * ranks + k) * banks + b) * bgs + bg) * cols + c
+            }
+            DecodeScheme::RowColumnBankBankGroup => {
+                (((r * cols + c) * ranks + k) * banks + b) * bgs + bg
+            }
+            DecodeScheme::BankBankGroupRowColumn => {
+                (((k * banks + b) * bgs + bg) * rows + r) * cols + c
+            }
         }
     }
 }
@@ -332,6 +407,61 @@ mod tests {
             burst_length: 8,
             bus_width_bits: 64,
         }
+    }
+
+    #[test]
+    fn single_rank_decoder_matches_legacy_constructor() {
+        for scheme in DecodeScheme::ALL {
+            let legacy = AddressDecoder::new(geometry(), scheme);
+            let explicit = AddressDecoder::with_ranks(geometry(), scheme, 1);
+            assert_eq!(legacy, explicit);
+            for burst in [0u64, 1, 17, 100_000, 1 << 20] {
+                let addr = legacy.decode(burst);
+                assert_eq!(addr.rank, 0);
+                assert_eq!(addr, explicit.decode(burst));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rank_decode_round_trips_and_matches_generic() {
+        for scheme in DecodeScheme::ALL {
+            for ranks in [2u32, 4] {
+                let fast = AddressDecoder::with_ranks(geometry(), scheme, ranks);
+                assert!(fast.shifts.is_some());
+                let mut generic = fast;
+                generic.shifts = None;
+                for burst in (0..5_000u64).chain((1 << 21)..((1 << 21) + 512)) {
+                    let addr = fast.decode(burst);
+                    assert_eq!(addr, generic.decode(burst), "{scheme:?} ranks={ranks}");
+                    assert!(addr.rank < ranks);
+                    assert_eq!(fast.encode(addr), burst, "{scheme:?} ranks={ranks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_scheme_rotates_all_ranks_banks_before_repeating() {
+        // With rank bits directly above the bank bits, the first
+        // `ranks * total_banks` bursts all land on distinct (rank, flat bank)
+        // units — the classic rank-interleaved decode.
+        let g = geometry();
+        let d = AddressDecoder::with_ranks(g, DecodeScheme::RowColumnBankBankGroup, 2);
+        let units: std::collections::HashSet<u32> =
+            (0..32).map(|i| d.decode(i).flat_bank(&g)).collect();
+        assert_eq!(units.len(), 32);
+    }
+
+    #[test]
+    fn rank_aware_flat_bank_and_validity() {
+        let g = geometry();
+        let addr = PhysicalAddress::new(2, 3, 0, 0).with_rank(1);
+        assert_eq!(addr.flat_bank(&g), 16 + 2 * 4 + 3);
+        assert!(addr.is_valid_for_ranks(&g, 2));
+        assert!(!addr.is_valid_for_ranks(&g, 1));
+        assert_eq!(addr.to_string(), "K1 BG2 B3 R0 C0");
+        assert_eq!(PhysicalAddress::new(2, 3, 0, 0).to_string(), "BG2 B3 R0 C0");
     }
 
     #[test]

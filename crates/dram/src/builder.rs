@@ -113,6 +113,20 @@ impl DramConfigBuilder {
         self
     }
 
+    /// Overrides the number of independent channels.
+    #[must_use]
+    pub fn channels(mut self, channels: u32) -> Self {
+        self.config.topology.channels = channels;
+        self
+    }
+
+    /// Overrides the number of ranks per channel.
+    #[must_use]
+    pub fn ranks(mut self, ranks: u32) -> Self {
+        self.config.topology.ranks = ranks;
+        self
+    }
+
     /// Overrides the linear-address decode scheme used for the row-major
     /// baseline.
     #[must_use]

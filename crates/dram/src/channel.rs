@@ -1,0 +1,436 @@
+//! Multi-channel scale-out: one [`Controller`] per channel under a shared
+//! clock.
+//!
+//! DRAM channels are fully independent — each has its own command/address
+//! bus, data bus and controller — so a multi-channel subsystem multiplies
+//! peak bandwidth by the channel count.  The [`ChannelRouter`] owns one
+//! [`Controller`] per channel of the configuration's
+//! [`ChannelTopology`](crate::ChannelTopology) and drives them under a
+//! shared clock: each drive step advances the channel whose local clock is
+//! furthest behind, so no channel runs ahead of the others by more than one
+//! back-pressure window.
+//!
+//! Because the channels do not interact, every channel's statistics are
+//! bit-identical to running that channel's request stream through a
+//! stand-alone [`MemorySystem`](crate::MemorySystem) — a property the
+//! multi-channel tests pin.  Aggregation happens in [`CombinedStats`]: byte
+//! counts and command counts sum across channels, while the elapsed time of
+//! the subsystem is the **maximum** over the per-channel elapsed times (the
+//! slowest channel finishes last).
+//!
+//! With a `1 × 1` topology the router degenerates to exactly one controller
+//! and reproduces the legacy single-channel results bit-identically on both
+//! timing engines.
+
+use crate::controller::{Controller, ControllerConfig};
+use crate::error::ConfigError;
+use crate::request::Request;
+use crate::standards::DramConfig;
+use crate::stats::Stats;
+
+/// Per-channel statistics of one measurement window plus aggregation
+/// helpers.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::channel::CombinedStats;
+/// use tbi_dram::Stats;
+///
+/// let mut fast = Stats::new();
+/// fast.elapsed_cycles = 100;
+/// fast.data_bus_busy_cycles = 90;
+/// let mut slow = Stats::new();
+/// slow.elapsed_cycles = 120;
+/// slow.data_bus_busy_cycles = 84;
+/// let combined = CombinedStats::new(vec![fast, slow]);
+/// assert_eq!(combined.aggregate().elapsed_cycles, 120);
+/// assert_eq!(combined.aggregate().data_bus_busy_cycles, 174);
+/// assert!((combined.utilization() - 174.0 / 240.0).abs() < 1e-12);
+/// assert!((combined.utilization_spread() - 0.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CombinedStats {
+    per_channel: Vec<Stats>,
+}
+
+impl CombinedStats {
+    /// Wraps per-channel statistics (one entry per channel, channel order).
+    #[must_use]
+    pub fn new(per_channel: Vec<Stats>) -> Self {
+        Self { per_channel }
+    }
+
+    /// The per-channel statistics in channel order.
+    #[must_use]
+    pub fn per_channel(&self) -> &[Stats] {
+        &self.per_channel
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.per_channel.len()
+    }
+
+    /// Aggregated statistics: every counter sums across channels except
+    /// `elapsed_cycles`, which is the maximum (channels run concurrently, so
+    /// the subsystem finishes when the slowest channel does).
+    ///
+    /// For a single channel this returns that channel's statistics
+    /// unchanged.
+    #[must_use]
+    pub fn aggregate(&self) -> Stats {
+        let mut total = Stats::new();
+        let mut max_elapsed = 0u64;
+        for stats in &self.per_channel {
+            total.merge(stats);
+            max_elapsed = max_elapsed.max(stats.elapsed_cycles);
+        }
+        total.elapsed_cycles = max_elapsed;
+        total
+    }
+
+    /// Aggregate data-bus utilization in `[0, 1]`: total busy cycles over
+    /// `channels × max elapsed` — the fraction of the subsystem's combined
+    /// bus-time that carried data.  Idle tail cycles of faster channels count
+    /// against it, exactly as they would in hardware.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let elapsed = self.aggregate().elapsed_cycles;
+        if elapsed == 0 || self.per_channel.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self
+            .per_channel
+            .iter()
+            .map(|s| s.data_bus_busy_cycles)
+            .sum();
+        busy as f64 / (elapsed as f64 * self.per_channel.len() as f64)
+    }
+
+    /// Spread (max − min) of the per-channel bus utilizations: 0 for a
+    /// single channel or a perfectly balanced stripe, larger when the
+    /// channel-interleaved mapping leaves some channels under-loaded.
+    #[must_use]
+    pub fn utilization_spread(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for stats in &self.per_channel {
+            let u = stats.bus_utilization();
+            min = min.min(u);
+            max = max.max(u);
+        }
+        if self.per_channel.is_empty() {
+            0.0
+        } else {
+            max - min
+        }
+    }
+
+    /// Aggregate achieved bandwidth in Gbit/s: the subsystem-wide
+    /// utilization scaled by the combined peak of all channel buses.
+    #[must_use]
+    pub fn aggregate_bandwidth_gbps(&self, clock_mhz: f64, bus_width_bits: u32) -> f64 {
+        self.utilization()
+            * clock_mhz
+            * 1.0e6
+            * 2.0
+            * f64::from(bus_width_bits)
+            * self.per_channel.len() as f64
+            / 1.0e9
+    }
+}
+
+/// One [`Controller`] per channel, stepped under a shared clock.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::channel::ChannelRouter;
+/// use tbi_dram::{ChannelTopology, ControllerConfig, DramConfig, DramStandard, Request};
+///
+/// # fn main() -> Result<(), tbi_dram::ConfigError> {
+/// let config = DramConfig::preset(DramStandard::Ddr4, 3200)?
+///     .with_topology(ChannelTopology::new(2, 1));
+/// let mut router = ChannelRouter::new(config.clone(), ControllerConfig::default())?;
+/// // Stripe 4096 sequential bursts across both channels.
+/// let traces: Vec<Vec<Request>> = (0..2)
+///     .map(|c| {
+///         (0..4096u64)
+///             .filter(|i| i % 2 == c)
+///             .map(|i| Request::write(config.decode_linear(i / 2)))
+///             .collect()
+///     })
+///     .collect();
+/// let stats = router.run_phase(traces.into_iter().map(Vec::into_iter).collect());
+/// assert_eq!(stats.aggregate().completed_requests, 4096);
+/// assert!(stats.utilization() > 0.8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelRouter {
+    controllers: Vec<Controller>,
+}
+
+impl ChannelRouter {
+    /// Creates one controller per channel of `config.topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the DRAM or controller configuration is
+    /// invalid.
+    pub fn new(config: DramConfig, ctrl: ControllerConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let controllers = (0..config.topology.channels)
+            .map(|_| Controller::new(config.clone(), ctrl))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { controllers })
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> u32 {
+        self.controllers.len() as u32
+    }
+
+    /// The controller of channel `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[must_use]
+    pub fn controller(&self, channel: u32) -> &Controller {
+        &self.controllers[channel as usize]
+    }
+
+    /// The DRAM configuration shared by every channel.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        self.controllers[0].config()
+    }
+
+    /// Enqueues `request` on `channel`, returning `false` when that
+    /// channel's transaction queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn enqueue(&mut self, channel: u32, request: Request) -> bool {
+        self.controllers[channel as usize].enqueue(request)
+    }
+
+    /// Advances the shared clock by one step: the channel whose local clock
+    /// is furthest behind (among channels with pending work) takes one step
+    /// of its configured timing engine.  Returns `true` while any channel
+    /// has work left.
+    pub fn step(&mut self) -> bool {
+        if let Some(channel) = self.laggard() {
+            self.controllers[channel].step();
+        }
+        self.controllers.iter().any(|c| c.pending_requests() > 0)
+    }
+
+    /// The channel with the smallest local clock among those with pending
+    /// requests.
+    fn laggard(&self) -> Option<usize> {
+        self.controllers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.pending_requests() > 0)
+            .min_by_key(|(_, c)| c.now())
+            .map(|(i, _)| i)
+    }
+
+    /// Feeds one per-channel request stream through each channel under the
+    /// shared clock, keeping every channel's queues saturated
+    /// (back-pressure per channel), then drains all channels and returns the
+    /// per-channel statistics of the window.
+    ///
+    /// `traces` must hold exactly one iterator per channel, in channel
+    /// order.  Because channels do not interact, each channel's statistics
+    /// equal a stand-alone [`MemorySystem`](crate::MemorySystem) run of the
+    /// same stream; the shared clock only bounds how far channels drift
+    /// apart during the computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the channel count.
+    pub fn run_phase<I>(&mut self, traces: Vec<I>) -> CombinedStats
+    where
+        I: Iterator<Item = Request>,
+    {
+        assert_eq!(
+            traces.len(),
+            self.controllers.len(),
+            "one trace per channel required"
+        );
+        let mut traces: Vec<std::iter::Fuse<I>> = traces.into_iter().map(Iterator::fuse).collect();
+        loop {
+            // Fill each channel's free queue slots from its own stream.
+            for (controller, trace) in self.controllers.iter_mut().zip(&mut traces) {
+                let mut free = controller.free_slots();
+                while free > 0 {
+                    match trace.next() {
+                        Some(request) => {
+                            let accepted = controller.enqueue(request);
+                            debug_assert!(accepted, "enqueue within free_slots cannot fail");
+                            free -= 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            // Advance the laggard channel until it can accept again (its
+            // stream cannot progress before then, and the other channels
+            // advance on their own turns).
+            match self.laggard() {
+                None => break,
+                Some(channel) => {
+                    let controller = &mut self.controllers[channel];
+                    controller.step();
+                    while !controller.can_accept() && controller.pending_requests() > 0 {
+                        controller.step();
+                    }
+                }
+            }
+        }
+        for controller in &mut self.controllers {
+            controller.drain();
+        }
+        self.stats()
+    }
+
+    /// Snapshot of every channel's current statistics window.
+    #[must_use]
+    pub fn stats(&self) -> CombinedStats {
+        CombinedStats::new(self.controllers.iter().map(|c| c.stats().clone()).collect())
+    }
+
+    /// Resets every channel's statistics window (bank and queue state are
+    /// preserved, so a write phase can be followed by a measured read
+    /// phase).
+    pub fn reset_stats(&mut self) {
+        for controller in &mut self.controllers {
+            controller.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::ChannelTopology;
+    use crate::sim::MemorySystem;
+    use crate::standards::DramStandard;
+
+    fn config(channels: u32, ranks: u32) -> DramConfig {
+        DramConfig::preset(DramStandard::Ddr4, 3200)
+            .unwrap()
+            .with_topology(ChannelTopology::new(channels, ranks))
+    }
+
+    fn sequential(config: &DramConfig, n: u64) -> impl Iterator<Item = Request> + '_ {
+        (0..n).map(|i| Request::write(config.decode_linear(i)))
+    }
+
+    #[test]
+    fn single_channel_router_matches_memory_system_bit_exactly() {
+        let cfg = config(1, 1);
+        let n = 20_000u64;
+        let mut router = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+        let combined = router.run_phase(vec![sequential(&cfg, n)]);
+        let mut system = MemorySystem::new(cfg.clone()).unwrap();
+        let reference = system.run_trace(sequential(&cfg, n));
+        assert_eq!(combined.per_channel(), std::slice::from_ref(&reference));
+        assert_eq!(combined.aggregate(), reference);
+    }
+
+    #[test]
+    fn two_channels_double_completed_work_at_similar_elapsed_time() {
+        let n = 20_000u64;
+        let single_cfg = config(1, 1);
+        let mut single =
+            ChannelRouter::new(single_cfg.clone(), ControllerConfig::default()).unwrap();
+        let single_stats = single.run_phase(vec![sequential(&single_cfg, n)]);
+
+        let dual_cfg = config(2, 1);
+        let mut dual = ChannelRouter::new(dual_cfg.clone(), ControllerConfig::default()).unwrap();
+        let dual_stats = dual.run_phase(vec![sequential(&dual_cfg, n), sequential(&dual_cfg, n)]);
+
+        assert_eq!(
+            dual_stats.aggregate().completed_requests,
+            2 * single_stats.aggregate().completed_requests
+        );
+        // Each channel runs the same stream, so the (max) elapsed time stays
+        // flat and the aggregate bandwidth doubles.
+        assert_eq!(
+            dual_stats.aggregate().elapsed_cycles,
+            single_stats.aggregate().elapsed_cycles
+        );
+        let single_bw = single_stats.aggregate_bandwidth_gbps(single_cfg.clock_mhz(), 64);
+        let dual_bw = dual_stats.aggregate_bandwidth_gbps(dual_cfg.clock_mhz(), 64);
+        assert!(
+            dual_bw > 1.95 * single_bw,
+            "aggregate bandwidth should double: {single_bw} vs {dual_bw}"
+        );
+        assert_eq!(dual_stats.utilization_spread(), 0.0);
+    }
+
+    #[test]
+    fn per_channel_stats_are_independent_of_sibling_traffic() {
+        // Channel 0 gets the same stream in both runs; channel 1's load must
+        // not change channel 0's statistics.
+        let cfg = config(2, 1);
+        let n = 8_000u64;
+        let run = |sibling: u64| {
+            let mut router = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+            let traces: Vec<Box<dyn Iterator<Item = Request>>> = vec![
+                Box::new(sequential(&cfg, n)),
+                Box::new(sequential(&cfg, sibling)),
+            ];
+            router.run_phase(traces).per_channel()[0].clone()
+        };
+        assert_eq!(run(0), run(3 * n));
+    }
+
+    #[test]
+    fn dual_rank_channel_completes_and_pays_rank_switches() {
+        // Two bus-saturating streams that rotate bank groups identically;
+        // one stays on rank 0, the other also flips the rank every access
+        // and must pay the tRTRS bubble on top, while still completing
+        // everything.
+        use crate::address::PhysicalAddress;
+        let cfg = config(1, 2);
+        let n = 400u64;
+        let addr = |i: u64, alternate: bool| {
+            let rank = if alternate { (i % 2) as u32 } else { 0 };
+            PhysicalAddress::new((i % 4) as u32, 0, 0, (i / 4) as u32).with_rank(rank)
+        };
+        let run = |alternate: bool| {
+            let mut router = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+            router
+                .run_phase(vec![(0..n).map(move |i| Request::write(addr(i, alternate)))])
+                .aggregate()
+        };
+        let same = run(false);
+        let alternating = run(true);
+        assert_eq!(same.completed_requests, n);
+        assert_eq!(alternating.completed_requests, n);
+        assert!(
+            alternating.elapsed_cycles > same.elapsed_cycles,
+            "rank alternation must pay switch bubbles: {} vs {}",
+            alternating.elapsed_cycles,
+            same.elapsed_cycles
+        );
+    }
+
+    #[test]
+    fn empty_combined_stats_are_zero() {
+        let empty = CombinedStats::default();
+        assert_eq!(empty.utilization(), 0.0);
+        assert_eq!(empty.utilization_spread(), 0.0);
+        assert_eq!(empty.aggregate(), Stats::new());
+    }
+}

@@ -20,7 +20,8 @@
 //!
 //! The fast path is only taken in states where it provably reproduces the
 //! full scheduler's decision: FR-FCFS scheduling, open-page policy, at most
-//! 8 bank groups, and no owed refresh other than the per-bank kind (an owed
+//! 8 **rank-qualified** bank groups (`ranks × bank_groups`, so dual-rank
+//! DDR4 still qualifies), and no owed refresh other than the per-bank kind (an owed
 //! per-bank refresh adds exactly one priority-0 candidate for its target
 //! bank, which the fast path models directly).  Everything else — all-bank
 //! refresh drains, FCFS, closed-page, exotic geometries — falls back to the
@@ -88,7 +89,9 @@ impl Controller {
         let head = self.queues.head(flat_bank)?;
         let address = head.request.address;
         let bank = &self.banks[flat_bank];
-        let group = address.bank_group as u8;
+        // Rank-qualified group index, consistent with the floor table rows
+        // (on single-rank channels this is the plain bank group).
+        let group = (address.rank * self.config.geometry.bank_groups + address.bank_group) as u8;
         let (priority, perbank_ready, class) = if bank.is_row_open(address.row) {
             let class = if head.request.is_write() {
                 CLASS_WRITE
@@ -142,25 +145,19 @@ impl Controller {
     fn rebuild_column_floors(&mut self) {
         let t = &self.config.timing;
         let groups = self.last_act_per_group.len();
+        let bank_groups = self.config.geometry.bank_groups as usize;
         debug_assert!(groups <= 8);
-        let (bus_floor_write, bus_floor_read) = {
-            let mut write_free = self.data_bus_free_at;
-            let mut read_free = self.data_bus_free_at;
-            match self.last_data_was_write {
-                Some(true) => read_free += t.t_bus_turn,
-                Some(false) => write_free += t.t_bus_turn,
-                None => {}
-            }
-            (
-                write_free.saturating_sub(t.cwl),
-                read_free.saturating_sub(t.cl),
-            )
-        };
+        let (mut write_free, mut read_free) = (self.data_bus_free_at, self.data_bus_free_at);
+        match self.last_data_was_write {
+            Some(true) => read_free += t.t_bus_turn,
+            Some(false) => write_free += t.t_bus_turn,
+            None => {}
+        }
         let (ccd_diff, ccd_same, ccd_group) = match self.last_column {
             Some(col) => (
                 t.column_ready_after_column(col.time, false),
                 t.column_ready_after_column(col.time, true),
-                col.bank_group as usize,
+                col.group as usize,
             ),
             None => (0, 0, usize::MAX),
         };
@@ -172,13 +169,21 @@ impl Controller {
             ),
             None => (0, 0, usize::MAX),
         };
-        let rd_base = ccd_diff.max(wtr_diff).max(bus_floor_read);
-        let wr_base = ccd_diff.max(bus_floor_write);
         let rd = (CLASS_READ * 8) as usize;
         let wr = (CLASS_WRITE * 8) as usize;
         for g in 0..groups {
-            self.floors[rd + g] = rd_base;
-            self.floors[wr + g] = wr_base;
+            // Groups on a different rank than the last data burst pay the
+            // rank-to-rank bus bubble on top of the shared bus floor (the
+            // extra is 0 on single-rank channels, where `g / bank_groups`
+            // always equals the last data rank).
+            let rank_extra = match self.last_data_rank {
+                Some(rank) if rank as usize != g / bank_groups => t.t_rank_to_rank,
+                _ => 0,
+            };
+            let bus_floor_read = (read_free + rank_extra).saturating_sub(t.cl);
+            let bus_floor_write = (write_free + rank_extra).saturating_sub(t.cwl);
+            self.floors[rd + g] = ccd_diff.max(wtr_diff).max(bus_floor_read);
+            self.floors[wr + g] = ccd_diff.max(bus_floor_write);
         }
         if ccd_group < groups {
             self.floors[rd + ccd_group] = self.floors[rd + ccd_group].max(ccd_same);

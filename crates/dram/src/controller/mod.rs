@@ -157,13 +157,24 @@ enum ScheduleDecision {
     Idle,
 }
 
+/// The last column command on the channel; `group` is the **rank-qualified**
+/// bank-group index (`rank * bank_groups + bank_group`), so same-group timing
+/// (tCCD_L / tWTR_L) only applies within one rank.
 #[derive(Debug, Clone, Copy)]
 struct LastColumn {
     time: u64,
-    bank_group: u32,
+    group: u32,
 }
 
 /// A single-channel DRAM memory controller.
+///
+/// With a multi-rank [`ChannelTopology`](crate::ChannelTopology) the
+/// controller serves `ranks * total_banks` banks; ranks replicate the bank
+/// space and share the data bus, paying
+/// [`TimingParams::t_rank_to_rank`](crate::TimingParams::t_rank_to_rank)
+/// whenever consecutive data bursts come from different ranks.  Same-group
+/// timings (tCCD_L, tRRD_L, tWTR_L) apply only within one rank's bank
+/// groups.
 #[derive(Debug, Clone)]
 pub struct Controller {
     config: DramConfig,
@@ -175,7 +186,8 @@ pub struct Controller {
     now: u64,
     window_start: u64,
     last_completion: u64,
-    // Channel-level timing state.
+    // Channel-level timing state.  Per-group state is indexed by the
+    // rank-qualified group (`rank * bank_groups + bank_group`).
     last_act_any: Option<u64>,
     last_act_per_group: Vec<Option<u64>>,
     // Four-activate-window ring: slot `act_count & 3` is the next to be
@@ -183,9 +195,14 @@ pub struct Controller {
     act_ring: [u64; 4],
     act_count: u64,
     last_column: Option<LastColumn>,
+    /// `(data end, rank-qualified group)` of the last write.
     last_write_data_end: Option<(u64, u32)>,
     data_bus_free_at: u64,
     last_data_was_write: Option<bool>,
+    /// Rank of the last data burst (drives the rank-to-rank bus bubble;
+    /// always `Some(0)`-or-`None` on single-rank channels, where the bubble
+    /// can never apply).
+    last_data_rank: Option<u32>,
     // Incremental head-candidate cache of the event engine (see `event`);
     // `head_addr` holds the candidates' target addresses out of line so the
     // selection scan array stays compact.
@@ -215,7 +232,10 @@ impl Controller {
                 reason: "must be at least 1".to_string(),
             });
         }
-        let total_banks = config.geometry.total_banks() as usize;
+        // One controller serves every rank of its channel: the bank space is
+        // replicated per rank, flat bank indices are rank-qualified.
+        let ranks = config.topology.ranks as usize;
+        let total_banks = config.geometry.total_banks() as usize * ranks;
         let refresh_mode = ctrl.refresh_mode.unwrap_or(config.default_refresh);
         let refresh = RefreshEngine::new(refresh_mode, &config.timing, total_banks as u32);
         let mut controller = Self {
@@ -227,13 +247,14 @@ impl Controller {
             window_start: 0,
             last_completion: 0,
             last_act_any: None,
-            last_act_per_group: vec![None; config.geometry.bank_groups as usize],
+            last_act_per_group: vec![None; config.geometry.bank_groups as usize * ranks],
             act_ring: [0; 4],
             act_count: 0,
             last_column: None,
             last_write_data_end: None,
             data_bus_free_at: 0,
             last_data_was_write: None,
+            last_data_rank: None,
             head_cand: vec![event::HeadCandidate::default(); total_banks],
             head_addr: vec![crate::address::PhysicalAddress::default(); total_banks],
             floors: [0; 32],
@@ -322,8 +343,10 @@ impl Controller {
     /// debug builds).
     pub fn enqueue(&mut self, request: Request) -> bool {
         debug_assert!(
-            request.address.is_valid_for(&self.config.geometry),
-            "request address {} outside geometry",
+            request
+                .address
+                .is_valid_for_ranks(&self.config.geometry, self.config.topology.ranks),
+            "request address {} outside geometry/topology",
             request.address
         );
         let flat = request.address.flat_bank(&self.config.geometry) as usize;
@@ -598,7 +621,7 @@ impl Controller {
             let is_write = head.request.is_write();
 
             if bank.is_row_open(addr.row) {
-                let ready = self.earliest_column(flat_bank, addr.bank_group, is_write);
+                let ready = self.earliest_column(flat_bank, &addr, is_write);
                 let cmd = if is_write {
                     Command::write(addr)
                 } else {
@@ -619,7 +642,7 @@ impl Controller {
                     // This bank is about to be refreshed; do not reopen it.
                     continue;
                 }
-                let ready = self.earliest_activate(flat_bank, addr.bank_group);
+                let ready = self.earliest_activate(flat_bank, self.qualified_group(&addr));
                 consider(
                     2,
                     head.seq,
@@ -685,12 +708,24 @@ impl Controller {
 
     fn bank_address(&self, flat_bank: usize) -> crate::address::PhysicalAddress {
         let banks_per_group = self.config.geometry.banks_per_group;
+        let per_rank = self.config.geometry.total_banks();
+        let rank = flat_bank as u32 / per_rank;
+        let within = flat_bank as u32 % per_rank;
         crate::address::PhysicalAddress {
-            bank_group: flat_bank as u32 / banks_per_group,
-            bank: flat_bank as u32 % banks_per_group,
+            rank,
+            bank_group: within / banks_per_group,
+            bank: within % banks_per_group,
             row: self.banks[flat_bank].open_row.unwrap_or(0),
             column: 0,
         }
+    }
+
+    /// The rank-qualified bank-group index of an address
+    /// (`rank * bank_groups + bank_group`): the index into
+    /// `last_act_per_group` and the unit within which "same bank group"
+    /// timings (tCCD_L, tRRD_L, tWTR_L) apply.
+    fn qualified_group(&self, addr: &crate::address::PhysicalAddress) -> u32 {
+        addr.rank * self.config.geometry.bank_groups + addr.bank_group
     }
 
     // ----------------------------------------------------------------- //
@@ -699,14 +734,15 @@ impl Controller {
 
     /// Earliest cycle an ACT command may be issued to `flat_bank`, combining
     /// the bank's own `act_allowed_at` with the channel-level activation-rate
-    /// limits (`t_rrd_s`/`t_rrd_l`/`t_faw`).
-    fn earliest_activate(&self, flat_bank: usize, bank_group: u32) -> u64 {
+    /// limits (`t_rrd_s`/`t_rrd_l`/`t_faw`).  `group` is the rank-qualified
+    /// bank-group index.
+    fn earliest_activate(&self, flat_bank: usize, group: u32) -> u64 {
         let t = &self.config.timing;
         let mut ready = self.banks[flat_bank].act_allowed_at;
         if let Some(last) = self.last_act_any {
             ready = ready.max(t.act_ready_after_act(last, false));
         }
-        if let Some(Some(last)) = self.last_act_per_group.get(bank_group as usize) {
+        if let Some(Some(last)) = self.last_act_per_group.get(group as usize) {
             ready = ready.max(t.act_ready_after_act(*last, true));
         }
         if self.act_count >= 4 {
@@ -718,27 +754,38 @@ impl Controller {
 
     /// Earliest cycle a RD/WR command may be issued to `flat_bank`, combining
     /// the bank's own `col_allowed_at` with the channel-level column-gap,
-    /// write-to-read and data-bus constraints.
-    fn earliest_column(&self, flat_bank: usize, bank_group: u32, is_write: bool) -> u64 {
+    /// write-to-read, data-bus and rank-switch constraints.
+    fn earliest_column(
+        &self,
+        flat_bank: usize,
+        addr: &crate::address::PhysicalAddress,
+        is_write: bool,
+    ) -> u64 {
         let t = &self.config.timing;
+        let group = self.qualified_group(addr);
         let mut ready = self.banks[flat_bank].col_allowed_at;
         if let Some(col) = self.last_column {
-            ready = ready.max(t.column_ready_after_column(col.time, col.bank_group == bank_group));
+            ready = ready.max(t.column_ready_after_column(col.time, col.group == group));
         }
         if !is_write {
             if let Some((wr_data_end, wr_group)) = self.last_write_data_end {
-                ready =
-                    ready.max(t.read_ready_after_write_data(wr_data_end, wr_group == bank_group));
+                ready = ready.max(t.read_ready_after_write_data(wr_data_end, wr_group == group));
             }
         }
         // Data bus availability: the command must not start its data burst
-        // before the bus is free (plus a turnaround bubble on direction
-        // changes).
+        // before the bus is free, plus a turnaround bubble on direction
+        // changes and a rank-to-rank bubble when the bus hands over between
+        // ranks (never on single-rank channels).
         let latency = t.column_latency(is_write);
         let mut bus_free = self.data_bus_free_at;
         if let Some(last_write) = self.last_data_was_write {
             if last_write != is_write {
                 bus_free += t.t_bus_turn;
+            }
+        }
+        if let Some(last_rank) = self.last_data_rank {
+            if last_rank != addr.rank {
+                bus_free += t.t_rank_to_rank;
             }
         }
         ready = ready.max(bus_free.saturating_sub(latency));
@@ -755,9 +802,10 @@ impl Controller {
         let now = self.now;
         match command.kind {
             CommandKind::Activate => {
+                let group = self.qualified_group(&command.address);
                 self.banks[flat_bank].record_activate(now, command.address.row, t);
                 self.last_act_any = Some(now);
-                self.last_act_per_group[command.address.bank_group as usize] = Some(now);
+                self.last_act_per_group[group as usize] = Some(now);
                 self.act_ring[(self.act_count & 3) as usize] = now;
                 self.act_count += 1;
                 self.stats.activates += 1;
@@ -787,17 +835,16 @@ impl Controller {
                 } else {
                     self.banks[flat_bank].record_read(now, burst, t);
                 }
+                let group = self.qualified_group(&command.address);
                 let latency = t.column_latency(is_write);
                 let data_start = now + latency;
                 let data_end = data_start + burst;
                 self.data_bus_free_at = data_end;
                 self.last_data_was_write = Some(is_write);
-                self.last_column = Some(LastColumn {
-                    time: now,
-                    bank_group: command.address.bank_group,
-                });
+                self.last_data_rank = Some(command.address.rank);
+                self.last_column = Some(LastColumn { time: now, group });
                 if is_write {
-                    self.last_write_data_end = Some((data_end, command.address.bank_group));
+                    self.last_write_data_end = Some((data_end, group));
                 }
                 self.stats.data_bus_busy_cycles += burst;
                 self.last_completion = self.last_completion.max(data_end);

@@ -1,6 +1,91 @@
-//! Device geometry: banks, bank groups, rows, columns and burst length.
+//! Device geometry: banks, bank groups, rows, columns and burst length —
+//! plus the channel/rank topology scaling one geometry out to a memory
+//! subsystem.
 
 use crate::error::ConfigError;
+
+/// Channel/rank scale-out of a DRAM configuration.
+///
+/// A [`DeviceGeometry`] describes **one rank of one channel**; the topology
+/// says how many independent channels the subsystem exposes and how many
+/// ranks share each channel's command/data bus.  Channels are fully
+/// independent (own bus, own controller — see
+/// [`ChannelRouter`](crate::channel::ChannelRouter)); ranks multiply the
+/// banks behind one controller and pay a bus-turnaround penalty
+/// ([`TimingParams::t_rank_to_rank`](crate::TimingParams::t_rank_to_rank))
+/// whenever consecutive data bursts come from different ranks.
+///
+/// The default `1 × 1` topology reproduces the single-channel, single-rank
+/// device of the paper's Table I bit-exactly.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::ChannelTopology;
+///
+/// let topology = ChannelTopology::new(2, 2);
+/// assert_eq!(topology.units(), 4);
+/// assert!(!topology.is_single());
+/// assert!(ChannelTopology::default().is_single());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChannelTopology {
+    /// Number of independent channels (each with its own controller and bus).
+    pub channels: u32,
+    /// Number of ranks sharing each channel's bus.
+    pub ranks: u32,
+}
+
+impl Default for ChannelTopology {
+    fn default() -> Self {
+        Self {
+            channels: 1,
+            ranks: 1,
+        }
+    }
+}
+
+impl ChannelTopology {
+    /// Creates a topology of `channels` × `ranks`.
+    #[must_use]
+    pub fn new(channels: u32, ranks: u32) -> Self {
+        Self { channels, ranks }
+    }
+
+    /// Whether this is the legacy single-channel, single-rank topology.
+    #[must_use]
+    pub fn is_single(&self) -> bool {
+        self.channels == 1 && self.ranks == 1
+    }
+
+    /// Total number of (channel, rank) units.
+    #[must_use]
+    pub fn units(&self) -> u32 {
+        self.channels * self.ranks
+    }
+
+    /// Validates the topology.
+    ///
+    /// Channel and rank counts must be non-zero powers of two (channel and
+    /// rank bits are spliced into address-decode chains) and stay within the
+    /// modelled limits (64 channels, 8 ranks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value, max) in [("channels", self.channels, 64), ("ranks", self.ranks, 8)] {
+            if value == 0 || !value.is_power_of_two() || value > max {
+                return Err(ConfigError::InvalidGeometry {
+                    field,
+                    reason: format!("{value} must be a power of two in 1..={max}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Physical organisation of one DRAM channel.
 ///
@@ -187,6 +272,30 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn topology_validation_rejects_bad_counts() {
+        assert!(ChannelTopology::default().validate().is_ok());
+        assert!(ChannelTopology::new(4, 2).validate().is_ok());
+        for bad in [
+            ChannelTopology::new(0, 1),
+            ChannelTopology::new(3, 1),
+            ChannelTopology::new(128, 1),
+            ChannelTopology::new(1, 0),
+            ChannelTopology::new(1, 3),
+            ChannelTopology::new(1, 16),
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn topology_units_and_single() {
+        assert_eq!(ChannelTopology::new(4, 2).units(), 8);
+        assert!(ChannelTopology::new(1, 1).is_single());
+        assert!(!ChannelTopology::new(2, 1).is_single());
+        assert!(!ChannelTopology::new(1, 2).is_single());
     }
 
     #[test]

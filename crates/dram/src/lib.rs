@@ -54,7 +54,8 @@
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`geometry`] | [`DeviceGeometry`]: banks, bank groups, rows, columns, burst length |
+//! | [`geometry`] | [`DeviceGeometry`] (banks, bank groups, rows, columns, burst length) and [`ChannelTopology`] (channels × ranks) |
+//! | [`channel`] | [`ChannelRouter`]: one controller per channel under a shared clock, with aggregated [`CombinedStats`] |
 //! | [`timing`] | [`TimingParams`]: all timing constraints in device clock cycles |
 //! | [`standards`] | presets for the ten configurations evaluated in the paper |
 //! | [`address`] | [`PhysicalAddress`] and linear-address decoding schemes |
@@ -72,6 +73,7 @@
 pub mod address;
 pub mod bank;
 pub mod builder;
+pub mod channel;
 pub mod command;
 pub mod controller;
 pub mod energy;
@@ -86,13 +88,14 @@ pub mod timing;
 pub use address::{AddressDecoder, DecodeScheme, PhysicalAddress};
 pub use bank::{BankId, BankState};
 pub use builder::DramConfigBuilder;
+pub use channel::{ChannelRouter, CombinedStats};
 pub use command::{Command, CommandKind};
 pub use controller::{
     Controller, ControllerConfig, PagePolicy, RefreshMode, SchedulingPolicy, TimingEngine,
 };
 pub use energy::{EnergyParams, EnergyReport};
 pub use error::ConfigError;
-pub use geometry::DeviceGeometry;
+pub use geometry::{ChannelTopology, DeviceGeometry};
 pub use request::{Request, RequestKind};
 pub use sim::MemorySystem;
 pub use standards::{DramConfig, DramStandard};

@@ -15,7 +15,7 @@
 use crate::address::{AddressDecoder, DecodeScheme, PhysicalAddress};
 use crate::controller::RefreshMode;
 use crate::error::ConfigError;
-use crate::geometry::DeviceGeometry;
+use crate::geometry::{ChannelTopology, DeviceGeometry};
 use crate::timing::{ns_to_cycles, TimingParams};
 
 /// The five DRAM standards evaluated in the paper.
@@ -133,6 +133,10 @@ pub struct DramConfig {
     /// Default linear-address decode scheme used by
     /// [`DramConfig::decode_linear`].
     pub decode_scheme: DecodeScheme,
+    /// Channel/rank scale-out of the subsystem.  The presets default to the
+    /// paper's single-channel, single-rank device; use
+    /// [`DramConfig::with_topology`] (or the builder) to scale out.
+    pub topology: ChannelTopology,
 }
 
 impl DramConfig {
@@ -161,10 +165,29 @@ impl DramConfig {
         f64::from(self.data_rate_mtps) / 2.0
     }
 
-    /// Theoretical peak bandwidth of the channel in Gbit/s.
+    /// Theoretical peak bandwidth of **one channel** in Gbit/s.
     #[must_use]
     pub fn peak_bandwidth_gbps(&self) -> f64 {
         f64::from(self.data_rate_mtps) * 1.0e6 * f64::from(self.geometry.bus_width_bits) / 1.0e9
+    }
+
+    /// Theoretical peak bandwidth of the whole subsystem in Gbit/s (one
+    /// channel times the channel count; ranks share a bus and do not add
+    /// bandwidth).
+    #[must_use]
+    pub fn aggregate_peak_bandwidth_gbps(&self) -> f64 {
+        self.peak_bandwidth_gbps() * f64::from(self.topology.channels)
+    }
+
+    /// Returns a copy of this configuration scaled out to `topology`.
+    ///
+    /// The per-channel geometry and timing are unchanged; only the
+    /// channel/rank counts differ.  `with_topology(ChannelTopology::default())`
+    /// is the identity.
+    #[must_use]
+    pub fn with_topology(mut self, topology: ChannelTopology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Name of the configuration in the paper's style, e.g. `DDR4-3200`.
@@ -178,10 +201,12 @@ impl DramConfig {
     ///
     /// This is the "row-major" baseline path: the interleaver treats DRAM as
     /// flat storage and the controller's address decoder slices the linear
-    /// address into bank/row/column bits.
+    /// address into bank/row/column bits (plus rank bits when the topology
+    /// has more than one rank per channel).
     #[must_use]
     pub fn decode_linear(&self, burst_index: u64) -> PhysicalAddress {
-        AddressDecoder::new(self.geometry, self.decode_scheme).decode(burst_index)
+        AddressDecoder::with_ranks(self.geometry, self.decode_scheme, self.topology.ranks)
+            .decode(burst_index)
     }
 
     /// Validates geometry and timing.
@@ -193,6 +218,7 @@ impl DramConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         self.geometry.validate()?;
         self.timing.validate()?;
+        self.topology.validate()?;
         Ok(())
     }
 }
@@ -238,6 +264,7 @@ fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
                 t_rfc_pb: 0,
                 t_refi: c(7800.0),
                 t_bus_turn: 2,
+                t_rank_to_rank: 2,
             };
             (geometry, timing, RefreshMode::AllBank)
         }
@@ -275,6 +302,7 @@ fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
                 t_rfc_pb: 0,
                 t_refi: c(7800.0),
                 t_bus_turn: 2,
+                t_rank_to_rank: 2,
             };
             (geometry, timing, RefreshMode::AllBank)
         }
@@ -308,6 +336,7 @@ fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
                 t_rfc_pb: c(130.0),
                 t_refi: c(3900.0),
                 t_bus_turn: 2,
+                t_rank_to_rank: 2,
             };
             (geometry, timing, RefreshMode::PerBank)
         }
@@ -345,6 +374,7 @@ fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
                 t_rfc_pb: c(140.0),
                 t_refi: c(3904.0),
                 t_bus_turn: 2,
+                t_rank_to_rank: 2,
             };
             (geometry, timing, RefreshMode::PerBank)
         }
@@ -382,6 +412,7 @@ fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
                 t_rfc_pb: c(140.0),
                 t_refi: c(3904.0),
                 t_bus_turn: 2,
+                t_rank_to_rank: 2,
             };
             (geometry, timing, RefreshMode::PerBank)
         }
@@ -394,6 +425,7 @@ fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
         timing,
         default_refresh: refresh,
         decode_scheme: DecodeScheme::RowColumnBankBankGroup,
+        topology: ChannelTopology::default(),
     }
 }
 

@@ -65,8 +65,14 @@ pub struct TimingParams {
     /// Average refresh interval.
     pub t_refi: u64,
     /// Extra data-bus idle cycles inserted when the bus switches between
-    /// reads and writes (rank/DQ turnaround bubble).
+    /// reads and writes (DQ turnaround bubble).
     pub t_bus_turn: u64,
+    /// Extra data-bus idle cycles inserted when consecutive data bursts on
+    /// one channel come from **different ranks** (tRTRS-style rank-to-rank
+    /// switch bubble: the outgoing rank must release the bus before the
+    /// incoming rank may drive it).  Never applies on single-rank channels,
+    /// so the Table I results are unaffected by its value.
+    pub t_rank_to_rank: u64,
 }
 
 impl TimingParams {

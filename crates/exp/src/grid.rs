@@ -2,7 +2,9 @@
 
 use std::collections::HashSet;
 
-use tbi_dram::{ControllerConfig, DramConfig, DramStandard, RefreshMode, TimingEngine};
+use tbi_dram::{
+    ChannelTopology, ControllerConfig, DramConfig, DramStandard, RefreshMode, TimingEngine,
+};
 use tbi_interleaver::{InterleaverSpec, MappingKind};
 
 use crate::runner::Experiment;
@@ -33,13 +35,15 @@ impl RefreshSetting {
 
 /// A declarative Cartesian product of evaluation axes.
 ///
-/// The four axes are DRAM configurations, interleaver sizes (bursts),
-/// mapping schemes and refresh settings.  [`SweepGrid::scenarios`] expands
-/// the product in a fixed nesting order (DRAM → size → mapping → refresh),
-/// so the resulting scenario — and therefore record — order is stable.
-/// Axis values are deduplicated on insertion, which keeps the expansion
-/// count equal to the product of the axis lengths and the derived scenario
-/// IDs unique.
+/// The six axes are DRAM configurations, channel counts, rank counts,
+/// interleaver sizes (bursts), mapping schemes and refresh settings.
+/// [`SweepGrid::scenarios`] expands the product in a fixed nesting order
+/// (DRAM → channels → ranks → size → mapping → refresh), so the resulting
+/// scenario — and therefore record — order is stable.  Axis values are
+/// deduplicated on insertion, which keeps the expansion count equal to the
+/// product of the axis lengths and the derived scenario IDs unique.  The
+/// channel and rank axes default to `[1]` (the paper's single-channel,
+/// single-rank device) when left untouched.
 ///
 /// # Examples
 ///
@@ -65,6 +69,8 @@ impl RefreshSetting {
 #[derive(Debug, Clone, Default)]
 pub struct SweepGrid {
     drams: Vec<DramConfig>,
+    channels: Vec<u32>,
+    ranks: Vec<u32>,
     sizes: Vec<u64>,
     mappings: Vec<MappingKind>,
     refresh: Vec<RefreshSetting>,
@@ -111,6 +117,46 @@ impl SweepGrid {
     pub fn dram(mut self, config: DramConfig) -> Self {
         if !self.drams.contains(&config) {
             self.drams.push(config);
+        }
+        self
+    }
+
+    /// Adds one channel count to the channel axis (duplicates are ignored).
+    /// Calling this at least once replaces the implicit default axis of
+    /// `[1]`.
+    #[must_use]
+    pub fn channel_count(mut self, channels: u32) -> Self {
+        if !self.channels.contains(&channels) {
+            self.channels.push(channels);
+        }
+        self
+    }
+
+    /// Adds several channel counts.
+    #[must_use]
+    pub fn channels<I: IntoIterator<Item = u32>>(mut self, channels: I) -> Self {
+        for c in channels {
+            self = self.channel_count(c);
+        }
+        self
+    }
+
+    /// Adds one rank count to the rank axis (duplicates are ignored).
+    /// Calling this at least once replaces the implicit default axis of
+    /// `[1]`.
+    #[must_use]
+    pub fn rank_count(mut self, ranks: u32) -> Self {
+        if !self.ranks.contains(&ranks) {
+            self.ranks.push(ranks);
+        }
+        self
+    }
+
+    /// Adds several rank counts.
+    #[must_use]
+    pub fn ranks<I: IntoIterator<Item = u32>>(mut self, ranks: I) -> Self {
+        for r in ranks {
+            self = self.rank_count(r);
         }
         self
     }
@@ -192,12 +238,14 @@ impl SweepGrid {
         self
     }
 
-    /// Effective lengths of the four axes in nesting order
-    /// (DRAM, size, mapping, refresh).
+    /// Effective lengths of the six axes in nesting order
+    /// (DRAM, channels, ranks, size, mapping, refresh).
     #[must_use]
-    pub fn axis_lengths(&self) -> [usize; 4] {
+    pub fn axis_lengths(&self) -> [usize; 6] {
         [
             self.drams.len(),
+            self.effective_channels().len(),
+            self.effective_ranks().len(),
             self.sizes.len(),
             self.mappings.len(),
             self.effective_refresh().len(),
@@ -225,49 +273,74 @@ impl SweepGrid {
         }
     }
 
+    fn effective_channels(&self) -> Vec<u32> {
+        if self.channels.is_empty() {
+            vec![1]
+        } else {
+            self.channels.clone()
+        }
+    }
+
+    fn effective_ranks(&self) -> Vec<u32> {
+        if self.ranks.is_empty() {
+            vec![1]
+        } else {
+            self.ranks.clone()
+        }
+    }
+
     /// Expands the Cartesian product into scenarios with stable, unique IDs.
     ///
-    /// The nesting order is DRAM (outermost) → size → mapping → refresh
-    /// (innermost).  Should two distinct DRAM configurations share a label
-    /// (custom geometries of the same speed grade), colliding IDs are
-    /// disambiguated with a `#<k>` suffix — deterministically, so the IDs
-    /// remain stable.
+    /// The nesting order is DRAM (outermost) → channels → ranks → size →
+    /// mapping → refresh (innermost).  Should two distinct DRAM
+    /// configurations share a label (custom geometries of the same speed
+    /// grade), colliding IDs are disambiguated with a `#<k>` suffix —
+    /// deterministically, so the IDs remain stable.
     #[must_use]
     pub fn scenarios(&self) -> Vec<Scenario> {
         let refresh = self.effective_refresh();
+        let channels = self.effective_channels();
+        let ranks = self.effective_ranks();
         let mut out = Vec::with_capacity(self.len());
         let mut seen: HashSet<String> = HashSet::with_capacity(self.len());
         for dram in &self.drams {
-            for &bursts in &self.sizes {
-                for &mapping in &self.mappings {
-                    for &setting in &refresh {
-                        let mut controller = self.controller;
-                        controller.refresh_mode = match setting {
-                            RefreshSetting::Standard => self.controller.refresh_mode,
-                            RefreshSetting::Disabled => Some(RefreshMode::Disabled),
-                        };
-                        let mut scenario = Scenario::custom(
-                            dram.clone(),
-                            mapping,
-                            InterleaverSpec::from_burst_count(bursts),
-                        )
-                        .with_controller(controller);
-                        if let Some(link) = &self.link {
-                            scenario = scenario.with_link(link.clone());
-                        }
-                        let base = scenario.id();
-                        if !seen.insert(base.clone()) {
-                            let mut k = 2;
-                            let unique = loop {
-                                let candidate = format!("{base}#{k}");
-                                if seen.insert(candidate.clone()) {
-                                    break candidate;
+            for &channel_count in &channels {
+                for &rank_count in &ranks {
+                    let dram = dram
+                        .clone()
+                        .with_topology(ChannelTopology::new(channel_count, rank_count));
+                    for &bursts in &self.sizes {
+                        for &mapping in &self.mappings {
+                            for &setting in &refresh {
+                                let mut controller = self.controller;
+                                controller.refresh_mode = match setting {
+                                    RefreshSetting::Standard => self.controller.refresh_mode,
+                                    RefreshSetting::Disabled => Some(RefreshMode::Disabled),
+                                };
+                                let mut scenario = Scenario::custom(
+                                    dram.clone(),
+                                    mapping,
+                                    InterleaverSpec::from_burst_count(bursts),
+                                )
+                                .with_controller(controller);
+                                if let Some(link) = &self.link {
+                                    scenario = scenario.with_link(link.clone());
                                 }
-                                k += 1;
-                            };
-                            scenario = scenario.with_id(unique);
+                                let base = scenario.id();
+                                if !seen.insert(base.clone()) {
+                                    let mut k = 2;
+                                    let unique = loop {
+                                        let candidate = format!("{base}#{k}");
+                                        if seen.insert(candidate.clone()) {
+                                            break candidate;
+                                        }
+                                        k += 1;
+                                    };
+                                    scenario = scenario.with_id(unique);
+                                }
+                                out.push(scenario);
+                            }
                         }
-                        out.push(scenario);
                     }
                 }
             }
@@ -302,9 +375,45 @@ mod tests {
             .sizes([1_000, 2_000, 3_000])
             .mappings(MappingKind::TABLE1)
             .refresh_axis();
-        assert_eq!(grid.axis_lengths(), [10, 3, 2, 2]);
+        assert_eq!(grid.axis_lengths(), [10, 1, 1, 3, 2, 2]);
         assert_eq!(grid.len(), 120);
         assert_eq!(grid.scenarios().len(), 120);
+    }
+
+    #[test]
+    fn channel_and_rank_axes_multiply_the_expansion() {
+        let grid = SweepGrid::new()
+            .preset(DramStandard::Ddr4, 3200)
+            .unwrap()
+            .channels([1, 2, 4])
+            .ranks([1, 2])
+            .size(1_000)
+            .mapping(MappingKind::Optimized);
+        assert_eq!(grid.axis_lengths(), [1, 3, 2, 1, 1, 1]);
+        assert_eq!(grid.len(), 6);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 6);
+        // Nesting: channels outermost of the two, ranks inner.
+        assert_eq!(
+            scenarios[0].id(),
+            "DDR4-3200/b1000/optimized/refresh=default"
+        );
+        assert_eq!(
+            scenarios[1].id(),
+            "DDR4-3200/b1000/optimized/refresh=default/c1r2"
+        );
+        assert_eq!(
+            scenarios[2].id(),
+            "DDR4-3200/b1000/optimized/refresh=default/c2r1"
+        );
+        assert_eq!(scenarios[2].dram().topology.channels, 2);
+        assert_eq!(
+            scenarios[5].dram().topology,
+            tbi_dram::ChannelTopology::new(4, 2)
+        );
+        // IDs stay unique across the topology axis.
+        let ids: HashSet<String> = scenarios.iter().map(Scenario::id).collect();
+        assert_eq!(ids.len(), 6);
     }
 
     #[test]
@@ -318,8 +427,10 @@ mod tests {
             .mapping(MappingKind::Optimized)
             .mapping(MappingKind::Optimized)
             .refresh(RefreshSetting::Standard)
-            .refresh(RefreshSetting::Standard);
-        assert_eq!(grid.axis_lengths(), [1, 1, 1, 1]);
+            .refresh(RefreshSetting::Standard)
+            .channels([2, 2])
+            .ranks([2, 2]);
+        assert_eq!(grid.axis_lengths(), [1, 1, 1, 1, 1, 1]);
         assert_eq!(grid.len(), 1);
     }
 

@@ -36,6 +36,11 @@ pub struct Record {
     pub dimension: u32,
     /// Whether DRAM refresh was disabled for the run.
     pub refresh_disabled: bool,
+    /// Independent DRAM channels of the subsystem (1 for the paper's
+    /// Table I device).
+    pub channels: u32,
+    /// Ranks per channel (1 for the paper's Table I device).
+    pub ranks: u32,
     /// Write-phase (row-wise) data-bus utilization in `[0, 1]`.
     pub write_utilization: f64,
     /// Read-phase (column-wise) data-bus utilization in `[0, 1]`.
@@ -43,8 +48,17 @@ pub struct Record {
     /// Minimum of both phases — the throughput-limiting utilization (the
     /// bold column of the paper's Table I).
     pub min_utilization: f64,
-    /// Sustained interleaver throughput in Gbit/s.
+    /// Sustained interleaver throughput **per channel** in Gbit/s (for a
+    /// single channel this is the whole subsystem's throughput, matching the
+    /// paper).
     pub sustained_gbps: f64,
+    /// Sustained aggregate interleaver throughput of the whole subsystem in
+    /// Gbit/s (`sustained_gbps × channels`; equal to `sustained_gbps` on a
+    /// single channel).
+    pub aggregate_gbps: f64,
+    /// Spread (max − min) of the per-channel bus utilizations, worst phase;
+    /// 0 on a single channel.
+    pub channel_utilization_spread: f64,
     /// Row-buffer hit rate during the write phase, in `[0, 1]`.
     pub write_row_hit_rate: f64,
     /// Row-buffer hit rate during the read phase, in `[0, 1]`.
@@ -78,10 +92,14 @@ impl PartialEq for Record {
             && self.bursts == other.bursts
             && self.dimension == other.dimension
             && self.refresh_disabled == other.refresh_disabled
+            && self.channels == other.channels
+            && self.ranks == other.ranks
             && self.write_utilization == other.write_utilization
             && self.read_utilization == other.read_utilization
             && self.min_utilization == other.min_utilization
             && self.sustained_gbps == other.sustained_gbps
+            && self.aggregate_gbps == other.aggregate_gbps
+            && self.channel_utilization_spread == other.channel_utilization_spread
             && self.write_row_hit_rate == other.write_row_hit_rate
             && self.read_row_hit_rate == other.read_row_hit_rate
             && self.activates == other.activates
@@ -113,10 +131,14 @@ mod tests {
             bursts: 1000,
             dimension: 45,
             refresh_disabled: false,
+            channels: 1,
+            ranks: 1,
             write_utilization: 0.97,
             read_utilization: min,
             min_utilization: min,
             sustained_gbps: 100.0 * min,
+            aggregate_gbps: 100.0 * min,
+            channel_utilization_spread: 0.0,
             write_row_hit_rate: 0.9,
             read_row_hit_rate: 0.8,
             activates: 123,
@@ -129,6 +151,8 @@ mod tests {
         }
     }
 
+    /// The contract of the manual `PartialEq`: the two wall-clock fields —
+    /// and **only** those — are excluded from record equality.
     #[test]
     fn equality_ignores_wall_clock_fields() {
         let a = sample("a", 0.5);
@@ -139,6 +163,61 @@ mod tests {
         let mut c = a.clone();
         c.simulated_cycles += 1;
         assert_ne!(a, c, "simulated cycles are deterministic and compared");
+    }
+
+    /// Every deterministic field participates in equality — mutating any
+    /// one of them must break it (guards against a field being forgotten
+    /// when the manual `PartialEq` is extended).
+    #[test]
+    fn every_deterministic_field_participates_in_equality() {
+        type Mutation = (&'static str, Box<dyn Fn(&mut Record)>);
+        let base = sample("a", 0.5);
+        let mutations: Vec<Mutation> = vec![
+            ("scenario_id", Box::new(|r| r.scenario_id.push('x'))),
+            ("dram_label", Box::new(|r| r.dram_label.push('x'))),
+            ("mapping", Box::new(|r| r.mapping.push('x'))),
+            ("bursts", Box::new(|r| r.bursts += 1)),
+            ("dimension", Box::new(|r| r.dimension += 1)),
+            ("refresh_disabled", Box::new(|r| r.refresh_disabled = true)),
+            ("channels", Box::new(|r| r.channels += 1)),
+            ("ranks", Box::new(|r| r.ranks += 1)),
+            (
+                "write_utilization",
+                Box::new(|r| r.write_utilization += 0.01),
+            ),
+            ("read_utilization", Box::new(|r| r.read_utilization += 0.01)),
+            ("min_utilization", Box::new(|r| r.min_utilization += 0.01)),
+            ("sustained_gbps", Box::new(|r| r.sustained_gbps += 1.0)),
+            ("aggregate_gbps", Box::new(|r| r.aggregate_gbps += 1.0)),
+            (
+                "channel_utilization_spread",
+                Box::new(|r| r.channel_utilization_spread += 0.01),
+            ),
+            (
+                "write_row_hit_rate",
+                Box::new(|r| r.write_row_hit_rate += 0.01),
+            ),
+            (
+                "read_row_hit_rate",
+                Box::new(|r| r.read_row_hit_rate += 0.01),
+            ),
+            ("activates", Box::new(|r| r.activates += 1)),
+            ("energy_total_mj", Box::new(|r| r.energy_total_mj += 1.0)),
+            (
+                "energy_nj_per_byte",
+                Box::new(|r| r.energy_nj_per_byte += 1.0),
+            ),
+            ("simulated_cycles", Box::new(|r| r.simulated_cycles += 1)),
+            ("link", Box::new(|r| r.link = Some(LinkRecord::default()))),
+        ];
+        for (field, mutate) in mutations {
+            let mut changed = base.clone();
+            mutate(&mut changed);
+            assert_ne!(
+                base, changed,
+                "mutating `{field}` must break record equality"
+            );
+        }
     }
 
     #[test]

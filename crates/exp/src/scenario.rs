@@ -181,19 +181,28 @@ impl Scenario {
     }
 
     /// The stable scenario ID: either the explicit override or
-    /// `<label>/b<bursts>/<mapping>/refresh=<mode>`.
+    /// `<label>/b<bursts>/<mapping>/refresh=<mode>`, with a `/c<N>r<M>`
+    /// suffix when the topology is not the single-channel, single-rank
+    /// default (so legacy IDs are unchanged).
     #[must_use]
     pub fn id(&self) -> String {
         if let Some(id) = &self.custom_id {
             return id.clone();
         }
-        format!(
+        let mut id = format!(
             "{}/b{}/{}/refresh={}",
             self.dram.label(),
             self.spec.burst_count(),
             self.mapping.name(),
             refresh_tag(self.controller.refresh_mode)
-        )
+        );
+        if !self.dram.topology.is_single() {
+            id.push_str(&format!(
+                "/c{}r{}",
+                self.dram.topology.channels, self.dram.topology.ranks
+            ));
+        }
+        id
     }
 
     /// The DRAM configuration under evaluation.
@@ -256,6 +265,16 @@ impl Scenario {
     /// Returns [`ExpError`] if the mapping cannot be built, the interleaver
     /// does not fit the device, or the optional link stage fails.
     pub fn run(&self) -> Result<Record, ExpError> {
+        if self.dram.topology.is_single() {
+            self.run_single_channel()
+        } else {
+            self.run_multi_channel()
+        }
+    }
+
+    /// The legacy single-channel, single-rank path — kept verbatim so the
+    /// `1 × 1` topology reproduces the Table I records bit-identically.
+    fn run_single_channel(&self) -> Result<Record, ExpError> {
         let started = std::time::Instant::now();
         let report = self.evaluator().evaluate(self.mapping)?;
         let wall_time_s = started.elapsed().as_secs_f64();
@@ -277,10 +296,14 @@ impl Scenario {
             bursts: self.spec.burst_count(),
             dimension: self.spec.dimension(),
             refresh_disabled: self.controller.refresh_mode == Some(RefreshMode::Disabled),
+            channels: 1,
+            ranks: 1,
             write_utilization: report.write.utilization,
             read_utilization: report.read.utilization,
             min_utilization: report.min_utilization(),
             sustained_gbps: report.sustained_throughput_gbps(),
+            aggregate_gbps: report.sustained_throughput_gbps(),
+            channel_utilization_spread: 0.0,
             write_row_hit_rate: report.write.stats.row_hit_rate(),
             read_row_hit_rate: report.read.stats.row_hit_rate(),
             activates: totals.activates,
@@ -292,19 +315,91 @@ impl Scenario {
             link,
         })
     }
+
+    /// The multi-channel/multi-rank path: traffic is striped across the
+    /// channels by the mapping's channel-aware variant, each channel runs
+    /// under its own controller, and the per-channel statistics are
+    /// aggregated (see
+    /// [`ChannelRouter`](tbi_dram::channel::ChannelRouter)).
+    fn run_multi_channel(&self) -> Result<Record, ExpError> {
+        let started = std::time::Instant::now();
+        let report = self.evaluator().evaluate_channels(self.mapping)?;
+        let wall_time_s = started.elapsed().as_secs_f64();
+        let params = EnergyParams::for_config(&self.dram);
+        // Energy and counters per channel (each channel's device pays its
+        // own background power over its own elapsed window), summed into
+        // subsystem totals.
+        let mut energy_total_mj = 0.0;
+        let mut total_bytes = 0.0;
+        let mut activates = 0u64;
+        let mut simulated_cycles = 0u64;
+        let channels = self.dram.topology.channels as usize;
+        for channel in 0..channels {
+            let mut totals = report.write.stats.per_channel()[channel].clone();
+            totals.merge(&report.read.stats.per_channel()[channel]);
+            let energy = EnergyReport::from_stats(&totals, &self.dram, &params);
+            energy_total_mj += energy.total_mj;
+            total_bytes += (totals.read_bursts + totals.write_bursts) as f64
+                * f64::from(self.dram.geometry.burst_bytes());
+            activates += totals.activates;
+            simulated_cycles += totals.elapsed_cycles;
+        }
+        let energy_nj_per_byte = if total_bytes > 0.0 {
+            energy_total_mj * 1e6 / total_bytes
+        } else {
+            0.0
+        };
+        let sim_cycles_per_second = if wall_time_s > 0.0 {
+            simulated_cycles as f64 / wall_time_s
+        } else {
+            0.0
+        };
+        let aggregate_gbps = report.sustained_aggregate_gbps();
+        let link = self.link.as_ref().map(LinkStage::run).transpose()?;
+        let write_hit = report.write.stats.aggregate().row_hit_rate();
+        let read_hit = report.read.stats.aggregate().row_hit_rate();
+        Ok(Record {
+            scenario_id: self.id(),
+            dram_label: self.dram.label(),
+            mapping: self.mapping.name().to_string(),
+            bursts: self.spec.burst_count(),
+            dimension: self.spec.dimension(),
+            refresh_disabled: self.controller.refresh_mode == Some(RefreshMode::Disabled),
+            channels: self.dram.topology.channels,
+            ranks: self.dram.topology.ranks,
+            write_utilization: report.write.utilization,
+            read_utilization: report.read.utilization,
+            min_utilization: report.min_utilization(),
+            sustained_gbps: aggregate_gbps / f64::from(self.dram.topology.channels),
+            aggregate_gbps,
+            channel_utilization_spread: report.utilization_spread(),
+            write_row_hit_rate: write_hit,
+            read_row_hit_rate: read_hit,
+            activates,
+            energy_total_mj,
+            energy_nj_per_byte,
+            simulated_cycles,
+            wall_time_s,
+            sim_cycles_per_second,
+            link,
+        })
+    }
 }
 
 /// The full grid-axis value set of the scenario, one line: DRAM label,
-/// interleaver size and dimension, mapping, refresh mode, scheduling/page
-/// policy, queue capacity and timing engine.  Experiment errors embed this
-/// so a failing sweep cell is diagnosable from the log alone.
+/// channel/rank topology, interleaver size and dimension, mapping, refresh
+/// mode, scheduling/page policy, queue capacity and timing engine.
+/// Experiment errors embed this so a failing sweep cell is diagnosable from
+/// the log alone.
 impl std::fmt::Display for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "dram={} bursts={} dimension={} mapping={} refresh={} \
+            "dram={} channels={} ranks={} bursts={} dimension={} mapping={} refresh={} \
              scheduling={:?} page_policy={:?} queue_capacity={} engine={}",
             self.dram.label(),
+            self.dram.topology.channels,
+            self.dram.topology.ranks,
             self.spec.burst_count(),
             self.spec.dimension(),
             self.mapping.name(),
@@ -419,6 +514,53 @@ mod tests {
         assert!(record.simulated_cycles > 0);
         assert!(record.wall_time_s > 0.0);
         assert!(record.sim_cycles_per_second > 0.0);
+    }
+
+    #[test]
+    fn topology_appends_to_the_id_only_when_scaled_out() {
+        use tbi_dram::ChannelTopology;
+        let base = Scenario::preset(
+            DramStandard::Ddr4,
+            3200,
+            MappingKind::Optimized,
+            small_spec(),
+        )
+        .unwrap();
+        assert_eq!(base.id(), "DDR4-3200/b2000/optimized/refresh=default");
+        let mut scaled = base.clone();
+        scaled.dram = scaled.dram.with_topology(ChannelTopology::new(2, 2));
+        assert_eq!(
+            scaled.id(),
+            "DDR4-3200/b2000/optimized/refresh=default/c2r2"
+        );
+        let text = scaled.to_string();
+        assert!(text.contains("channels=2"), "{text}");
+        assert!(text.contains("ranks=2"), "{text}");
+    }
+
+    #[test]
+    fn multi_channel_scenario_reports_aggregate_metrics() {
+        use tbi_dram::ChannelTopology;
+        let mut scenario = Scenario::preset(
+            DramStandard::Ddr4,
+            3200,
+            MappingKind::Optimized,
+            InterleaverSpec::from_burst_count(20_000),
+        )
+        .unwrap();
+        let single = scenario.run().unwrap();
+        scenario.dram = scenario.dram.with_topology(ChannelTopology::new(2, 1));
+        let dual = scenario.run().unwrap();
+        assert_eq!(dual.channels, 2);
+        assert_eq!(dual.ranks, 1);
+        assert!(dual.aggregate_gbps > 1.5 * single.aggregate_gbps);
+        assert!((dual.sustained_gbps - dual.aggregate_gbps / 2.0).abs() < 1e-12);
+        assert!(dual.channel_utilization_spread >= 0.0);
+        assert!(dual.min_utilization > 0.5);
+        assert!(dual.energy_total_mj > single.energy_total_mj * 0.5);
+        // Both engines agree on the multi-channel path too.
+        let cycle = scenario.clone().with_engine(TimingEngine::Cycle);
+        assert_eq!(scenario.run().unwrap(), cycle.run().unwrap());
     }
 
     #[test]

@@ -56,8 +56,9 @@ fn record_to_json(record: &Record) -> String {
     };
     format!(
         "{{\"scenario_id\":{},\"dram\":{},\"mapping\":{},\"bursts\":{},\"dimension\":{},\
-         \"refresh_disabled\":{},\"write_utilization\":{},\"read_utilization\":{},\
-         \"min_utilization\":{},\"sustained_gbps\":{},\"write_row_hit_rate\":{},\
+         \"refresh_disabled\":{},\"channels\":{},\"ranks\":{},\"write_utilization\":{},\
+         \"read_utilization\":{},\"min_utilization\":{},\"sustained_gbps\":{},\
+         \"aggregate_gbps\":{},\"channel_utilization_spread\":{},\"write_row_hit_rate\":{},\
          \"read_row_hit_rate\":{},\"activates\":{},\"energy_total_mj\":{},\
          \"energy_nj_per_byte\":{},\"simulated_cycles\":{},\"wall_time_s\":{},\
          \"sim_cycles_per_second\":{},\"link\":{}}}",
@@ -67,10 +68,14 @@ fn record_to_json(record: &Record) -> String {
         record.bursts,
         record.dimension,
         record.refresh_disabled,
+        record.channels,
+        record.ranks,
         json_number(record.write_utilization),
         json_number(record.read_utilization),
         json_number(record.min_utilization),
         json_number(record.sustained_gbps),
+        json_number(record.aggregate_gbps),
+        json_number(record.channel_utilization_spread),
         json_number(record.write_row_hit_rate),
         json_number(record.read_row_hit_rate),
         record.activates,
@@ -100,9 +105,10 @@ pub fn records_to_json(records: &[Record]) -> String {
     out
 }
 
-/// The CSV header emitted by [`records_to_csv`].
+/// The CSV header emitted by [`records_to_csv`] (25 columns).
 pub const CSV_HEADER: &str = "scenario_id,dram,mapping,bursts,dimension,refresh_disabled,\
-write_utilization,read_utilization,min_utilization,sustained_gbps,write_row_hit_rate,\
+channels,ranks,write_utilization,read_utilization,min_utilization,sustained_gbps,\
+aggregate_gbps,channel_utilization_spread,write_row_hit_rate,\
 read_row_hit_rate,activates,energy_total_mj,energy_nj_per_byte,simulated_cycles,\
 wall_time_s,sim_cycles_per_second,frame_error_rate,\
 channel_symbol_error_rate,residual_symbol_error_rate";
@@ -132,17 +138,21 @@ pub fn records_to_csv(records: &[Record]) -> String {
             ),
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(&r.scenario_id),
             csv_field(&r.dram_label),
             csv_field(&r.mapping),
             r.bursts,
             r.dimension,
             r.refresh_disabled,
+            r.channels,
+            r.ranks,
             json_number(r.write_utilization),
             json_number(r.read_utilization),
             json_number(r.min_utilization),
             json_number(r.sustained_gbps),
+            json_number(r.aggregate_gbps),
+            json_number(r.channel_utilization_spread),
             json_number(r.write_row_hit_rate),
             json_number(r.read_row_hit_rate),
             r.activates,
@@ -198,6 +208,10 @@ mod tests {
             bursts: 20_000,
             dimension: 200,
             refresh_disabled: false,
+            channels: 2,
+            ranks: 1,
+            aggregate_gbps: 97.64,
+            channel_utilization_spread: 0.0125,
             write_utilization: 0.9871,
             read_utilization: 0.3577,
             min_utilization: 0.3577,
@@ -264,8 +278,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], CSV_HEADER);
-        assert_eq!(lines[0].split(',').count(), 21);
-        assert_eq!(lines[1].split(',').count(), 21);
+        assert_eq!(lines[0].split(',').count(), 25);
+        assert_eq!(lines[1].split(',').count(), 25);
         assert!(
             lines[1].ends_with(",,,"),
             "link columns empty: {}",

@@ -44,8 +44,11 @@ proptest! {
         refresh in 0usize..3,
     ) {
         let grid = grid_from(&preset_idx, &sizes, &mapping_idx, refresh);
-        let [drams, size_axis, mappings, refresh_axis] = grid.axis_lengths();
-        let product = drams * size_axis * mappings * refresh_axis;
+        let [drams, channels, ranks, size_axis, mappings, refresh_axis] = grid.axis_lengths();
+        // Channel/rank axes default to the single-valued [1].
+        prop_assert_eq!(channels, 1);
+        prop_assert_eq!(ranks, 1);
+        let product = drams * channels * ranks * size_axis * mappings * refresh_axis;
         prop_assert_eq!(grid.len(), product);
 
         let scenarios = grid.scenarios();

@@ -70,8 +70,14 @@ pub mod two_stage;
 
 pub use block::BlockInterleaver;
 pub use config::InterleaverSpec;
-pub use mapping::{DramMapping, MappingKind, OptimizedMapping, RowMajorMapping};
-pub use throughput::{PhaseReport, ThroughputEvaluator, UtilizationReport};
+pub use mapping::{
+    ChannelMapping, ChannelTraceGenerator, DramMapping, MappingKind, OptimizedMapping,
+    RowMajorMapping,
+};
+pub use throughput::{
+    ChannelPhaseReport, ChannelUtilizationReport, PhaseReport, ThroughputEvaluator,
+    UtilizationReport,
+};
 pub use trace::{AccessPhase, PhaseTrace, TraceGenerator};
 pub use triangular::TriangularInterleaver;
 pub use two_stage::TwoStageInterleaver;

@@ -1,0 +1,533 @@
+//! Channel-interleaved mapping variants: striping triangular-block traffic
+//! across the channels and ranks of a [`ChannelTopology`].
+//!
+//! A [`ChannelMapping`] wraps one of the [`MappingKind`] schemes and routes
+//! every index-space position to a `(channel, PhysicalAddress)` pair:
+//!
+//! * **Row-major** (the paper's baseline) splices the channel bits into the
+//!   bottom of the linear decode chain (`channel = linear mod C`) and the
+//!   rank bits into the controller's decode scheme directly above the bank
+//!   bits — the classic channel/rank-interleaved controller mapping.
+//! * **Coordinate schemes** (bank round-robin, tiled, optimized) rotate
+//!   `channel` and `rank` along the diagonal of a coarse *stripe-tile* grid
+//!   (`lane = (i/T + j/T) mod (C·R)`), so both the row-wise write phase and
+//!   the column-wise read phase spread evenly over all channels while each
+//!   channel still sees long contiguous runs (a stripe tile is at least as
+//!   tall as the underlying mapping's page tile, so no extra page misses are
+//!   introduced).  The column coordinate is compacted per channel
+//!   (`j' = (j / (T·C))·T + j mod T`), which keeps the per-channel stream
+//!   exactly as page-local as the single-channel stream.
+//!
+//! All divisors are powers of two for preset topologies, so routing has a
+//! shift/mask fast path next to the generic divide chain (same pattern as
+//! [`AddressDecoder`](tbi_dram::AddressDecoder) and
+//! [`OptimizedMapping`](crate::mapping::OptimizedMapping)); the two paths
+//! are equivalence-tested.
+//!
+//! With the default `1 × 1` topology every position routes to channel 0,
+//! rank 0 and the wrapped scheme's exact single-channel address — the legacy
+//! path is reproduced bit-identically.
+
+use tbi_dram::{AddressDecoder, ChannelTopology, DramConfig, PhysicalAddress};
+
+use crate::config::InterleaverSpec;
+use crate::mapping::{DramMapping, MappingKind};
+use crate::triangular::TriangularInterleaver;
+use crate::InterleaverError;
+
+/// Default stripe-tile edge in index-space positions (clamped down for
+/// small index spaces).  128 is at least four underlying page tiles for
+/// every preset geometry, so channel/rank switches always land on page-tile
+/// boundaries that were misses anyway.
+const STRIPE_TILE: u32 = 128;
+
+/// Pow2 parameters of the stripe-tile router.
+#[derive(Debug, Clone, Copy)]
+struct StripeShifts {
+    /// log2 of the stripe-tile edge.
+    tile: u32,
+    /// log2 of the channel count.
+    channels: u32,
+}
+
+/// How positions are routed to channels/ranks.
+enum Router {
+    /// `channel = linear mod C`, rank bits inside the decode chain.
+    LinearSplice {
+        interleaver: TriangularInterleaver,
+        decoder: AddressDecoder,
+    },
+    /// Stripe-tile rotation over a wrapped coordinate mapping.
+    TileRotate {
+        inner: Box<dyn DramMapping>,
+        tile: u32,
+        shifts: Option<StripeShifts>,
+    },
+}
+
+/// A channel/rank-aware mapping from index-space positions to
+/// `(channel, PhysicalAddress)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{ChannelTopology, DramConfig, DramStandard};
+/// use tbi_interleaver::mapping::ChannelMapping;
+/// use tbi_interleaver::MappingKind;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = DramConfig::preset(DramStandard::Ddr4, 3200)?
+///     .with_topology(ChannelTopology::new(2, 1));
+/// let mapping = ChannelMapping::new(MappingKind::Optimized, &config, 1024)?;
+/// let (c0, _) = mapping.route(0, 0);
+/// let (c1, _) = mapping.route(0, 128);
+/// // Neighbouring stripe tiles land on different channels.
+/// assert_ne!(c0, c1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ChannelMapping {
+    router: Router,
+    topology: ChannelTopology,
+    dimension: u32,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for ChannelMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelMapping")
+            .field("scheme", &self.name)
+            .field("topology", &self.topology)
+            .field("dimension", &self.dimension)
+            .finish()
+    }
+}
+
+impl ChannelMapping {
+    /// Builds the channel-aware variant of `kind` for `config`'s topology
+    /// and an index space of dimension `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError`] if `n` is zero or the index space does
+    /// not fit the subsystem under this scheme.
+    pub fn new(kind: MappingKind, config: &DramConfig, n: u32) -> Result<Self, InterleaverError> {
+        let topology = config.topology;
+        let router = match kind {
+            MappingKind::RowMajor => {
+                let interleaver = TriangularInterleaver::new(n)?;
+                let available = config.geometry.total_bursts()
+                    * u64::from(topology.channels)
+                    * u64::from(topology.ranks);
+                if interleaver.len() > available {
+                    return Err(InterleaverError::CapacityExceeded {
+                        required_bursts: interleaver.len(),
+                        available_bursts: available,
+                    });
+                }
+                Router::LinearSplice {
+                    interleaver,
+                    decoder: AddressDecoder::with_ranks(
+                        config.geometry,
+                        config.decode_scheme,
+                        topology.ranks,
+                    ),
+                }
+            }
+            _ => {
+                let inner = kind.build_for_geometry(config.geometry, n)?;
+                let tile = stripe_tile(n, topology.units());
+                let shifts = (topology.channels.is_power_of_two()
+                    && topology.ranks.is_power_of_two())
+                .then(|| StripeShifts {
+                    tile: tile.trailing_zeros(),
+                    channels: topology.channels.trailing_zeros(),
+                });
+                Router::TileRotate {
+                    inner,
+                    tile,
+                    shifts,
+                }
+            }
+        };
+        Ok(Self {
+            router,
+            topology,
+            dimension: n,
+            name: kind.name(),
+        })
+    }
+
+    /// The wrapped scheme's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The channel/rank topology the mapping stripes over.
+    #[must_use]
+    pub fn topology(&self) -> ChannelTopology {
+        self.topology
+    }
+
+    /// Dimension `n` of the index space.
+    #[must_use]
+    pub fn dimension(&self) -> u32 {
+        self.dimension
+    }
+
+    /// Routes position `(i, j)` to its channel and physical address (the
+    /// address's [`rank`](PhysicalAddress::rank) field selects the rank
+    /// within that channel).
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) if `(i, j)` lies outside the index space.
+    #[must_use]
+    pub fn route(&self, i: u32, j: u32) -> (u32, PhysicalAddress) {
+        debug_assert!(
+            i < self.dimension && j < self.dimension,
+            "({i},{j}) outside index space"
+        );
+        let channels = self.topology.channels;
+        let ranks = self.topology.ranks;
+        match &self.router {
+            Router::LinearSplice {
+                interleaver,
+                decoder,
+            } => {
+                let linear = interleaver.write_rank(i, j);
+                // Channel bits at the very bottom of the linear space:
+                // consecutive bursts rotate channels, the remainder feeds
+                // the (rank-aware) per-channel decode chain.
+                let channel = (linear % u64::from(channels)) as u32;
+                (channel, decoder.decode(linear / u64::from(channels)))
+            }
+            Router::TileRotate {
+                inner,
+                tile,
+                shifts,
+            } => {
+                let (lane, j_inner) = match shifts {
+                    Some(s) => {
+                        let lane = ((i >> s.tile) + (j >> s.tile)) & (channels * ranks - 1);
+                        let j_inner = ((j >> (s.tile + s.channels)) << s.tile) | (j & (tile - 1));
+                        (lane, j_inner)
+                    }
+                    None => {
+                        let lane = (i / tile + j / tile) % (channels * ranks);
+                        let j_inner = (j / (tile * channels)) * tile + j % tile;
+                        (lane, j_inner)
+                    }
+                };
+                let channel = lane % channels;
+                let rank = lane / channels;
+                (channel, inner.map(i, j_inner).with_rank(rank))
+            }
+        }
+    }
+}
+
+/// Stripe-tile edge: [`STRIPE_TILE`] for large index spaces, shrunk (to at
+/// least 16) when the index space is too small to give every (channel,
+/// rank) lane a few tiles per line.
+fn stripe_tile(n: u32, lanes: u32) -> u32 {
+    let mut tile = STRIPE_TILE;
+    while tile > 16 && n / tile < 2 * lanes {
+        tile /= 2;
+    }
+    tile
+}
+
+/// Streams the requests of one access phase that route to one channel, in
+/// phase order — the per-channel front-end FIFO of a channel-interleaved
+/// interleaver buffer.
+///
+/// Each channel's iterator walks the full index space and keeps only its
+/// own positions, so a phase costs `O(channels × positions)` routing calls
+/// in total.  That factor is deliberate: it keeps every channel's stream
+/// independently pull-driven (O(1) memory, per-channel back-pressure, no
+/// cross-channel buffering), and a `route` call is a handful of shifts —
+/// cheap next to the per-request controller work it feeds.
+///
+/// Produced by [`ChannelTraceGenerator::channel_requests`].
+pub struct ChannelTrace<'a> {
+    mapping: &'a ChannelMapping,
+    phase: crate::trace::AccessPhase,
+    channel: u32,
+    n: u32,
+    outer: u32,
+    inner: u32,
+    remaining: u64,
+}
+
+impl Iterator for ChannelTrace<'_> {
+    type Item = tbi_dram::Request;
+
+    fn next(&mut self) -> Option<tbi_dram::Request> {
+        use crate::trace::AccessPhase;
+        while self.remaining > 0 {
+            self.remaining -= 1;
+            let (i, j) = match self.phase {
+                AccessPhase::Write => (self.outer, self.inner),
+                AccessPhase::Read => (self.inner, self.outer),
+            };
+            self.inner += 1;
+            if self.inner >= self.n - self.outer {
+                self.inner = 0;
+                self.outer += 1;
+            }
+            let (channel, address) = self.mapping.route(i, j);
+            if channel != self.channel {
+                continue;
+            }
+            return Some(match self.phase {
+                AccessPhase::Write => tbi_dram::Request::write(address),
+                AccessPhase::Read => tbi_dram::Request::read(address),
+            });
+        }
+        None
+    }
+}
+
+impl std::iter::FusedIterator for ChannelTrace<'_> {}
+
+/// Generates per-channel request streams for a [`ChannelMapping`].
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{ChannelTopology, DramConfig, DramStandard};
+/// use tbi_interleaver::mapping::{ChannelMapping, ChannelTraceGenerator};
+/// use tbi_interleaver::{AccessPhase, MappingKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = DramConfig::preset(DramStandard::Ddr4, 3200)?
+///     .with_topology(ChannelTopology::new(2, 1));
+/// let mapping = ChannelMapping::new(MappingKind::Optimized, &config, 512)?;
+/// let generator = ChannelTraceGenerator::new(&mapping);
+/// let total: usize = (0..2)
+///     .map(|c| generator.channel_requests(AccessPhase::Write, c).count())
+///     .sum();
+/// assert_eq!(total as u64, 512 * 513 / 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy)]
+pub struct ChannelTraceGenerator<'a> {
+    mapping: &'a ChannelMapping,
+    len: u64,
+}
+
+impl<'a> ChannelTraceGenerator<'a> {
+    /// Creates a generator for `mapping`'s triangular index space.
+    #[must_use]
+    pub fn new(mapping: &'a ChannelMapping) -> Self {
+        let n = u64::from(mapping.dimension());
+        Self {
+            mapping,
+            len: n * (n + 1) / 2,
+        }
+    }
+
+    /// The stream of `phase` requests routed to `channel`, in phase order.
+    #[must_use]
+    pub fn channel_requests(
+        &self,
+        phase: crate::trace::AccessPhase,
+        channel: u32,
+    ) -> ChannelTrace<'a> {
+        ChannelTrace {
+            mapping: self.mapping,
+            phase,
+            channel,
+            n: self.mapping.dimension(),
+            outer: 0,
+            inner: 0,
+            remaining: self.len,
+        }
+    }
+
+    /// Total number of requests per phase across all channels.
+    #[must_use]
+    pub fn requests_per_phase(&self) -> u64 {
+        self.len
+    }
+}
+
+/// Builds a [`ChannelMapping`] sized for `spec` on `config`.
+///
+/// # Errors
+///
+/// Returns [`InterleaverError`] if the index space does not fit the
+/// subsystem.
+pub fn channel_mapping_for_spec(
+    kind: MappingKind,
+    config: &DramConfig,
+    spec: &InterleaverSpec,
+) -> Result<ChannelMapping, InterleaverError> {
+    ChannelMapping::new(kind, config, spec.dimension())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::AccessPhase;
+    use std::collections::{HashMap, HashSet};
+    use tbi_dram::DramStandard;
+
+    fn config(channels: u32, ranks: u32) -> DramConfig {
+        DramConfig::preset(DramStandard::Ddr4, 3200)
+            .unwrap()
+            .with_topology(ChannelTopology::new(channels, ranks))
+    }
+
+    #[test]
+    fn single_topology_reproduces_the_plain_mapping() {
+        let cfg = config(1, 1);
+        let n = 300;
+        for kind in MappingKind::ALL {
+            let channel_mapping = ChannelMapping::new(kind, &cfg, n).unwrap();
+            let plain = kind.build(&cfg, n).unwrap();
+            for i in 0..n {
+                for j in 0..(n - i) {
+                    let (channel, address) = channel_mapping.route(i, j);
+                    assert_eq!(channel, 0, "{kind} ({i},{j})");
+                    assert_eq!(address, plain.map(i, j), "{kind} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_injective_per_channel_and_covers_all_channels() {
+        let n = 400u32;
+        for (channels, ranks) in [(2, 1), (4, 1), (2, 2), (1, 2)] {
+            let cfg = config(channels, ranks);
+            for kind in MappingKind::ALL {
+                let mapping = ChannelMapping::new(kind, &cfg, n).unwrap();
+                let mut seen: HashSet<(u32, PhysicalAddress)> = HashSet::new();
+                let mut per_channel: HashMap<u32, u64> = HashMap::new();
+                for i in 0..n {
+                    for j in 0..(n - i) {
+                        let (channel, address) = mapping.route(i, j);
+                        assert!(channel < channels, "{kind} channel {channel}");
+                        assert!(
+                            address.is_valid_for_ranks(&cfg.geometry, ranks),
+                            "{kind} invalid address {address} at ({i},{j})"
+                        );
+                        assert!(
+                            seen.insert((channel, address)),
+                            "{kind} collision at ({i},{j}) on channel {channel}: {address}"
+                        );
+                        *per_channel.entry(channel).or_default() += 1;
+                    }
+                }
+                let total: u64 = per_channel.values().sum();
+                assert_eq!(total, u64::from(n) * u64::from(n + 1) / 2);
+                let max = *per_channel.values().max().unwrap();
+                let min = per_channel.values().copied().min().unwrap_or(0);
+                assert_eq!(
+                    per_channel.len() as u32,
+                    channels,
+                    "{kind} must use every channel"
+                );
+                assert!(
+                    max < 2 * min.max(1),
+                    "{kind} {channels}x{ranks} imbalanced: min {min}, max {max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shift_mask_route_matches_generic_divide_chain() {
+        let n = 500u32;
+        for (channels, ranks) in [(2, 1), (4, 2), (8, 1)] {
+            let cfg = config(channels, ranks);
+            let fast = ChannelMapping::new(MappingKind::Optimized, &cfg, n).unwrap();
+            let mut generic = ChannelMapping::new(MappingKind::Optimized, &cfg, n).unwrap();
+            match &mut generic.router {
+                Router::TileRotate { shifts, .. } => *shifts = None,
+                Router::LinearSplice { .. } => panic!("optimized takes the tile router"),
+            }
+            for i in (0..n).step_by(3) {
+                for j in 0..(n - i) {
+                    assert_eq!(
+                        fast.route(i, j),
+                        generic.route(i, j),
+                        "({i},{j}) {channels}x{ranks}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rank_row_major_uses_every_rank() {
+        let cfg = config(1, 2);
+        let mapping = ChannelMapping::new(MappingKind::RowMajor, &cfg, 200).unwrap();
+        let ranks: HashSet<u32> = (0..200)
+            .flat_map(|i| (0..(200 - i)).map(move |j| (i, j)))
+            .map(|(i, j)| mapping.route(i, j).1.rank)
+            .collect();
+        assert_eq!(ranks, HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn row_major_capacity_scales_with_channels_and_ranks() {
+        // A size that overflows one channel must fit once channels/ranks
+        // multiply the capacity (row-major stores positions compactly).
+        let mut small = config(1, 1);
+        small.geometry.rows = 1 << 6;
+        let n = 600u32; // ~180k positions; one channel holds 128k bursts.
+        assert!(matches!(
+            ChannelMapping::new(MappingKind::RowMajor, &small, n),
+            Err(InterleaverError::CapacityExceeded { .. })
+        ));
+        let mut scaled = small.clone();
+        scaled.topology = ChannelTopology::new(2, 1);
+        assert!(ChannelMapping::new(MappingKind::RowMajor, &scaled, n).is_ok());
+    }
+
+    #[test]
+    fn both_phases_rotate_channels_within_a_few_tiles() {
+        let cfg = config(2, 1);
+        let mapping = ChannelMapping::new(MappingKind::Optimized, &cfg, 1024).unwrap();
+        // Along a row and along a column, a window of 2 stripe tiles must
+        // touch both channels.
+        let row_channels: HashSet<u32> = (0..256).map(|j| mapping.route(0, j).0).collect();
+        let col_channels: HashSet<u32> = (0..256).map(|i| mapping.route(i, 0).0).collect();
+        assert_eq!(row_channels.len(), 2);
+        assert_eq!(col_channels.len(), 2);
+    }
+
+    #[test]
+    fn channel_traces_partition_the_phase_trace() {
+        let cfg = config(2, 2);
+        let mapping = ChannelMapping::new(MappingKind::Optimized, &cfg, 96).unwrap();
+        let generator = ChannelTraceGenerator::new(&mapping);
+        for phase in AccessPhase::ALL {
+            // Channels are separate address spaces, so uniqueness holds per
+            // (channel, address) pair — not across channels.
+            let mut union: Vec<(u32, tbi_dram::PhysicalAddress)> = Vec::new();
+            for channel in 0..2 {
+                union.extend(
+                    generator
+                        .channel_requests(phase, channel)
+                        .map(move |r| (channel, r.address)),
+                );
+            }
+            assert_eq!(union.len() as u64, generator.requests_per_phase());
+            let distinct: HashSet<_> = union.iter().collect();
+            assert_eq!(distinct.len(), union.len(), "{phase}: duplicate addresses");
+        }
+    }
+
+    #[test]
+    fn stripe_tile_shrinks_for_small_index_spaces() {
+        assert_eq!(stripe_tile(5000, 2), 128);
+        assert_eq!(stripe_tile(200, 4), 16);
+        assert!(stripe_tile(40, 8) >= 16);
+    }
+}

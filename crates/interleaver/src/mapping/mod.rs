@@ -14,10 +14,12 @@
 //! | [`OptimizedMapping`] (no stagger) | ✓ | ✓ | – | Fig. 1c |
 //! | [`OptimizedMapping`] | ✓ | ✓ | ✓ | Fig. 1d (Table I "Optimized") |
 
+mod channel;
 mod optimized;
 mod row_major;
 mod simple;
 
+pub use channel::{channel_mapping_for_spec, ChannelMapping, ChannelTrace, ChannelTraceGenerator};
 pub use optimized::OptimizedMapping;
 pub use row_major::RowMajorMapping;
 pub use simple::{BankRoundRobinMapping, TiledMapping};
@@ -115,8 +117,26 @@ impl MappingKind {
         }
     }
 
+    /// Builds the channel/rank-aware variant of this scheme for `config`'s
+    /// [`ChannelTopology`](tbi_dram::ChannelTopology) (see
+    /// [`ChannelMapping`]).  With the default `1 × 1` topology the variant
+    /// routes every position to channel 0, rank 0 with exactly the addresses
+    /// of [`MappingKind::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError`] if the index space does not fit the
+    /// subsystem under this scheme.
+    pub fn build_channel(
+        self,
+        config: &DramConfig,
+        dimension: u32,
+    ) -> Result<ChannelMapping, InterleaverError> {
+        ChannelMapping::new(self, config, dimension)
+    }
+
     /// Builds the mapping for a bare device geometry and an index space of
-    /// dimension `n`.
+    /// dimension `n` (single-channel, single-rank view).
     ///
     /// Every scheme — including the row-major baseline, which uses the
     /// default [`tbi_dram::DecodeScheme`] here — is constructed from the

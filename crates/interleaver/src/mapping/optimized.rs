@@ -245,6 +245,7 @@ impl DramMapping for OptimizedMapping {
             let row = ti * s.row_stride + (tj >> s.banks_per_group);
             let column = oi * s.col_stride + (oj >> s.groups);
             return PhysicalAddress {
+                rank: 0,
                 bank_group: group,
                 bank,
                 row,
@@ -285,6 +286,7 @@ impl DramMapping for OptimizedMapping {
         let column = oi * (self.tile_w / groups) + oj / groups;
 
         PhysicalAddress {
+            rank: 0,
             bank_group: group,
             bank,
             row,

@@ -72,6 +72,7 @@ impl DramMapping for BankRoundRobinMapping {
         let row = within / u64::from(self.geometry.columns_per_row);
         let (bank_group, bank) = split_bank(flat_bank as u32, &self.geometry);
         PhysicalAddress {
+            rank: 0,
             bank_group,
             bank,
             row: (row % u64::from(self.geometry.rows)) as u32,
@@ -173,6 +174,7 @@ impl DramMapping for TiledMapping {
         let column = oi * self.tile_w + oj;
         let (bank_group, bank) = split_bank(flat_bank, &self.geometry);
         PhysicalAddress {
+            rank: 0,
             bank_group,
             bank,
             row: (row % u64::from(self.geometry.rows)) as u32,

@@ -1,10 +1,11 @@
 //! Bandwidth-utilization evaluation: drives the DRAM model with interleaver
 //! traces and reports per-phase results (the machinery behind Table I).
 
+use tbi_dram::channel::{ChannelRouter, CombinedStats};
 use tbi_dram::{ControllerConfig, DramConfig, MemorySystem, RefreshMode, Stats};
 
 use crate::config::InterleaverSpec;
-use crate::mapping::{DramMapping, MappingKind};
+use crate::mapping::{ChannelMapping, ChannelTraceGenerator, DramMapping, MappingKind};
 use crate::trace::{AccessPhase, TraceGenerator};
 use crate::InterleaverError;
 
@@ -60,6 +61,65 @@ impl UtilizationReport {
     #[must_use]
     pub fn sustained_throughput_gbps(&self) -> f64 {
         self.write.bandwidth_gbps.min(self.read.bandwidth_gbps)
+    }
+}
+
+/// Result of simulating one access phase on a multi-channel subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPhaseReport {
+    /// Which phase was simulated.
+    pub phase: AccessPhase,
+    /// Per-channel controller statistics for the phase.
+    pub stats: CombinedStats,
+    /// Aggregate data-bus utilization in `[0, 1]` (total busy cycles over
+    /// `channels × max elapsed`).
+    pub utilization: f64,
+    /// Aggregate achieved bandwidth in Gbit/s across all channels.
+    pub aggregate_bandwidth_gbps: f64,
+    /// Spread (max − min) of the per-channel utilizations.
+    pub utilization_spread: f64,
+}
+
+/// Result of simulating both phases of one (DRAM configuration, mapping)
+/// pair on a multi-channel, multi-rank subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelUtilizationReport {
+    /// DRAM configuration label, e.g. `DDR4-3200`.
+    pub config_label: String,
+    /// Mapping scheme name.
+    pub mapping_name: String,
+    /// Channel count of the subsystem.
+    pub channels: u32,
+    /// Ranks per channel.
+    pub ranks: u32,
+    /// Write-phase (row-wise) result.
+    pub write: ChannelPhaseReport,
+    /// Read-phase (column-wise) result.
+    pub read: ChannelPhaseReport,
+}
+
+impl ChannelUtilizationReport {
+    /// The minimum of both phases' aggregate utilizations — what limits the
+    /// interleaver throughput.
+    #[must_use]
+    pub fn min_utilization(&self) -> f64 {
+        self.write.utilization.min(self.read.utilization)
+    }
+
+    /// The sustained aggregate interleaver throughput in Gbit/s.
+    #[must_use]
+    pub fn sustained_aggregate_gbps(&self) -> f64 {
+        self.write
+            .aggregate_bandwidth_gbps
+            .min(self.read.aggregate_bandwidth_gbps)
+    }
+
+    /// The worse (larger) per-channel utilization spread of the two phases.
+    #[must_use]
+    pub fn utilization_spread(&self) -> f64 {
+        self.write
+            .utilization_spread
+            .max(self.read.utilization_spread)
     }
 }
 
@@ -179,6 +239,65 @@ impl ThroughputEvaluator {
         })
     }
 
+    /// Evaluates a named mapping scheme on the configuration's full
+    /// channel/rank topology: traffic is striped over the channels by the
+    /// scheme's [`ChannelMapping`] variant, each channel runs its stream
+    /// through its own controller under the
+    /// [`ChannelRouter`]'s shared clock, and the per-channel statistics are
+    /// aggregated.
+    ///
+    /// With the default `1 × 1` topology this reproduces
+    /// [`ThroughputEvaluator::evaluate`] exactly (same addresses, same
+    /// single controller, same statistics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError`] if the mapping cannot be built for this
+    /// subsystem/interleaver combination.
+    pub fn evaluate_channels(
+        &self,
+        kind: MappingKind,
+    ) -> Result<ChannelUtilizationReport, InterleaverError> {
+        let topology = self.dram.topology;
+        let mapping = ChannelMapping::new(kind, &self.dram, self.spec.dimension())?;
+        let generator = ChannelTraceGenerator::new(&mapping);
+        let mut router = ChannelRouter::new(self.dram.clone(), self.controller)
+            .map_err(InterleaverError::Dram)?;
+
+        let phase_stats = |router: &mut ChannelRouter, phase: AccessPhase| {
+            let traces: Vec<_> = (0..topology.channels)
+                .map(|channel| generator.channel_requests(phase, channel))
+                .collect();
+            router.run_phase(traces)
+        };
+        let write_stats = phase_stats(&mut router, AccessPhase::Write);
+        router.reset_stats();
+        let read_stats = phase_stats(&mut router, AccessPhase::Read);
+
+        Ok(ChannelUtilizationReport {
+            config_label: self.dram.label(),
+            mapping_name: mapping.name().to_string(),
+            channels: topology.channels,
+            ranks: topology.ranks,
+            write: self.channel_phase_report(AccessPhase::Write, write_stats),
+            read: self.channel_phase_report(AccessPhase::Read, read_stats),
+        })
+    }
+
+    fn channel_phase_report(&self, phase: AccessPhase, stats: CombinedStats) -> ChannelPhaseReport {
+        let utilization = stats.utilization();
+        let aggregate_bandwidth_gbps = stats
+            .aggregate_bandwidth_gbps(self.dram.clock_mhz(), self.dram.geometry.bus_width_bits);
+        let utilization_spread = stats.utilization_spread();
+        ChannelPhaseReport {
+            phase,
+            stats,
+            utilization,
+            aggregate_bandwidth_gbps,
+            utilization_spread,
+        }
+    }
+
     /// Evaluates the paper's Table I pair (row-major and optimized) and
     /// returns both reports.
     ///
@@ -296,6 +415,61 @@ mod tests {
         assert_eq!(sweep.len(), 2);
         assert_eq!(sweep[0].0, 2_000);
         assert!(sweep[1].1.min_utilization() > 0.0);
+    }
+
+    #[test]
+    fn single_topology_channel_evaluation_matches_legacy_path() {
+        let eval = evaluator(DramStandard::Ddr4, 3200, 20_000);
+        for kind in MappingKind::TABLE1 {
+            let legacy = eval.evaluate(kind).unwrap();
+            let channels = eval.evaluate_channels(kind).unwrap();
+            assert_eq!(channels.channels, 1);
+            assert_eq!(channels.ranks, 1);
+            // One channel: the per-channel stats are exactly the legacy
+            // single-controller stats, phase by phase.
+            assert_eq!(
+                channels.write.stats.per_channel(),
+                std::slice::from_ref(&legacy.write.stats)
+            );
+            assert_eq!(
+                channels.read.stats.per_channel(),
+                std::slice::from_ref(&legacy.read.stats)
+            );
+            assert_eq!(channels.min_utilization(), legacy.min_utilization());
+            assert_eq!(
+                channels.sustained_aggregate_gbps(),
+                legacy.sustained_throughput_gbps()
+            );
+            assert_eq!(channels.utilization_spread(), 0.0);
+        }
+    }
+
+    #[test]
+    fn two_channels_nearly_double_aggregate_bandwidth() {
+        let dram = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let spec = InterleaverSpec::from_burst_count(100_000);
+        let single = ThroughputEvaluator::new(dram.clone(), spec)
+            .evaluate_channels(MappingKind::Optimized)
+            .unwrap();
+        let dual = ThroughputEvaluator::new(
+            dram.with_topology(tbi_dram::ChannelTopology::new(2, 1)),
+            spec,
+        )
+        .evaluate_channels(MappingKind::Optimized)
+        .unwrap();
+        let scaling = dual.sustained_aggregate_gbps() / single.sustained_aggregate_gbps();
+        assert!(
+            scaling > 1.8,
+            "2-channel aggregate bandwidth should scale ≥1.8x, got {scaling} \
+             ({} vs {})",
+            single.sustained_aggregate_gbps(),
+            dual.sustained_aggregate_gbps()
+        );
+        assert!(
+            dual.utilization_spread() < 0.1,
+            "channel load should be balanced, spread {}",
+            dual.utilization_spread()
+        );
     }
 
     #[test]

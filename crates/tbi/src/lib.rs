@@ -48,16 +48,17 @@ pub use tbi_interleaver as interleaver;
 pub use tbi_satcom as satcom;
 
 pub use tbi_dram::{
-    ControllerConfig, DramConfig, DramStandard, MemorySystem, PagePolicy, PhysicalAddress,
-    RefreshMode, Request, SchedulingPolicy, Stats, TimingEngine,
+    ChannelRouter, ChannelTopology, CombinedStats, ControllerConfig, DramConfig, DramStandard,
+    MemorySystem, PagePolicy, PhysicalAddress, RefreshMode, Request, SchedulingPolicy, Stats,
+    TimingEngine,
 };
 pub use tbi_exp::{
     ExpError, Experiment, LinkRecord, LinkStage, Record, RefreshSetting, Scenario, SweepGrid,
 };
 pub use tbi_interleaver::{
-    AccessPhase, BlockInterleaver, DramMapping, InterleaverSpec, MappingKind, OptimizedMapping,
-    RowMajorMapping, ThroughputEvaluator, TraceGenerator, TriangularInterleaver,
-    TwoStageInterleaver, UtilizationReport,
+    AccessPhase, BlockInterleaver, ChannelMapping, ChannelUtilizationReport, DramMapping,
+    InterleaverSpec, MappingKind, OptimizedMapping, RowMajorMapping, ThroughputEvaluator,
+    TraceGenerator, TriangularInterleaver, TwoStageInterleaver, UtilizationReport,
 };
 pub use tbi_satcom::{
     BandwidthBudget, CoherenceFading, GilbertElliott, LinkConfig, LinkReport, LinkSimulation,

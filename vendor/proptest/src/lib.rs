@@ -102,8 +102,16 @@ pub mod test_runner {
     }
 
     impl Default for Config {
+        /// 64 cases, overridable via the `PROPTEST_CASES` environment
+        /// variable (matching upstream proptest, whose env override CI uses
+        /// to raise the case count on scheduled runs).
         fn default() -> Self {
-            Self { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|value| value.parse().ok())
+                .filter(|&cases| cases > 0)
+                .unwrap_or(64);
+            Self { cases }
         }
     }
 }
