@@ -59,6 +59,7 @@
 //! | [`timing`] | [`TimingParams`]: all timing constraints in device clock cycles |
 //! | [`standards`] | presets for the ten configurations evaluated in the paper |
 //! | [`address`] | [`PhysicalAddress`] and linear-address decoding schemes |
+//! | [`permutation`] | [`BitPermutation`]/[`PermutationMapping`]: the searchable bit-permutation generalization of the decode schemes |
 //! | [`command`] | the DRAM command set issued by the controller |
 //! | [`bank`] | per-bank state machine with earliest-issue bookkeeping |
 //! | [`request`] | read/write burst requests |
@@ -79,6 +80,7 @@ pub mod controller;
 pub mod energy;
 pub mod error;
 pub mod geometry;
+pub mod permutation;
 pub mod request;
 pub mod sim;
 pub mod standards;
@@ -96,6 +98,7 @@ pub use controller::{
 pub use energy::{EnergyParams, EnergyReport};
 pub use error::ConfigError;
 pub use geometry::{ChannelTopology, DeviceGeometry};
+pub use permutation::{AddressField, BitPermutation, PermutationMapping};
 pub use request::{Request, RequestKind};
 pub use sim::MemorySystem;
 pub use standards::{DramConfig, DramStandard};

@@ -1,0 +1,733 @@
+//! Generic bit-permutation address mappings.
+//!
+//! The three [`DecodeScheme`]s slice a linear burst index into
+//! (rank, bank group, bank, row, column) fields in a *fixed* order.  This
+//! module generalizes that idea: a [`BitPermutation`] assigns **every single
+//! bit** of the linear address to one of the six address fields (channel,
+//! rank, bank group, bank, row, column), so the full design space of
+//! power-of-two DRAM address mappings becomes a searchable set of
+//! permutations rather than three hand-picked layouts.  A
+//! [`PermutationMapping`] decodes linear addresses through such a
+//! permutation, with a shift/mask fast path whenever every field occupies a
+//! contiguous bit run (which covers all three classic schemes) and a
+//! bit-gather path for arbitrary permutations.
+//!
+//! Every [`DecodeScheme`] is expressible as a specific permutation via
+//! [`BitPermutation::for_scheme`]; the equivalence against
+//! [`AddressDecoder`](crate::AddressDecoder) is pinned by tests in this module and by property
+//! tests in `tbi_interleaver`.
+
+use crate::address::{DecodeScheme, PhysicalAddress};
+use crate::error::ConfigError;
+use crate::geometry::{ChannelTopology, DeviceGeometry};
+
+/// Maximum number of linear-address bits a [`BitPermutation`] can describe.
+///
+/// The largest modelled subsystem (64 channels × 8 ranks × 2^17 rows ×
+/// 32 banks × 128 columns) needs 38 bits; 48 leaves headroom for custom
+/// geometries while keeping the permutation `Copy`.
+pub const MAX_PERMUTATION_BITS: usize = 48;
+
+/// One destination field of a linear-address bit.
+///
+/// The single-letter codes are used by the compact textual form of a
+/// [`BitPermutation`] (see its `Display`/`FromStr` implementations):
+/// `H` channel, `K` rank, `G` bank group, `B` bank, `R` row, `C` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AddressField {
+    /// Channel index bit (`H`, for c*H*annel — `C` names the column).
+    Channel,
+    /// Rank index bit (`K`, matching the `K<rank>` display of
+    /// [`PhysicalAddress`]).
+    Rank,
+    /// Bank-group index bit (`G`).
+    BankGroup,
+    /// Bank-within-group index bit (`B`).
+    Bank,
+    /// Row index bit (`R`).
+    Row,
+    /// Column index bit (`C`).
+    Column,
+}
+
+impl AddressField {
+    /// All six fields in canonical order (channel, rank, bank group, bank,
+    /// row, column).
+    pub const ALL: [AddressField; 6] = [
+        AddressField::Channel,
+        AddressField::Rank,
+        AddressField::BankGroup,
+        AddressField::Bank,
+        AddressField::Row,
+        AddressField::Column,
+    ];
+
+    /// The single-letter code used in the textual permutation form.
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            AddressField::Channel => 'H',
+            AddressField::Rank => 'K',
+            AddressField::BankGroup => 'G',
+            AddressField::Bank => 'B',
+            AddressField::Row => 'R',
+            AddressField::Column => 'C',
+        }
+    }
+
+    /// Parses a single-letter code (case-insensitive).
+    #[must_use]
+    pub fn from_code(code: char) -> Option<Self> {
+        match code.to_ascii_uppercase() {
+            'H' => Some(AddressField::Channel),
+            'K' => Some(AddressField::Rank),
+            'G' => Some(AddressField::BankGroup),
+            'B' => Some(AddressField::Bank),
+            'R' => Some(AddressField::Row),
+            'C' => Some(AddressField::Column),
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            AddressField::Channel => 0,
+            AddressField::Rank => 1,
+            AddressField::BankGroup => 2,
+            AddressField::Bank => 3,
+            AddressField::Row => 4,
+            AddressField::Column => 5,
+        }
+    }
+}
+
+/// An assignment of every linear-address bit to an [`AddressField`].
+///
+/// Bit 0 of the slice is the least-significant linear bit.  The *k*-th bit
+/// assigned to a field (scanning LSB→MSB) becomes bit *k* of that field, so
+/// a permutation with contiguous per-field runs is exactly a classic
+/// shift/mask decode chain.  The type is `Copy` (a fixed array), so it can
+/// ride inside [`MappingKind`](https://docs.rs/tbi_interleaver)-style enums
+/// and hash maps without allocation.
+///
+/// The textual form lists the codes **MSB-first** (like a binary number):
+/// `"RRCCBBGG"` is a 8-bit space with bank-group bits lowest.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{AddressField, BitPermutation};
+///
+/// let p: BitPermutation = "RRCCBBGG".parse()?;
+/// assert_eq!(p.total_bits(), 8);
+/// assert_eq!(p.width_of(AddressField::Row), 2);
+/// assert_eq!(p.to_string(), "RRCCBBGG");
+/// // Swapping two bit positions yields a neighbouring design point.
+/// let q = p.with_swap(0, 7);
+/// assert_eq!(q.to_string(), "GRCCBBGR");
+/// # Ok::<(), tbi_dram::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitPermutation {
+    /// Field of each linear bit, LSB-first; entries at `len..` are padding.
+    fields: [AddressField; MAX_PERMUTATION_BITS],
+    len: u8,
+}
+
+impl BitPermutation {
+    /// Creates a permutation from the per-bit field assignment (LSB-first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] if `fields` is empty or
+    /// longer than [`MAX_PERMUTATION_BITS`].
+    pub fn new(fields: &[AddressField]) -> Result<Self, ConfigError> {
+        if fields.is_empty() || fields.len() > MAX_PERMUTATION_BITS {
+            return Err(ConfigError::InvalidGeometry {
+                field: "permutation",
+                reason: format!(
+                    "permutation must cover 1..={MAX_PERMUTATION_BITS} bits, got {}",
+                    fields.len()
+                ),
+            });
+        }
+        let mut array = [AddressField::Row; MAX_PERMUTATION_BITS];
+        array[..fields.len()].copy_from_slice(fields);
+        Ok(Self {
+            fields: array,
+            len: fields.len() as u8,
+        })
+    }
+
+    /// The permutation expressing `scheme` on `geometry` scaled out to
+    /// `topology` — the exact bit layout of
+    /// [`AddressDecoder::with_ranks`](crate::AddressDecoder::with_ranks)
+    /// with the channel bits spliced in at the very bottom of the linear
+    /// space (`channel = linear mod channels`, the classic channel-
+    /// interleaved controller mapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] if any sliced dimension is
+    /// not a power of two.
+    pub fn for_scheme(
+        scheme: DecodeScheme,
+        geometry: &DeviceGeometry,
+        topology: ChannelTopology,
+    ) -> Result<Self, ConfigError> {
+        let w = FieldWidths::for_subsystem(geometry, topology)?;
+        let mut fields = Vec::with_capacity(w.total() as usize);
+        let mut run = |field: AddressField, bits: u32| {
+            fields.extend(std::iter::repeat(field).take(bits as usize));
+        };
+        run(AddressField::Channel, w.channel);
+        match scheme {
+            DecodeScheme::RowBankBankGroupColumn => {
+                run(AddressField::Column, w.column);
+                run(AddressField::BankGroup, w.bank_group);
+                run(AddressField::Bank, w.bank);
+                run(AddressField::Rank, w.rank);
+                run(AddressField::Row, w.row);
+            }
+            DecodeScheme::RowColumnBankBankGroup => {
+                run(AddressField::BankGroup, w.bank_group);
+                run(AddressField::Bank, w.bank);
+                run(AddressField::Rank, w.rank);
+                run(AddressField::Column, w.column);
+                run(AddressField::Row, w.row);
+            }
+            DecodeScheme::BankBankGroupRowColumn => {
+                run(AddressField::Column, w.column);
+                run(AddressField::Row, w.row);
+                run(AddressField::BankGroup, w.bank_group);
+                run(AddressField::Bank, w.bank);
+                run(AddressField::Rank, w.rank);
+            }
+        }
+        Self::new(&fields)
+    }
+
+    /// The per-bit field assignment, LSB-first.
+    #[must_use]
+    pub fn fields(&self) -> &[AddressField] {
+        &self.fields[..self.len as usize]
+    }
+
+    /// Number of linear-address bits the permutation covers.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        u32::from(self.len)
+    }
+
+    /// Number of bits assigned to `field`.
+    #[must_use]
+    pub fn width_of(&self, field: AddressField) -> u32 {
+        self.fields().iter().filter(|&&f| f == field).count() as u32
+    }
+
+    /// Returns a copy with the fields of bit positions `a` and `b` swapped —
+    /// the neighbourhood move of the mapping search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    #[must_use]
+    pub fn with_swap(mut self, a: usize, b: usize) -> Self {
+        let len = self.len as usize;
+        assert!(a < len && b < len, "swap ({a},{b}) outside {len} bits");
+        self.fields.swap(a, b);
+        self
+    }
+
+    /// Checks that the per-field widths match one rank of `geometry` scaled
+    /// out to `topology` (all dimensions must be powers of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] naming the mismatched field.
+    pub fn validate_for(
+        &self,
+        geometry: &DeviceGeometry,
+        topology: ChannelTopology,
+    ) -> Result<(), ConfigError> {
+        let w = FieldWidths::for_subsystem(geometry, topology)?;
+        for (field, expected) in [
+            (AddressField::Channel, w.channel),
+            (AddressField::Rank, w.rank),
+            (AddressField::BankGroup, w.bank_group),
+            (AddressField::Bank, w.bank),
+            (AddressField::Row, w.row),
+            (AddressField::Column, w.column),
+        ] {
+            let got = self.width_of(field);
+            if got != expected {
+                return Err(ConfigError::InvalidGeometry {
+                    field: "permutation",
+                    reason: format!(
+                        "field {field:?} has {got} bits but the subsystem needs {expected}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Textual form: field codes MSB-first (see [`AddressField::code`]).
+impl std::fmt::Display for BitPermutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for field in self.fields().iter().rev() {
+            f.write_fmt(format_args!("{}", field.code()))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for BitPermutation {
+    type Err = ConfigError;
+
+    /// Parses the MSB-first code string emitted by `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut fields = Vec::with_capacity(s.len());
+        for c in s.chars().rev() {
+            fields.push(AddressField::from_code(c).ok_or_else(|| {
+                ConfigError::InvalidGeometry {
+                    field: "permutation",
+                    reason: format!("unknown field code `{c}` (expected one of H K G B R C)"),
+                }
+            })?);
+        }
+        Self::new(&fields)
+    }
+}
+
+/// log2 widths of the six fields for a subsystem.
+#[derive(Debug, Clone, Copy)]
+struct FieldWidths {
+    channel: u32,
+    rank: u32,
+    bank_group: u32,
+    bank: u32,
+    row: u32,
+    column: u32,
+}
+
+impl FieldWidths {
+    fn for_subsystem(
+        geometry: &DeviceGeometry,
+        topology: ChannelTopology,
+    ) -> Result<Self, ConfigError> {
+        let log2 = |field: &'static str, value: u32| -> Result<u32, ConfigError> {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(ConfigError::InvalidGeometry {
+                    field,
+                    reason: format!(
+                        "{value} must be a non-zero power of two for bit-permutation mappings"
+                    ),
+                });
+            }
+            Ok(value.trailing_zeros())
+        };
+        Ok(Self {
+            channel: log2("channels", topology.channels)?,
+            rank: log2("ranks", topology.ranks)?,
+            bank_group: log2("bank_groups", geometry.bank_groups)?,
+            bank: log2("banks_per_group", geometry.banks_per_group)?,
+            row: log2("rows", geometry.rows)?,
+            column: log2("columns_per_row", geometry.columns_per_row)?,
+        })
+    }
+
+    fn total(&self) -> u32 {
+        self.channel + self.rank + self.bank_group + self.bank + self.row + self.column
+    }
+}
+
+/// How a [`PermutationMapping`] extracts its fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecodePlan {
+    /// Every field occupies one contiguous ascending bit run: six shifts and
+    /// masks, exactly the cost of the classic decode chains.
+    ShiftMask { shift: [u8; 6], width: [u8; 6] },
+    /// Arbitrary permutation: per-field source-bit masks, gathered bit by
+    /// bit (one `trailing_zeros` loop per field).
+    Gather { masks: [u64; 6] },
+}
+
+/// Decodes linear burst indices through a [`BitPermutation`].
+///
+/// This is the searchable generalization of [`AddressDecoder`](crate::AddressDecoder): where the
+/// decoder offers three fixed bit layouts, the permutation mapping accepts
+/// any assignment of linear bits to (channel, rank, bank group, bank, row,
+/// column).  Decoding is a bijection on the covered bit width, so distinct
+/// linear indices always produce distinct `(channel, address)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{
+///     AddressDecoder, BitPermutation, ChannelTopology, DecodeScheme, DeviceGeometry,
+///     PermutationMapping,
+/// };
+///
+/// let geometry = DeviceGeometry {
+///     bank_groups: 4,
+///     banks_per_group: 4,
+///     rows: 1 << 16,
+///     columns_per_row: 128,
+///     burst_length: 8,
+///     bus_width_bits: 64,
+/// };
+/// let scheme = DecodeScheme::RowColumnBankBankGroup;
+/// let permutation =
+///     BitPermutation::for_scheme(scheme, &geometry, ChannelTopology::default())?;
+/// let mapping = PermutationMapping::new(geometry, ChannelTopology::default(), permutation)?;
+/// // The scheme's permutation form decodes bit-identically to the decoder.
+/// let decoder = AddressDecoder::new(geometry, scheme);
+/// for linear in [0u64, 1, 12345, 1 << 20] {
+///     assert_eq!(mapping.decode(linear), (0, decoder.decode(linear)));
+///     assert_eq!(mapping.encode(0, decoder.decode(linear)), linear);
+/// }
+/// # Ok::<(), tbi_dram::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PermutationMapping {
+    geometry: DeviceGeometry,
+    topology: ChannelTopology,
+    permutation: BitPermutation,
+    plan: DecodePlan,
+}
+
+impl PermutationMapping {
+    /// Creates a mapping for `permutation` on `geometry` scaled out to
+    /// `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] if the permutation's field
+    /// widths do not match the subsystem or a dimension is not a power of
+    /// two.
+    pub fn new(
+        geometry: DeviceGeometry,
+        topology: ChannelTopology,
+        permutation: BitPermutation,
+    ) -> Result<Self, ConfigError> {
+        permutation.validate_for(&geometry, topology)?;
+        Ok(Self {
+            geometry,
+            topology,
+            permutation,
+            plan: Self::plan(&permutation),
+        })
+    }
+
+    /// Builds the decode plan: shift/mask when every field's source bits are
+    /// contiguous, per-field gather masks otherwise.
+    fn plan(permutation: &BitPermutation) -> DecodePlan {
+        let mut masks = [0u64; 6];
+        for (bit, field) in permutation.fields().iter().enumerate() {
+            masks[field.index()] |= 1u64 << bit;
+        }
+        let contiguous = masks.iter().all(|&mask| {
+            // A contiguous run of ones (or an empty mask) stays a run after
+            // shifting away its trailing zeros.
+            mask == 0 || {
+                let run = mask >> mask.trailing_zeros();
+                (run & (run + 1)) == 0
+            }
+        });
+        if contiguous {
+            let mut shift = [0u8; 6];
+            let mut width = [0u8; 6];
+            for (index, &mask) in masks.iter().enumerate() {
+                if mask != 0 {
+                    shift[index] = mask.trailing_zeros() as u8;
+                    width[index] = mask.count_ones() as u8;
+                }
+            }
+            DecodePlan::ShiftMask { shift, width }
+        } else {
+            DecodePlan::Gather { masks }
+        }
+    }
+
+    /// The permutation this mapping decodes through.
+    #[must_use]
+    pub fn permutation(&self) -> &BitPermutation {
+        &self.permutation
+    }
+
+    /// The device geometry of one rank of one channel.
+    #[must_use]
+    pub fn geometry(&self) -> &DeviceGeometry {
+        &self.geometry
+    }
+
+    /// The channel/rank topology the permutation spans.
+    #[must_use]
+    pub fn topology(&self) -> ChannelTopology {
+        self.topology
+    }
+
+    /// Whether decoding takes the shift/mask fast path (true whenever every
+    /// field occupies a contiguous bit run — all three classic schemes do).
+    #[must_use]
+    pub fn is_shift_mask(&self) -> bool {
+        matches!(self.plan, DecodePlan::ShiftMask { .. })
+    }
+
+    /// Decodes a linear burst index into `(channel, address)`.
+    ///
+    /// Bits above [`BitPermutation::total_bits`] are ignored (the decode
+    /// wraps, mirroring [`AddressDecoder::decode`](crate::AddressDecoder::decode)).
+    #[must_use]
+    pub fn decode(&self, linear: u64) -> (u32, PhysicalAddress) {
+        let fields = match self.plan {
+            DecodePlan::ShiftMask { shift, width } => {
+                let mut out = [0u32; 6];
+                for index in 0..6 {
+                    out[index] = ((linear >> shift[index]) & ((1u64 << width[index]) - 1)) as u32;
+                }
+                out
+            }
+            DecodePlan::Gather { masks } => {
+                let mut out = [0u32; 6];
+                for (index, &mask) in masks.iter().enumerate() {
+                    let mut remaining = mask;
+                    let mut value = 0u64;
+                    let mut dst = 0u32;
+                    while remaining != 0 {
+                        let src = remaining.trailing_zeros();
+                        value |= ((linear >> src) & 1) << dst;
+                        dst += 1;
+                        remaining &= remaining - 1;
+                    }
+                    out[index] = value as u32;
+                }
+                out
+            }
+        };
+        (
+            fields[AddressField::Channel.index()],
+            PhysicalAddress {
+                rank: fields[AddressField::Rank.index()],
+                bank_group: fields[AddressField::BankGroup.index()],
+                bank: fields[AddressField::Bank.index()],
+                row: fields[AddressField::Row.index()],
+                column: fields[AddressField::Column.index()],
+            },
+        )
+    }
+
+    /// Encodes a `(channel, address)` pair back into its linear burst index
+    /// — the exact inverse of [`PermutationMapping::decode`] for in-range
+    /// components.
+    #[must_use]
+    pub fn encode(&self, channel: u32, address: PhysicalAddress) -> u64 {
+        let values = [
+            u64::from(channel),
+            u64::from(address.rank),
+            u64::from(address.bank_group),
+            u64::from(address.bank),
+            u64::from(address.row),
+            u64::from(address.column),
+        ];
+        let mut taken = [0u32; 6];
+        let mut linear = 0u64;
+        for (bit, field) in self.permutation.fields().iter().enumerate() {
+            let index = field.index();
+            linear |= ((values[index] >> taken[index]) & 1) << bit;
+            taken[index] += 1;
+        }
+        linear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::AddressDecoder;
+    use crate::standards::{DramConfig, ALL_CONFIGS};
+    use proptest::prelude::*;
+
+    fn geometry() -> DeviceGeometry {
+        DeviceGeometry {
+            bank_groups: 4,
+            banks_per_group: 4,
+            rows: 1 << 10,
+            columns_per_row: 128,
+            burst_length: 8,
+            bus_width_bits: 64,
+        }
+    }
+
+    #[test]
+    fn scheme_permutations_match_the_address_decoder_on_all_presets() {
+        for (standard, rate) in ALL_CONFIGS {
+            let config = DramConfig::preset(*standard, *rate).unwrap();
+            for scheme in DecodeScheme::ALL {
+                for ranks in [1u32, 2, 4] {
+                    let topology = ChannelTopology::new(1, ranks);
+                    let permutation =
+                        BitPermutation::for_scheme(scheme, &config.geometry, topology).unwrap();
+                    let mapping =
+                        PermutationMapping::new(config.geometry, topology, permutation).unwrap();
+                    assert!(mapping.is_shift_mask(), "schemes are contiguous runs");
+                    let decoder = AddressDecoder::with_ranks(config.geometry, scheme, ranks);
+                    for linear in (0..5_000u64).chain((1 << 22)..((1 << 22) + 256)) {
+                        let (channel, address) = mapping.decode(linear);
+                        assert_eq!(channel, 0);
+                        assert_eq!(
+                            address,
+                            decoder.decode(linear),
+                            "{standard:?}-{rate} {scheme:?} ranks={ranks} linear={linear}"
+                        );
+                        assert_eq!(mapping.encode(0, address), linear);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_bits_splice_at_the_bottom() {
+        for channels in [2u32, 4] {
+            let topology = ChannelTopology::new(channels, 1);
+            let scheme = DecodeScheme::RowColumnBankBankGroup;
+            let permutation = BitPermutation::for_scheme(scheme, &geometry(), topology).unwrap();
+            let mapping = PermutationMapping::new(geometry(), topology, permutation).unwrap();
+            let decoder = AddressDecoder::new(geometry(), scheme);
+            for linear in 0..10_000u64 {
+                let (channel, address) = mapping.decode(linear);
+                assert_eq!(channel, (linear % u64::from(channels)) as u32);
+                assert_eq!(address, decoder.decode(linear / u64::from(channels)));
+            }
+        }
+    }
+
+    #[test]
+    fn gather_plan_is_selected_for_non_contiguous_permutations() {
+        let scheme = DecodeScheme::RowColumnBankBankGroup;
+        let base =
+            BitPermutation::for_scheme(scheme, &geometry(), ChannelTopology::default()).unwrap();
+        // Swapping a bank-group bit with a row bit breaks both runs.
+        let swapped = base.with_swap(0, base.total_bits() as usize - 1);
+        let mapping =
+            PermutationMapping::new(geometry(), ChannelTopology::default(), swapped).unwrap();
+        assert!(!mapping.is_shift_mask());
+        // Still a bijection with a working inverse.
+        let mut seen = std::collections::HashSet::new();
+        for linear in 0..4_096u64 {
+            let (channel, address) = mapping.decode(linear);
+            assert!(seen.insert((channel, address)), "collision at {linear}");
+            assert_eq!(mapping.encode(channel, address), linear);
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let permutation = BitPermutation::for_scheme(
+            DecodeScheme::RowBankBankGroupColumn,
+            &geometry(),
+            ChannelTopology::new(2, 2),
+        )
+        .unwrap();
+        let text = permutation.to_string();
+        assert_eq!(text.len() as u32, permutation.total_bits());
+        let parsed: BitPermutation = text.parse().unwrap();
+        assert_eq!(parsed, permutation);
+        assert!(text.starts_with('R'), "rows are the top bits: {text}");
+        assert!(
+            text.ends_with('H'),
+            "channel bits sit at the bottom: {text}"
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_codes() {
+        let err = "RRXC".parse::<BitPermutation>().unwrap_err();
+        assert!(err.to_string().contains('X'), "{err}");
+        assert!("".parse::<BitPermutation>().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_width_mismatches_and_non_pow2() {
+        let scheme = DecodeScheme::RowColumnBankBankGroup;
+        let permutation =
+            BitPermutation::for_scheme(scheme, &geometry(), ChannelTopology::default()).unwrap();
+        // Wrong topology: the permutation has no rank bits.
+        assert!(permutation
+            .validate_for(&geometry(), ChannelTopology::new(1, 2))
+            .is_err());
+        // Non-pow2 geometry cannot be bit-sliced at all.
+        let mut odd = geometry();
+        odd.rows = 1000;
+        assert!(BitPermutation::for_scheme(scheme, &odd, ChannelTopology::default()).is_err());
+        assert!(permutation
+            .validate_for(&odd, ChannelTopology::default())
+            .is_err());
+    }
+
+    #[test]
+    fn swap_is_an_involution_and_bounds_checked() {
+        let permutation = BitPermutation::for_scheme(
+            DecodeScheme::RowColumnBankBankGroup,
+            &geometry(),
+            ChannelTopology::default(),
+        )
+        .unwrap();
+        assert_eq!(permutation.with_swap(2, 9).with_swap(2, 9), permutation);
+        let result = std::panic::catch_unwind(|| permutation.with_swap(0, 64));
+        assert!(result.is_err(), "out-of-range swap must panic");
+    }
+
+    #[test]
+    fn field_codes_are_unique_and_round_trip() {
+        let codes: std::collections::HashSet<char> =
+            AddressField::ALL.iter().map(|f| f.code()).collect();
+        assert_eq!(codes.len(), AddressField::ALL.len());
+        for field in AddressField::ALL {
+            assert_eq!(AddressField::from_code(field.code()), Some(field));
+            assert_eq!(
+                AddressField::from_code(field.code().to_ascii_lowercase()),
+                Some(field)
+            );
+        }
+        assert_eq!(AddressField::from_code('x'), None);
+    }
+
+    proptest! {
+        /// Any random permutation of the subsystem's bits decodes as a
+        /// bijection whose inverse is `encode`, and the gather plan always
+        /// agrees with a shift/mask plan derived by sorting the same widths.
+        #[test]
+        fn random_permutations_are_bijective(seed in 0u64..u64::MAX, swaps in 0usize..32) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut permutation = BitPermutation::for_scheme(
+                DecodeScheme::RowColumnBankBankGroup,
+                &geometry(),
+                ChannelTopology::new(2, 2),
+            )
+            .unwrap();
+            let bits = permutation.total_bits() as usize;
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..swaps {
+                let a = rng.gen_range(0..bits);
+                let b = rng.gen_range(0..bits);
+                permutation = permutation.with_swap(a, b);
+            }
+            let mapping =
+                PermutationMapping::new(geometry(), ChannelTopology::new(2, 2), permutation)
+                    .unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for linear in 0..2_048u64 {
+                let (channel, address) = mapping.decode(linear);
+                prop_assert!(channel < 2);
+                prop_assert!(address.is_valid_for_ranks(mapping.geometry(), 2));
+                prop_assert!(seen.insert((channel, address)));
+                prop_assert_eq!(mapping.encode(channel, address), linear);
+            }
+        }
+    }
+}

@@ -19,7 +19,11 @@
 //! * [`Record`] — the typed result of one scenario (per-phase utilization,
 //!   sustained bandwidth, row-hit rates, energy, optional link-level error
 //!   rates), serializable to JSON and CSV without external dependencies
-//!   ([`serialize`]).
+//!   ([`serialize`]);
+//! * [`MappingSearch`] — design-space exploration over bit-permutation
+//!   address mappings: a seeded greedy bit-swap hill-climb with random
+//!   restarts that *generates* mapping configurations instead of evaluating
+//!   fixed ones ([`search`]).
 //!
 //! ## Quick start
 //!
@@ -55,12 +59,14 @@ pub mod json;
 pub mod record;
 pub mod runner;
 pub mod scenario;
+pub mod search;
 pub mod serialize;
 
 pub use grid::{RefreshSetting, SweepGrid};
 pub use record::{LinkRecord, Record};
 pub use runner::Experiment;
 pub use scenario::{LinkStage, Scenario};
+pub use search::{MappingSearch, SearchRecord, SearchSettings};
 
 use tbi_dram::ConfigError;
 use tbi_interleaver::InterleaverError;

@@ -193,7 +193,7 @@ impl Scenario {
             "{}/b{}/{}/refresh={}",
             self.dram.label(),
             self.spec.burst_count(),
-            self.mapping.name(),
+            self.mapping.label(),
             refresh_tag(self.controller.refresh_mode)
         );
         if !self.dram.topology.is_single() {
@@ -292,7 +292,7 @@ impl Scenario {
         Ok(Record {
             scenario_id: self.id(),
             dram_label: self.dram.label(),
-            mapping: self.mapping.name().to_string(),
+            mapping: self.mapping.label(),
             bursts: self.spec.burst_count(),
             dimension: self.spec.dimension(),
             refresh_disabled: self.controller.refresh_mode == Some(RefreshMode::Disabled),
@@ -361,7 +361,7 @@ impl Scenario {
         Ok(Record {
             scenario_id: self.id(),
             dram_label: self.dram.label(),
-            mapping: self.mapping.name().to_string(),
+            mapping: self.mapping.label(),
             bursts: self.spec.burst_count(),
             dimension: self.spec.dimension(),
             refresh_disabled: self.controller.refresh_mode == Some(RefreshMode::Disabled),
@@ -402,7 +402,7 @@ impl std::fmt::Display for Scenario {
             self.dram.topology.ranks,
             self.spec.burst_count(),
             self.spec.dimension(),
-            self.mapping.name(),
+            self.mapping.label(),
             refresh_tag(self.controller.refresh_mode),
             self.controller.scheduling,
             self.controller.page_policy,

@@ -1,0 +1,635 @@
+//! Design-space exploration over bit-permutation address mappings.
+//!
+//! The paper hand-picks one optimized mapping; this module treats the
+//! mapping as a **searchable space** instead, in the spirit of the
+//! interleaver-DSE literature (Chavet et al.; SAGE): a [`MappingSearch`]
+//! explores the space of [`BitPermutation`]s for one DRAM configuration
+//! with a *seeded greedy bit-swap hill-climb with random restarts*:
+//!
+//! 1. every restart starts from a deterministic point — a balanced
+//!    tiling heuristic, the controller's default decode chain, or a seeded
+//!    random shuffle of the address bits;
+//! 2. each step proposes a batch of bit-swap neighbours (two linear-address
+//!    bits exchange their fields), evaluates them in parallel through the
+//!    existing [`Experiment`] worker pool, and greedily moves to the best
+//!    strictly-improving neighbour;
+//! 3. when no neighbour improves, the climb restarts from the next start
+//!    until the evaluation [`budget`](SearchSettings::budget) is exhausted.
+//!
+//! Candidates are scored by **round-trip row-hit rate** (mean of the write-
+//! and read-phase hit rates) with the throughput-limiting minimum
+//! utilization as tie-breaker — the two quantities the paper's Table I
+//! optimizes by hand.  All decisions depend only on deterministic
+//! [`Record`]s and a [`StdRng`] derived from the seed, so a search is
+//! **bit-reproducible for a fixed seed at any worker count**.
+//!
+//! ```
+//! use tbi_dram::{DramConfig, DramStandard};
+//! use tbi_exp::search::{MappingSearch, SearchSettings};
+//! use tbi_interleaver::InterleaverSpec;
+//!
+//! # fn main() -> Result<(), tbi_exp::ExpError> {
+//! let dram = DramConfig::preset(DramStandard::Ddr4, 3200)?;
+//! let settings = SearchSettings { budget: 12, restarts: 2, ..SearchSettings::default() };
+//! let search = MappingSearch::new(dram, InterleaverSpec::from_burst_count(4_000), settings);
+//! let outcome = search.run()?;
+//! // The climb can only improve on its deterministic starting points, and
+//! // the balanced-tiling start already splits page misses between phases.
+//! assert!(outcome.discovered_row_hit_rate() > 0.5);
+//! assert_eq!(outcome.permutation, outcome.best.mapping.trim_start_matches("permutation:"));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tbi_dram::{
+    AddressField, BitPermutation, ChannelTopology, ControllerConfig, DecodeScheme, DramConfig,
+};
+use tbi_interleaver::{InterleaverSpec, MappingKind};
+
+use crate::record::Record;
+use crate::runner::Experiment;
+use crate::scenario::Scenario;
+use crate::ExpError;
+
+/// Tuning knobs of a [`MappingSearch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchSettings {
+    /// RNG seed; identical seeds reproduce identical searches bit-for-bit,
+    /// regardless of the worker count.
+    pub seed: u64,
+    /// Number of hill-climb starting points (clamped to ≥ 1).  Start 0 is
+    /// the balanced-tiling heuristic, start 1 the controller's default
+    /// decode chain, further starts are seeded random shuffles.
+    pub restarts: u32,
+    /// Maximum number of candidate evaluations across all restarts (clamped
+    /// to ≥ 1).  The row-major/optimized reference evaluations are not
+    /// counted against the budget.
+    pub budget: u32,
+    /// Bit-swap neighbours proposed per climb step (clamped to ≥ 1).
+    pub neighbors: u32,
+    /// Worker threads for candidate batches (0 = all cores).  Does not
+    /// affect results, only wall-clock time.
+    pub workers: usize,
+}
+
+impl Default for SearchSettings {
+    fn default() -> Self {
+        Self {
+            seed: 0xD5E_5EED,
+            restarts: 4,
+            budget: 400,
+            neighbors: 8,
+            workers: 0,
+        }
+    }
+}
+
+/// The typed result of one [`MappingSearch::run`]: the best discovered
+/// permutation with its full [`Record`], next to the row-major baseline and
+/// the paper's optimized reference evaluated under identical conditions.
+///
+/// Serializable through [`crate::serialize::search_records_to_json`] and
+/// [`crate::serialize::search_records_to_csv`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRecord {
+    /// DRAM configuration label, e.g. `DDR4-3200`.
+    pub dram_label: String,
+    /// Seed the search ran with.
+    pub seed: u64,
+    /// Restart count the search ran with.
+    pub restarts: u32,
+    /// Evaluation budget the search ran with.
+    pub budget: u32,
+    /// Candidate evaluations actually spent (≤ budget; cache hits are free).
+    pub evaluations: u32,
+    /// Accepted hill-climb moves across all restarts.
+    pub accepted_moves: u32,
+    /// Interleaver size (bursts) the candidates were evaluated at.
+    pub bursts: u64,
+    /// MSB-first bit codes of the best discovered permutation (parseable by
+    /// [`BitPermutation`]'s `FromStr`).
+    pub permutation: String,
+    /// Record of the best discovered permutation mapping.
+    pub best: Record,
+    /// Record of the row-major baseline under identical conditions.
+    pub row_major: Record,
+    /// Record of the paper's optimized mapping under identical conditions.
+    pub optimized: Record,
+}
+
+/// Round-trip row-hit rate of a record: the mean of the write- and
+/// read-phase row-buffer hit rates (both phases move every burst once, so
+/// the mean weights them equally).
+#[must_use]
+pub fn round_trip_row_hit_rate(record: &Record) -> f64 {
+    (record.write_row_hit_rate + record.read_row_hit_rate) / 2.0
+}
+
+/// Relative tolerance inside which two round-trip row-hit rates count as a
+/// **match** (see [`SearchRecord::matches_or_beats_optimized`]).
+///
+/// One part in 10⁴ is the boundary-alignment noise floor of a full-size
+/// run: it corresponds to ~1 000 of 25 000 000 row decisions, below the
+/// shift the *same* mapping sees between two speed grades of the same
+/// standard under refresh (e.g. the optimized scheme's round-trip hit rate
+/// moves by ~8 × 10⁻⁴ between LPDDR4-2133 and LPDDR4-4266).  Exact gains
+/// are always reported next to the flag ([`SearchRecord::row_hit_gain`]),
+/// so nothing hides behind the tolerance.
+pub const MATCH_TOLERANCE: f64 = 1e-4;
+
+impl SearchRecord {
+    /// Round-trip row-hit rate of the discovered mapping.
+    #[must_use]
+    pub fn discovered_row_hit_rate(&self) -> f64 {
+        round_trip_row_hit_rate(&self.best)
+    }
+
+    /// Round-trip row-hit rate of the paper's optimized mapping.
+    #[must_use]
+    pub fn optimized_row_hit_rate(&self) -> f64 {
+        round_trip_row_hit_rate(&self.optimized)
+    }
+
+    /// Whether the discovered mapping's round-trip row-hit rate matches
+    /// (within the relative [`MATCH_TOLERANCE`]) or beats the paper's
+    /// optimized scheme — the headline DSE claim.  Use
+    /// [`SearchRecord::row_hit_gain`] for the exact ratio.
+    #[must_use]
+    pub fn matches_or_beats_optimized(&self) -> bool {
+        self.row_hit_gain() >= 1.0 - MATCH_TOLERANCE
+    }
+
+    /// Ratio of discovered to optimized round-trip row-hit rate.
+    #[must_use]
+    pub fn row_hit_gain(&self) -> f64 {
+        self.discovered_row_hit_rate() / self.optimized_row_hit_rate().max(1e-9)
+    }
+
+    /// Ratio of discovered to optimized minimum utilization.
+    #[must_use]
+    pub fn utilization_gain(&self) -> f64 {
+        self.best.min_utilization / self.optimized.min_utilization.max(1e-9)
+    }
+}
+
+/// Greedy bit-swap hill-climb with random restarts over the
+/// [`BitPermutation`] design space of one DRAM configuration.
+///
+/// See the [module documentation](self) for the algorithm and the
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct MappingSearch {
+    dram: DramConfig,
+    spec: InterleaverSpec,
+    controller: ControllerConfig,
+    settings: SearchSettings,
+}
+
+/// Lexicographic candidate score: round-trip row-hit rate first, minimum
+/// utilization as tie-breaker.
+fn score(record: &Record) -> (f64, f64) {
+    (round_trip_row_hit_rate(record), record.min_utilization)
+}
+
+fn better(candidate: &Record, incumbent: &Record) -> bool {
+    score(candidate) > score(incumbent)
+}
+
+impl MappingSearch {
+    /// Creates a search on `dram` for an interleaver of `spec` bursts.
+    #[must_use]
+    pub fn new(dram: DramConfig, spec: InterleaverSpec, settings: SearchSettings) -> Self {
+        Self {
+            dram,
+            spec,
+            controller: ControllerConfig::default(),
+            settings,
+        }
+    }
+
+    /// Replaces the controller configuration applied to every evaluation.
+    #[must_use]
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// The settings the search runs with.
+    #[must_use]
+    pub fn settings(&self) -> &SearchSettings {
+        &self.settings
+    }
+
+    fn scenario(&self, kind: MappingKind) -> Scenario {
+        Scenario::custom(self.dram.clone(), kind, self.spec).with_controller(self.controller)
+    }
+
+    /// Evaluates a batch of candidate permutations through the shared
+    /// [`Experiment`] worker pool, consulting and filling `cache`.
+    fn evaluate(
+        &self,
+        candidates: &[BitPermutation],
+        cache: &mut HashMap<BitPermutation, Record>,
+        evaluations: &mut u32,
+    ) -> Result<Vec<Record>, ExpError> {
+        let fresh: Vec<BitPermutation> = {
+            let mut unique = Vec::new();
+            for &candidate in candidates {
+                if !cache.contains_key(&candidate) && !unique.contains(&candidate) {
+                    unique.push(candidate);
+                }
+            }
+            unique
+        };
+        if !fresh.is_empty() {
+            let scenarios: Vec<Scenario> = fresh
+                .iter()
+                .map(|&p| self.scenario(MappingKind::Permutation(p)))
+                .collect();
+            let experiment = Experiment::new(scenarios);
+            let experiment = if self.settings.workers == 0 {
+                experiment.with_auto_workers()
+            } else {
+                experiment.with_workers(self.settings.workers)
+            };
+            let records = experiment.run()?;
+            *evaluations += fresh.len() as u32;
+            for (permutation, record) in fresh.into_iter().zip(records) {
+                cache.insert(permutation, record);
+            }
+        }
+        Ok(candidates
+            .iter()
+            .map(|candidate| cache[candidate].clone())
+            .collect())
+    }
+
+    /// The deterministic starting permutation of `restart`.
+    fn starting_point(&self, restart: u32, rng: &mut StdRng) -> Result<BitPermutation, ExpError> {
+        let topology = self.dram.topology;
+        match restart {
+            0 => balanced_start(&self.dram, topology, self.spec.dimension(), false),
+            1 => balanced_start(&self.dram, topology, self.spec.dimension(), true),
+            2 => Ok(BitPermutation::for_scheme(
+                self.dram.decode_scheme,
+                &self.dram.geometry,
+                topology,
+            )?),
+            _ => {
+                let mut permutation = BitPermutation::for_scheme(
+                    self.dram.decode_scheme,
+                    &self.dram.geometry,
+                    topology,
+                )?;
+                // Fisher–Yates over the bit positions, driven by the seeded
+                // RNG, yields a uniform random field assignment.
+                let bits = permutation.total_bits() as usize;
+                for a in (1..bits).rev() {
+                    let b = rng.gen_range(0..a + 1);
+                    if a != b {
+                        permutation = permutation.with_swap(a, b);
+                    }
+                }
+                Ok(permutation)
+            }
+        }
+    }
+
+    /// Runs the search and returns the [`SearchRecord`] of the best
+    /// discovered permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError`] if the interleaver does not fit the padded
+    /// permutation space of the device, or any evaluation fails.
+    pub fn run(&self) -> Result<SearchRecord, ExpError> {
+        let restarts = self.settings.restarts.max(1);
+        let budget = self.settings.budget.max(1);
+        let neighbors = self.settings.neighbors.max(1);
+
+        // References (not counted against the candidate budget).
+        let references = {
+            let scenarios = vec![
+                self.scenario(MappingKind::RowMajor),
+                self.scenario(MappingKind::Optimized),
+            ];
+            let experiment = Experiment::new(scenarios);
+            let experiment = if self.settings.workers == 0 {
+                experiment.with_auto_workers()
+            } else {
+                experiment.with_workers(self.settings.workers)
+            };
+            experiment.run()?
+        };
+        let row_major = references[0].clone();
+        let optimized = references[1].clone();
+
+        let mut cache: HashMap<BitPermutation, Record> = HashMap::new();
+        let mut evaluations = 0u32;
+        let mut accepted_moves = 0u32;
+        let mut best: Option<(BitPermutation, Record)> = None;
+
+        'restarts: for restart in 0..restarts {
+            if evaluations >= budget {
+                break;
+            }
+            // One RNG per restart keeps restarts independent of each other's
+            // step counts (and therefore insensitive to early stops).
+            let mut rng = StdRng::seed_from_u64(
+                self.settings.seed ^ u64::from(restart).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut current = self.starting_point(restart, &mut rng)?;
+            let mut current_record = self
+                .evaluate(&[current], &mut cache, &mut evaluations)?
+                .pop()
+                .expect("one candidate in, one record out");
+            let improves_best = match &best {
+                None => true,
+                Some((_, record)) => better(&current_record, record),
+            };
+            if improves_best {
+                best = Some((current, current_record.clone()));
+            }
+            while evaluations < budget {
+                let bits = current.total_bits() as usize;
+                let batch = (neighbors as usize).min((budget - evaluations) as usize);
+                let mut candidates = Vec::with_capacity(batch);
+                let mut guard = 0;
+                while candidates.len() < batch && guard < 64 * batch {
+                    guard += 1;
+                    let a = rng.gen_range(0..bits);
+                    let b = rng.gen_range(0..bits);
+                    let fields = current.fields();
+                    if fields[a] == fields[b] {
+                        continue;
+                    }
+                    let swapped = current.with_swap(a, b);
+                    if !candidates.contains(&swapped) {
+                        candidates.push(swapped);
+                    }
+                }
+                if candidates.is_empty() {
+                    continue 'restarts;
+                }
+                let records = self.evaluate(&candidates, &mut cache, &mut evaluations)?;
+                let winner = candidates
+                    .iter()
+                    .zip(&records)
+                    .max_by(|(_, x), (_, y)| {
+                        score(x).partial_cmp(&score(y)).expect("scores are finite")
+                    })
+                    .expect("non-empty batch");
+                if better(winner.1, &current_record) {
+                    current = *winner.0;
+                    current_record = winner.1.clone();
+                    accepted_moves += 1;
+                    if better(&current_record, &best.as_ref().expect("seeded above").1) {
+                        best = Some((current, current_record.clone()));
+                    }
+                } else {
+                    // Local optimum: spend the rest of the budget elsewhere.
+                    continue 'restarts;
+                }
+            }
+            break;
+        }
+
+        let (permutation, best_record) = best.expect("at least one restart evaluated");
+        Ok(SearchRecord {
+            dram_label: self.dram.label(),
+            seed: self.settings.seed,
+            restarts,
+            budget,
+            evaluations,
+            accepted_moves,
+            bursts: self.spec.burst_count(),
+            permutation: permutation.to_string(),
+            best: best_record,
+            row_major,
+            optimized,
+        })
+    }
+}
+
+/// The balanced-tiling heuristic start: DRAM **column** bits are split
+/// between the low `j` (write-direction) and low `i` (read-direction) index
+/// bits so that page misses are shared between the phases, bank-group bits
+/// sit at the bottom of the `j` side (writes rotate groups every access)
+/// and bank bits at the bottom of the `i` side (reads rotate banks) — with
+/// the bank bits alternating between the sides when the standard has no
+/// bank groups, so *both* phases keep enough bank parallelism to hide
+/// activates (slow phases pay extra refresh-induced row closures, which
+/// depresses the very hit rate the search optimizes).  Channel/rank bits
+/// alternate between the sides and row bits fill the rest — a permutation
+/// rendering of the paper's optimizations 1 + 2.
+///
+/// `mirrored` swaps the two sides (and hands the larger column half to the
+/// read direction), giving the search a second deterministic start on the
+/// other side of the write/read trade-off.
+fn balanced_start(
+    dram: &DramConfig,
+    topology: ChannelTopology,
+    dimension: u32,
+    mirrored: bool,
+) -> Result<BitPermutation, ExpError> {
+    let geometry = dram.geometry;
+    let scheme = BitPermutation::for_scheme(DecodeScheme::default(), &geometry, topology)?;
+    let total = scheme.total_bits();
+    // The `j`/`i` bit boundary of the padded linearization the permutation
+    // will decode — shared with the mapping so the two can never disagree.
+    let jbits = tbi_interleaver::mapping::PermutedMapping::index_bits(dimension);
+    let widths = |field: AddressField| scheme.width_of(field);
+    let column = widths(AddressField::Column);
+    let column_j = column.div_ceil(2);
+    let bank_groups = widths(AddressField::BankGroup);
+    let banks = widths(AddressField::Bank);
+
+    let mut j_side: Vec<AddressField> = Vec::new();
+    let mut i_side: Vec<AddressField> = Vec::new();
+    // Column bits at the very bottom of each side: a phase streams one full
+    // page run per bank before switching, so an index-row end leaves at
+    // most ONE partial run (bank bits below the columns would interleave
+    // the banks and multiply the boundary misses by the rotation width).
+    j_side.extend(std::iter::repeat(AddressField::Column).take(column_j as usize));
+    i_side.extend(std::iter::repeat(AddressField::Column).take((column - column_j) as usize));
+    j_side.extend(std::iter::repeat(AddressField::BankGroup).take(bank_groups as usize));
+    if bank_groups == 0 {
+        // No bank groups: split the bank bits themselves so both phases
+        // rotate banks (write side first — it streams one row at a time and
+        // otherwise serializes on a single bank).
+        for t in 0..banks {
+            if t % 2 == 0 { &mut j_side } else { &mut i_side }.push(AddressField::Bank);
+        }
+    } else {
+        i_side.extend(std::iter::repeat(AddressField::Bank).take(banks as usize));
+    }
+    for t in 0..widths(AddressField::Channel) {
+        if t % 2 == 0 { &mut j_side } else { &mut i_side }.push(AddressField::Channel);
+    }
+    for t in 0..widths(AddressField::Rank) {
+        if t % 2 == 0 { &mut i_side } else { &mut j_side }.push(AddressField::Rank);
+    }
+    if mirrored {
+        std::mem::swap(&mut j_side, &mut i_side);
+    }
+
+    // Assemble: j side at the bottom, i side from bit `jbits`, row bits
+    // everywhere else.  Should a side outgrow its `jbits` slots (tiny index
+    // spaces), the excess spills into the tail, where the bits are unused.
+    let mut fields = vec![AddressField::Row; total as usize];
+    let mut spill: Vec<AddressField> = Vec::new();
+    let jbits = jbits.min(total / 2) as usize;
+    for (offset, side) in [(0usize, &j_side), (jbits, &i_side)] {
+        for (k, &field) in side.iter().enumerate() {
+            if offset + k < offset + jbits && offset + k < total as usize {
+                fields[offset + k] = field;
+            } else {
+                spill.push(field);
+            }
+        }
+    }
+    let mut tail = 2 * jbits;
+    for field in spill {
+        while tail < total as usize && fields[tail] != AddressField::Row {
+            tail += 1;
+        }
+        if tail < total as usize {
+            fields[tail] = field;
+            tail += 1;
+        }
+    }
+    // Row bits already fill the remaining slots; counts match by
+    // construction because every non-row field was placed exactly once.
+    Ok(BitPermutation::new(&fields)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbi_dram::DramStandard;
+
+    fn settings(budget: u32) -> SearchSettings {
+        SearchSettings {
+            seed: 42,
+            restarts: 3,
+            budget,
+            neighbors: 4,
+            workers: 1,
+        }
+    }
+
+    fn search(budget: u32) -> MappingSearch {
+        let dram = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        MappingSearch::new(
+            dram,
+            InterleaverSpec::from_burst_count(3_000),
+            settings(budget),
+        )
+    }
+
+    #[test]
+    fn balanced_start_is_valid_for_every_preset_and_topology() {
+        for (standard, rate) in tbi_dram::standards::ALL_CONFIGS {
+            let dram = DramConfig::preset(*standard, *rate).unwrap();
+            for topology in [
+                ChannelTopology::default(),
+                ChannelTopology::new(2, 1),
+                ChannelTopology::new(4, 2),
+            ] {
+                let permutation = balanced_start(&dram, topology, 5000, false).unwrap();
+                permutation
+                    .validate_for(&dram.geometry, topology)
+                    .unwrap_or_else(|e| panic!("{standard:?}-{rate} {topology:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_start_splits_columns_between_low_i_and_low_j_bits() {
+        let dram = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let permutation = balanced_start(&dram, ChannelTopology::default(), 1000, false).unwrap();
+        let fields = permutation.fields();
+        let jbits = 10usize;
+        let low_j_columns = fields[..jbits]
+            .iter()
+            .filter(|&&f| f == AddressField::Column)
+            .count();
+        let low_i_columns = fields[jbits..2 * jbits]
+            .iter()
+            .filter(|&&f| f == AddressField::Column)
+            .count();
+        assert_eq!(low_j_columns, 4);
+        assert_eq!(low_i_columns, 3);
+        // Columns sit at the very bottom of each side, the rotation bits
+        // (bank groups on j, banks on i) directly above them.
+        assert_eq!(fields[0], AddressField::Column);
+        assert_eq!(fields[4], AddressField::BankGroup);
+        assert_eq!(fields[jbits], AddressField::Column);
+        assert_eq!(fields[jbits + 3], AddressField::Bank);
+    }
+
+    #[test]
+    fn search_is_reproducible_across_worker_counts() {
+        let sequential = search(10).run().unwrap();
+        let dram = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let parallel = MappingSearch::new(
+            dram,
+            InterleaverSpec::from_burst_count(3_000),
+            SearchSettings {
+                workers: 4,
+                ..settings(10)
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn different_seeds_can_differ_but_stay_deterministic() {
+        let a = search(8).run().unwrap();
+        let b = search(8).run().unwrap();
+        assert_eq!(a, b, "same seed, same outcome");
+        assert_eq!(a.seed, 42);
+        assert!(a.evaluations <= a.budget);
+    }
+
+    #[test]
+    fn discovered_mapping_beats_the_row_major_baseline() {
+        let outcome = search(12).run().unwrap();
+        assert!(
+            outcome.discovered_row_hit_rate() > round_trip_row_hit_rate(&outcome.row_major),
+            "balanced start must beat row-major's thrashing read phase"
+        );
+        assert!(outcome.best.min_utilization > 0.5);
+        // The permutation string replays: it parses and labels the record.
+        let parsed: BitPermutation = outcome.permutation.parse().unwrap();
+        assert_eq!(
+            outcome.best.mapping,
+            MappingKind::Permutation(parsed).label()
+        );
+    }
+
+    #[test]
+    fn budget_caps_candidate_evaluations() {
+        let outcome = search(5).run().unwrap();
+        assert!(outcome.evaluations <= 5, "spent {}", outcome.evaluations);
+        assert_eq!(outcome.budget, 5);
+    }
+
+    #[test]
+    fn gains_are_relative_to_the_optimized_reference() {
+        let outcome = search(6).run().unwrap();
+        let expected = outcome.discovered_row_hit_rate() / outcome.optimized_row_hit_rate();
+        assert!((outcome.row_hit_gain() - expected).abs() < 1e-12);
+        assert_eq!(
+            outcome.matches_or_beats_optimized(),
+            outcome.row_hit_gain() >= 1.0 - MATCH_TOLERANCE
+        );
+    }
+}

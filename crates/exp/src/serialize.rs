@@ -10,6 +10,7 @@
 use std::path::Path;
 
 use crate::record::Record;
+use crate::search::SearchRecord;
 use crate::ExpError;
 
 /// Escapes a string for embedding in a JSON document (quotes included).
@@ -167,6 +168,104 @@ pub fn records_to_csv(records: &[Record]) -> String {
         ));
     }
     out
+}
+
+/// Serializes one [`SearchRecord`] as a JSON object; the three embedded
+/// records use the regular [`Record`] schema.
+fn search_record_to_json(record: &SearchRecord) -> String {
+    format!(
+        "{{\"dram\":{},\"seed\":{},\"restarts\":{},\"budget\":{},\"evaluations\":{},\
+         \"accepted_moves\":{},\"bursts\":{},\"permutation\":{},\
+         \"discovered_row_hit_rate\":{},\"optimized_row_hit_rate\":{},\
+         \"matches_or_beats_optimized\":{},\"row_hit_gain\":{},\"utilization_gain\":{},\
+         \"best\":{},\"row_major\":{},\"optimized\":{}}}",
+        json_string(&record.dram_label),
+        record.seed,
+        record.restarts,
+        record.budget,
+        record.evaluations,
+        record.accepted_moves,
+        record.bursts,
+        json_string(&record.permutation),
+        json_number(record.discovered_row_hit_rate()),
+        json_number(record.optimized_row_hit_rate()),
+        record.matches_or_beats_optimized(),
+        json_number(record.row_hit_gain()),
+        json_number(record.utilization_gain()),
+        record_to_json(&record.best),
+        record_to_json(&record.row_major),
+        record_to_json(&record.optimized),
+    )
+}
+
+/// Serializes search records as a JSON array (one object per line), the
+/// search-layer counterpart of [`records_to_json`].
+#[must_use]
+pub fn search_records_to_json(records: &[SearchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, record) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&search_record_to_json(record));
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+/// The CSV header emitted by [`search_records_to_csv`] (15 columns).
+pub const SEARCH_CSV_HEADER: &str = "dram,seed,restarts,budget,evaluations,accepted_moves,\
+bursts,permutation,discovered_row_hit_rate,optimized_row_hit_rate,row_major_row_hit_rate,\
+discovered_min_utilization,optimized_min_utilization,row_hit_gain,utilization_gain";
+
+/// Serializes search records as flat CSV (summary metrics only; use the
+/// JSON form for the full embedded records).
+#[must_use]
+pub fn search_records_to_csv(records: &[SearchRecord]) -> String {
+    let mut out = String::from(SEARCH_CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            csv_field(&r.dram_label),
+            r.seed,
+            r.restarts,
+            r.budget,
+            r.evaluations,
+            r.accepted_moves,
+            r.bursts,
+            csv_field(&r.permutation),
+            json_number(r.discovered_row_hit_rate()),
+            json_number(r.optimized_row_hit_rate()),
+            json_number(crate::search::round_trip_row_hit_rate(&r.row_major)),
+            json_number(r.best.min_utilization),
+            json_number(r.optimized.min_utilization),
+            json_number(r.row_hit_gain()),
+            json_number(r.utilization_gain()),
+        ));
+    }
+    out
+}
+
+/// Writes the JSON serialization of `records` to `path`.
+///
+/// # Errors
+///
+/// Returns [`ExpError::Io`] if the file cannot be written.
+pub fn write_search_json(path: &Path, records: &[SearchRecord]) -> Result<(), ExpError> {
+    write_artifact(path, &search_records_to_json(records))
+}
+
+/// Writes the CSV serialization of `records` to `path`.
+///
+/// # Errors
+///
+/// Returns [`ExpError::Io`] if the file cannot be written.
+pub fn write_search_csv(path: &Path, records: &[SearchRecord]) -> Result<(), ExpError> {
+    write_artifact(path, &search_records_to_csv(records))
 }
 
 fn write_artifact(path: &Path, contents: &str) -> Result<(), ExpError> {

@@ -31,7 +31,7 @@
 use tbi_dram::{AddressDecoder, ChannelTopology, DramConfig, PhysicalAddress};
 
 use crate::config::InterleaverSpec;
-use crate::mapping::{DramMapping, MappingKind};
+use crate::mapping::{DramMapping, MappingKind, PermutedMapping};
 use crate::triangular::TriangularInterleaver;
 use crate::InterleaverError;
 
@@ -63,6 +63,9 @@ enum Router {
         tile: u32,
         shifts: Option<StripeShifts>,
     },
+    /// Bit-permutation routing: the permutation's own channel/rank bits
+    /// select the lane directly (see [`PermutedMapping`]).
+    Permuted { mapping: PermutedMapping },
 }
 
 /// A channel/rank-aware mapping from index-space positions to
@@ -90,13 +93,13 @@ pub struct ChannelMapping {
     router: Router,
     topology: ChannelTopology,
     dimension: u32,
-    name: &'static str,
+    label: String,
 }
 
 impl std::fmt::Debug for ChannelMapping {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChannelMapping")
-            .field("scheme", &self.name)
+            .field("scheme", &self.label)
             .field("topology", &self.topology)
             .field("dimension", &self.dimension)
             .finish()
@@ -134,6 +137,9 @@ impl ChannelMapping {
                     ),
                 }
             }
+            MappingKind::Permutation(permutation) => Router::Permuted {
+                mapping: PermutedMapping::new(config.geometry, topology, permutation, n)?,
+            },
             _ => {
                 let inner = kind.build_for_geometry(config.geometry, n)?;
                 let tile = stripe_tile(n, topology.units());
@@ -154,14 +160,14 @@ impl ChannelMapping {
             router,
             topology,
             dimension: n,
-            name: kind.name(),
+            label: kind.label(),
         })
     }
 
-    /// The wrapped scheme's name.
+    /// The wrapped scheme's label ([`MappingKind::label`]).
     #[must_use]
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.label
     }
 
     /// The channel/rank topology the mapping stripes over.
@@ -224,6 +230,7 @@ impl ChannelMapping {
                 let rank = lane / channels;
                 (channel, inner.map(i, j_inner).with_rank(rank))
             }
+            Router::Permuted { mapping } => mapping.route(i, j),
         }
     }
 }
@@ -449,7 +456,7 @@ mod tests {
             let mut generic = ChannelMapping::new(MappingKind::Optimized, &cfg, n).unwrap();
             match &mut generic.router {
                 Router::TileRotate { shifts, .. } => *shifts = None,
-                Router::LinearSplice { .. } => panic!("optimized takes the tile router"),
+                _ => panic!("optimized takes the tile router"),
             }
             for i in (0..n).step_by(3) {
                 for j in 0..(n - i) {

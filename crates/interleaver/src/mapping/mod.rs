@@ -13,18 +13,21 @@
 //! | [`TiledMapping`] | per tile | ✓ | – | Fig. 1b |
 //! | [`OptimizedMapping`] (no stagger) | ✓ | ✓ | – | Fig. 1c |
 //! | [`OptimizedMapping`] | ✓ | ✓ | ✓ | Fig. 1d (Table I "Optimized") |
+//! | [`PermutedMapping`] | depends | depends | – | searchable bit-permutation family (`docs/MAPPING.md`) |
 
 mod channel;
 mod optimized;
+mod permuted;
 mod row_major;
 mod simple;
 
 pub use channel::{channel_mapping_for_spec, ChannelMapping, ChannelTrace, ChannelTraceGenerator};
 pub use optimized::OptimizedMapping;
+pub use permuted::PermutedMapping;
 pub use row_major::RowMajorMapping;
 pub use simple::{BankRoundRobinMapping, TiledMapping};
 
-use tbi_dram::{DeviceGeometry, DramConfig, PhysicalAddress};
+use tbi_dram::{BitPermutation, ChannelTopology, DeviceGeometry, DramConfig, PhysicalAddress};
 
 use crate::InterleaverError;
 
@@ -67,6 +70,12 @@ pub enum MappingKind {
     OptimizedNoStagger,
     /// The full optimized mapping with all three optimizations (Fig. 1d).
     Optimized,
+    /// A searchable bit-permutation layout: positions are placed at the
+    /// padded linear address `(i << ⌈log2 n⌉) | j` and decoded through the
+    /// given [`BitPermutation`] (see [`PermutedMapping`]).  Not part of
+    /// [`MappingKind::ALL`] because it is parameterized rather than fixed;
+    /// `tbi_exp`'s mapping search generates these.
+    Permutation(BitPermutation),
 }
 
 impl MappingKind {
@@ -82,7 +91,8 @@ impl MappingKind {
     /// The two schemes compared in the paper's Table I.
     pub const TABLE1: [MappingKind; 2] = [MappingKind::RowMajor, MappingKind::Optimized];
 
-    /// Human-readable name.
+    /// Human-readable scheme name (the same for every permutation; use
+    /// [`MappingKind::label`] to distinguish individual permutations).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -91,6 +101,32 @@ impl MappingKind {
             MappingKind::Tiled => "tiled",
             MappingKind::OptimizedNoStagger => "optimized-no-stagger",
             MappingKind::Optimized => "optimized",
+            MappingKind::Permutation(_) => "permutation",
+        }
+    }
+
+    /// Fully qualified label: equal to [`MappingKind::name`] for the named
+    /// schemes, and `permutation:<MSB-first bit codes>` for permutations —
+    /// so scenario IDs and records distinguish individual design points.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tbi_interleaver::MappingKind;
+    ///
+    /// assert_eq!(MappingKind::Optimized.label(), "optimized");
+    /// let permutation = "RRCCBBGG".parse()?;
+    /// assert_eq!(
+    ///     MappingKind::Permutation(permutation).label(),
+    ///     "permutation:RRCCBBGG"
+    /// );
+    /// # Ok::<(), tbi_dram::ConfigError>(())
+    /// ```
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            MappingKind::Permutation(permutation) => format!("permutation:{permutation}"),
+            other => other.name().to_string(),
         }
     }
 
@@ -118,7 +154,7 @@ impl MappingKind {
     }
 
     /// Builds the channel/rank-aware variant of this scheme for `config`'s
-    /// [`ChannelTopology`](tbi_dram::ChannelTopology) (see
+    /// [`ChannelTopology`] (see
     /// [`ChannelMapping`]).  With the default `1 × 1` topology the variant
     /// routes every position to channel 0, rank 0 with exactly the addresses
     /// of [`MappingKind::build`].
@@ -161,13 +197,22 @@ impl MappingKind {
                 Box::new(OptimizedMapping::without_stagger(geometry, dimension)?)
             }
             MappingKind::Optimized => Box::new(OptimizedMapping::new(geometry, dimension)?),
+            MappingKind::Permutation(permutation) => Box::new(PermutedMapping::new(
+                geometry,
+                ChannelTopology::default(),
+                permutation,
+                dimension,
+            )?),
         })
     }
 }
 
 impl std::fmt::Display for MappingKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            MappingKind::Permutation(_) => f.write_str(&self.label()),
+            other => f.write_str(other.name()),
+        }
     }
 }
 

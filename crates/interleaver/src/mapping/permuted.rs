@@ -1,0 +1,275 @@
+//! Bit-permutation interleaver mappings: the searchable mapping family.
+//!
+//! A [`PermutedMapping`] places position `(i, j)` of the index space at the
+//! *padded* linear address `(i << ⌈log2 n⌉) | j` and decodes that address
+//! through an arbitrary [`BitPermutation`].  Because the padded linearization
+//! keeps the `i` and `j` coordinates in disjoint bit ranges, every
+//! permutation of the device's address bits corresponds to a concrete 2-D
+//! layout: permutations that draw the DRAM **column** bits from both the low
+//! `j` and the low `i` bits tile the index space into 2-D page rectangles
+//! (the paper's optimization 2), permutations that put **bank** bits low
+//! rotate banks per access (optimization 1), and the classic row-major
+//! baseline is the permutation with all `j` bits below all `i` bits feeding
+//! a [`DecodeScheme`](tbi_dram::DecodeScheme) chain.
+//!
+//! The padding trades capacity for searchability: the padded square needs
+//! `2^(⌈log2 n⌉·2)` addressable bursts (≤ 4× the dense square), which all
+//! preset devices provide for the paper's 12.5 M-element interleaver.
+
+use tbi_dram::{
+    BitPermutation, ChannelTopology, DeviceGeometry, PermutationMapping, PhysicalAddress,
+};
+
+use crate::mapping::DramMapping;
+use crate::InterleaverError;
+
+/// Number of bits needed to index `0..n` (0 for `n == 1`).
+fn index_bits(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+/// A mapping that decodes the padded linear index `(i << jbits) | j` through
+/// a [`BitPermutation`] — one point of the bit-permutation design space
+/// explored by `tbi_exp`'s mapping search.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{BitPermutation, ChannelTopology, DecodeScheme, DramConfig, DramStandard};
+/// use tbi_interleaver::mapping::{DramMapping, PermutedMapping};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = DramConfig::preset(DramStandard::Ddr4, 3200)?;
+/// let permutation = BitPermutation::for_scheme(
+///     DecodeScheme::RowColumnBankBankGroup,
+///     &config.geometry,
+///     ChannelTopology::default(),
+/// )?;
+/// let mapping =
+///     PermutedMapping::new(config.geometry, ChannelTopology::default(), permutation, 1000)?;
+/// assert_eq!(mapping.dimension(), 1000);
+/// // Distinct positions decode to distinct addresses (permutations are
+/// // bijections of the padded index bits).
+/// assert_ne!(mapping.map(0, 1), mapping.map(1, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PermutedMapping {
+    geometry: DeviceGeometry,
+    decoder: PermutationMapping,
+    n: u32,
+    jbits: u32,
+}
+
+impl PermutedMapping {
+    /// Number of bits each coordinate occupies in the padded linearization
+    /// `(i << bits) | j` for an index space of dimension `n` (0 for
+    /// `n == 1`).
+    ///
+    /// Public so that permutation *generators* (e.g. `tbi_exp`'s mapping
+    /// search) place field bits on the exact `j`/`i` boundary this mapping
+    /// decodes with.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tbi_interleaver::mapping::PermutedMapping;
+    ///
+    /// assert_eq!(PermutedMapping::index_bits(1), 0);
+    /// assert_eq!(PermutedMapping::index_bits(1024), 10);
+    /// assert_eq!(PermutedMapping::index_bits(5000), 13);
+    /// ```
+    #[must_use]
+    pub fn index_bits(n: u32) -> u32 {
+        index_bits(n)
+    }
+
+    /// Creates the mapping for an index space of dimension `n` on `geometry`
+    /// scaled out to `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError::InvalidDimension`] if `n` is zero,
+    /// [`InterleaverError::Dram`] if the permutation does not match the
+    /// subsystem's field widths, and
+    /// [`InterleaverError::CapacityExceeded`] if the padded index space
+    /// needs more bits than the permutation covers.
+    pub fn new(
+        geometry: DeviceGeometry,
+        topology: ChannelTopology,
+        permutation: BitPermutation,
+        n: u32,
+    ) -> Result<Self, InterleaverError> {
+        if n == 0 {
+            return Err(InterleaverError::InvalidDimension {
+                reason: "mapping dimension must be non-zero".to_string(),
+            });
+        }
+        let decoder = PermutationMapping::new(geometry, topology, permutation)?;
+        let jbits = index_bits(n);
+        let needed = 2 * jbits;
+        if needed > permutation.total_bits() {
+            return Err(InterleaverError::CapacityExceeded {
+                required_bursts: 1u64 << needed,
+                available_bursts: 1u64 << permutation.total_bits(),
+            });
+        }
+        Ok(Self {
+            geometry,
+            decoder,
+            n,
+            jbits,
+        })
+    }
+
+    /// The padded linear address of position `(i, j)`.
+    #[must_use]
+    pub fn linear_index(&self, i: u32, j: u32) -> u64 {
+        (u64::from(i) << self.jbits) | u64::from(j)
+    }
+
+    /// Routes position `(i, j)` to its `(channel, address)` pair (the
+    /// address's rank field selects the rank within the channel).
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) if `(i, j)` lies outside the index space.
+    #[must_use]
+    pub fn route(&self, i: u32, j: u32) -> (u32, PhysicalAddress) {
+        debug_assert!(i < self.n && j < self.n, "({i},{j}) outside index space");
+        self.decoder.decode(self.linear_index(i, j))
+    }
+
+    /// The permutation decoding the padded linear index.
+    #[must_use]
+    pub fn permutation(&self) -> &BitPermutation {
+        self.decoder.permutation()
+    }
+}
+
+impl DramMapping for PermutedMapping {
+    /// The single-channel address of `(i, j)`; meaningful when the
+    /// permutation has no channel bits (multi-channel permutations route
+    /// through [`ChannelMapping`](crate::mapping::ChannelMapping) instead).
+    fn map(&self, i: u32, j: u32) -> PhysicalAddress {
+        self.route(i, j).1
+    }
+
+    fn name(&self) -> &'static str {
+        "permutation"
+    }
+
+    fn geometry(&self) -> &DeviceGeometry {
+        &self.geometry
+    }
+
+    fn dimension(&self) -> u32 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use tbi_dram::{DecodeScheme, DramConfig, DramStandard};
+
+    fn ddr4() -> DeviceGeometry {
+        DramConfig::preset(DramStandard::Ddr4, 3200)
+            .unwrap()
+            .geometry
+    }
+
+    fn scheme_permutation(geometry: &DeviceGeometry) -> BitPermutation {
+        BitPermutation::for_scheme(
+            DecodeScheme::RowColumnBankBankGroup,
+            geometry,
+            ChannelTopology::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn index_bits_matches_ceil_log2() {
+        assert_eq!(index_bits(1), 0);
+        assert_eq!(index_bits(2), 1);
+        assert_eq!(index_bits(3), 2);
+        assert_eq!(index_bits(1024), 10);
+        assert_eq!(index_bits(1025), 11);
+        assert_eq!(index_bits(5000), 13);
+    }
+
+    #[test]
+    fn padded_linearization_keeps_coordinates_in_disjoint_bits() {
+        let mapping = PermutedMapping::new(
+            ddr4(),
+            ChannelTopology::default(),
+            scheme_permutation(&ddr4()),
+            1000,
+        )
+        .unwrap();
+        assert_eq!(mapping.linear_index(0, 999), 999);
+        assert_eq!(mapping.linear_index(1, 0), 1 << 10);
+        assert_eq!(mapping.linear_index(3, 5), (3 << 10) | 5);
+    }
+
+    #[test]
+    fn mapping_is_injective_on_the_triangle() {
+        let n = 300u32;
+        let permutation = scheme_permutation(&ddr4());
+        let mapping =
+            PermutedMapping::new(ddr4(), ChannelTopology::default(), permutation, n).unwrap();
+        let mut seen = HashSet::new();
+        for i in 0..n {
+            for j in 0..(n - i) {
+                let addr = mapping.map(i, j);
+                assert!(addr.is_valid_for(&ddr4()), "invalid {addr} at ({i},{j})");
+                assert!(seen.insert(addr), "collision at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sized_index_space_fits_all_presets() {
+        for (standard, rate) in tbi_dram::standards::ALL_CONFIGS {
+            let geometry = DramConfig::preset(*standard, *rate).unwrap().geometry;
+            let permutation = scheme_permutation(&geometry);
+            let mapping =
+                PermutedMapping::new(geometry, ChannelTopology::default(), permutation, 5000);
+            assert!(
+                mapping.is_ok(),
+                "12.5 M-element padded space must fit {standard:?}-{rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_dimensions_are_rejected() {
+        let geometry = ddr4();
+        let permutation = scheme_permutation(&geometry);
+        assert!(matches!(
+            PermutedMapping::new(geometry, ChannelTopology::default(), permutation, 0),
+            Err(InterleaverError::InvalidDimension { .. })
+        ));
+        // 2 * ceil_log2(n) must not exceed the device's 27 address bits.
+        assert!(matches!(
+            PermutedMapping::new(geometry, ChannelTopology::default(), permutation, 20_000),
+            Err(InterleaverError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn topology_mismatch_is_a_dram_error() {
+        let geometry = ddr4();
+        let permutation = scheme_permutation(&geometry);
+        assert!(matches!(
+            PermutedMapping::new(geometry, ChannelTopology::new(2, 1), permutation, 100),
+            Err(InterleaverError::Dram(_))
+        ));
+    }
+}

@@ -11,8 +11,9 @@
 use proptest::prelude::*;
 use std::collections::HashSet;
 use tbi_dram::standards::ALL_CONFIGS;
-use tbi_dram::DramConfig;
-use tbi_interleaver::{InterleaverSpec, MappingKind};
+use tbi_dram::{AddressDecoder, BitPermutation, ChannelTopology, DecodeScheme, DramConfig};
+use tbi_interleaver::mapping::{ChannelMapping, PermutedMapping};
+use tbi_interleaver::{InterleaverSpec, MappingKind, RowMajorMapping};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -64,5 +65,105 @@ proptest! {
             "spec fits ({} bursts) but mapping failed to build",
             spec.total_positions()
         );
+    }
+
+    /// Permutation ↔ existing-scheme equivalence classes: for every preset
+    /// geometry, decode scheme and channel/rank topology, the scheme's
+    /// permutation form ([`BitPermutation::for_scheme`]) must decode
+    /// bit-identically to the classic chain — rank-aware
+    /// [`AddressDecoder`] splicing plus bottom channel bits.
+    #[test]
+    fn scheme_permutations_decode_bit_identically_across_geometries_and_topologies(
+        preset_idx in 0usize..ALL_CONFIGS.len(),
+        scheme_idx in 0usize..DecodeScheme::ALL.len(),
+        channels_log2 in 0u32..3,
+        ranks_log2 in 0u32..3,
+        start in 0u64..(1u64 << 24),
+    ) {
+        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let geometry = DramConfig::preset(standard, rate).unwrap().geometry;
+        let scheme = DecodeScheme::ALL[scheme_idx];
+        let channels = 1u32 << channels_log2;
+        let ranks = 1u32 << ranks_log2;
+        let topology = ChannelTopology::new(channels, ranks);
+        let permutation = BitPermutation::for_scheme(scheme, &geometry, topology).unwrap();
+        let mapping =
+            tbi_dram::PermutationMapping::new(geometry, topology, permutation).unwrap();
+        let decoder = AddressDecoder::with_ranks(geometry, scheme, ranks);
+        for linear in start..start + 512 {
+            let (channel, address) = mapping.decode(linear);
+            prop_assert_eq!(channel, (linear % u64::from(channels)) as u32);
+            let expected = decoder.decode(linear / u64::from(channels));
+            prop_assert_eq!(
+                address,
+                expected,
+                "{:?}-{} {:?} c{}r{} linear={}",
+                standard, rate, scheme, channels, ranks, linear
+            );
+            prop_assert_eq!(mapping.encode(channel, address), linear);
+        }
+    }
+
+    /// The row-major baseline's permutation form, driven through the
+    /// interleaver layer: a [`PermutedMapping`] of the default scheme's
+    /// permutation agrees with [`RowMajorMapping`] wherever the two
+    /// linearizations coincide (the full first index row, where the compact
+    /// triangular rank equals the padded linear index).
+    #[test]
+    fn row_major_permutation_form_matches_on_the_first_row(
+        preset_idx in 0usize..ALL_CONFIGS.len(),
+        n in 64u32..2000,
+    ) {
+        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let geometry = DramConfig::preset(standard, rate).unwrap().geometry;
+        let permutation = BitPermutation::for_scheme(
+            DecodeScheme::default(),
+            &geometry,
+            ChannelTopology::default(),
+        )
+        .unwrap();
+        let permuted =
+            PermutedMapping::new(geometry, ChannelTopology::default(), permutation, n).unwrap();
+        let row_major = RowMajorMapping::new(geometry, n).unwrap();
+        use tbi_interleaver::DramMapping;
+        for j in 0..n.min(512) {
+            prop_assert_eq!(permuted.map(0, j), row_major.map(0, j), "j={}", j);
+        }
+    }
+
+    /// Scaled-out topologies: the permutation variant of a scenario routes
+    /// through [`ChannelMapping`] injectively, covers every channel, and
+    /// respects the rank bounds — for random (channels, ranks) and sizes.
+    #[test]
+    fn permutation_channel_routing_is_injective_across_topologies(
+        channels_log2 in 0u32..3,
+        ranks_log2 in 0u32..2,
+        n in 64u32..400,
+    ) {
+        let channels = 1u32 << channels_log2;
+        let ranks = 1u32 << ranks_log2;
+        let config = DramConfig::preset(tbi_dram::DramStandard::Ddr4, 3200)
+            .unwrap()
+            .with_topology(ChannelTopology::new(channels, ranks));
+        let permutation = BitPermutation::for_scheme(
+            DecodeScheme::default(),
+            &config.geometry,
+            config.topology,
+        )
+        .unwrap();
+        let mapping =
+            ChannelMapping::new(MappingKind::Permutation(permutation), &config, n).unwrap();
+        let mut seen = HashSet::new();
+        let mut used_channels = HashSet::new();
+        for i in 0..n {
+            for j in 0..n - i {
+                let (channel, address) = mapping.route(i, j);
+                prop_assert!(channel < channels);
+                prop_assert!(address.is_valid_for_ranks(&config.geometry, ranks));
+                prop_assert!(seen.insert((channel, address)), "collision at ({},{})", i, j);
+                used_channels.insert(channel);
+            }
+        }
+        prop_assert_eq!(used_channels.len() as u32, channels);
     }
 }

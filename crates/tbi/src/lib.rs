@@ -48,12 +48,13 @@ pub use tbi_interleaver as interleaver;
 pub use tbi_satcom as satcom;
 
 pub use tbi_dram::{
-    ChannelRouter, ChannelTopology, CombinedStats, ControllerConfig, DramConfig, DramStandard,
-    MemorySystem, PagePolicy, PhysicalAddress, RefreshMode, Request, SchedulingPolicy, Stats,
-    TimingEngine,
+    AddressField, BitPermutation, ChannelRouter, ChannelTopology, CombinedStats, ControllerConfig,
+    DramConfig, DramStandard, MemorySystem, PagePolicy, PermutationMapping, PhysicalAddress,
+    RefreshMode, Request, SchedulingPolicy, Stats, TimingEngine,
 };
 pub use tbi_exp::{
-    ExpError, Experiment, LinkRecord, LinkStage, Record, RefreshSetting, Scenario, SweepGrid,
+    ExpError, Experiment, LinkRecord, LinkStage, MappingSearch, Record, RefreshSetting, Scenario,
+    SearchRecord, SearchSettings, SweepGrid,
 };
 pub use tbi_interleaver::{
     AccessPhase, BlockInterleaver, ChannelMapping, ChannelUtilizationReport, DramMapping,
