@@ -1,0 +1,112 @@
+//! Microbenchmarks of the batched address-generation kernels: elements per
+//! second for `map_batch`/`route_batch` against the per-element scalar
+//! loop, on the three kernel families (linear decode, shift/mask
+//! permutation, gather permutation).
+//!
+//! The workload is fully deterministic — a fixed triangle of coordinates,
+//! no random inputs, and an asserted bit-identity check before timing — so
+//! instruction counts are stable run over run and regressions show up as
+//! rate changes rather than noise.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tbi_dram::{AddressBatch, BitPermutation, ChannelTopology, DramConfig, DramStandard};
+use tbi_interleaver::mapping::{DramMapping, PermutedMapping};
+use tbi_interleaver::MappingKind;
+
+/// Index-space dimension: 512 gives 131 328 positions per iteration.
+const N: u32 = 512;
+
+fn triangle_coords(n: u32) -> Vec<(u32, u32)> {
+    let mut coords = Vec::with_capacity((n as usize) * (n as usize + 1) / 2);
+    for i in 0..n {
+        for j in 0..(n - i) {
+            coords.push((i, j));
+        }
+    }
+    coords
+}
+
+fn bench_mapgen_kernels(c: &mut Criterion) {
+    let dram = DramConfig::preset(DramStandard::Ddr4, 3200).expect("preset exists");
+    let coords = triangle_coords(N);
+    let scheme_permutation = BitPermutation::for_scheme(
+        dram.decode_scheme,
+        &dram.geometry,
+        ChannelTopology::default(),
+    )
+    .expect("scheme permutation exists");
+    let top = scheme_permutation.fields().len() - 1;
+    let gather_permutation = scheme_permutation.with_swap(0, top).with_swap(1, top / 2);
+
+    let mappings: Vec<(&str, Box<dyn DramMapping>)> = vec![
+        (
+            "row-major",
+            MappingKind::RowMajor.build(&dram, N).expect("builds"),
+        ),
+        (
+            "permutation-scheme",
+            Box::new(
+                PermutedMapping::new(
+                    dram.geometry,
+                    ChannelTopology::default(),
+                    scheme_permutation,
+                    N,
+                )
+                .expect("builds"),
+            ),
+        ),
+        (
+            "permutation-gather",
+            Box::new(
+                PermutedMapping::new(
+                    dram.geometry,
+                    ChannelTopology::default(),
+                    gather_permutation,
+                    N,
+                )
+                .expect("builds"),
+            ),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("mapgen_kernels");
+    group.throughput(Throughput::Elements(coords.len() as u64));
+    for (name, mapping) in &mappings {
+        // Pin bit-identity between the two timed paths before measuring.
+        let mut scalar_out = AddressBatch::with_capacity(coords.len());
+        for &(i, j) in &coords {
+            scalar_out.push(0, mapping.map(i, j));
+        }
+        let mut batch_out = AddressBatch::with_capacity(coords.len());
+        mapping.map_batch(&coords, &mut batch_out);
+        assert_eq!(
+            scalar_out.address(coords.len() - 1),
+            batch_out.address(coords.len() - 1),
+            "{name}: batch diverges from scalar"
+        );
+        assert_eq!(scalar_out.rows(), batch_out.rows(), "{name}: rows diverge");
+
+        group.bench_with_input(BenchmarkId::new("scalar", name), mapping, |b, mapping| {
+            let mut out = AddressBatch::with_capacity(coords.len());
+            b.iter(|| {
+                out.clear();
+                for &(i, j) in black_box(&coords) {
+                    out.push(0, mapping.map(i, j));
+                }
+                out.len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch", name), mapping, |b, mapping| {
+            let mut out = AddressBatch::with_capacity(coords.len());
+            b.iter(|| {
+                out.clear();
+                mapping.map_batch(black_box(&coords), &mut out);
+                out.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapgen_kernels);
+criterion_main!(benches);

@@ -15,7 +15,7 @@
 //! The committed `BENCH_dse.json` pins the headline DSE claim: on every
 //! Table I preset the search rediscovers a mapping whose round-trip row-hit
 //! rate matches (within the documented
-//! [`MATCH_TOLERANCE`](tbi_exp::search::MATCH_TOLERANCE) of 10⁻⁴ relative —
+//! [`MATCH_TOLERANCE`] of 10⁻⁴ relative —
 //! exact gains are embedded next to the flag) or beats the paper's
 //! optimized scheme, under the paper's in-text no-refresh condition, and
 //! the run is bit-reproducible for a fixed `--seed` at any worker count.

@@ -6,7 +6,25 @@
 //! that are decoded here with a configurable [`DecodeScheme`], mimicking the
 //! address mapping stage of a conventional memory controller.
 
+use crate::batch::{AddressBatch, AddressLanesMut};
 use crate::geometry::DeviceGeometry;
+
+/// Narrows a decoded field value to `u32`, failing loudly (in debug builds)
+/// instead of silently wrapping if a custom geometry ever produces a field
+/// wider than 32 bits.
+///
+/// All field values are remainders modulo `u32` geometry dimensions (or
+/// masked to at most 32 bits on the shift path), so the assertion cannot
+/// fire for any constructible [`DeviceGeometry`] today; it guards the
+/// invariant if wider dimensions are ever added.
+#[inline]
+fn narrow_field(name: &'static str, value: u64) -> u32 {
+    debug_assert!(
+        u32::try_from(value).is_ok(),
+        "decoded {name} value {value} overflows u32"
+    );
+    value as u32
+}
 
 /// A burst-granular physical DRAM address within one channel.
 ///
@@ -277,11 +295,11 @@ impl AddressDecoder {
                 }
             };
             return PhysicalAddress {
-                rank: rank as u32,
-                bank_group: bank_group as u32,
-                bank: bank as u32,
-                row: row as u32,
-                column: column as u32,
+                rank: narrow_field("rank", rank),
+                bank_group: narrow_field("bank_group", bank_group),
+                bank: narrow_field("bank", bank),
+                row: narrow_field("row", row),
+                column: narrow_field("column", column),
             };
         }
         let g = &self.geometry;
@@ -327,12 +345,103 @@ impl AddressDecoder {
             }
         };
         PhysicalAddress {
-            rank: rank as u32,
-            bank_group: bank_group as u32,
-            bank: bank as u32,
-            row: row as u32,
-            column: column as u32,
+            rank: narrow_field("rank", rank),
+            bank_group: narrow_field("bank_group", bank_group),
+            bank: narrow_field("bank", bank),
+            row: narrow_field("row", row),
+            column: narrow_field("column", column),
         }
+    }
+
+    /// Decodes a slice of linear burst indices into per-field lanes.
+    ///
+    /// On the shift/mask fast path (all power-of-two dimensions) each of the
+    /// five fields is extracted by one tight shift-and-mask loop over the
+    /// whole slice; the generic divide chain falls back to per-element
+    /// [`AddressDecoder::decode`].  The channel lane is left untouched (this
+    /// decoder is per-channel; callers route channels separately).  Results
+    /// are bit-identical to per-element `decode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any written lane's length differs from `linear.len()`.
+    pub fn decode_slice(&self, linear: &[u64], lanes: AddressLanesMut<'_>) {
+        let AddressLanesMut {
+            channel: _,
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        } = lanes;
+        if let Some(s) = self.shifts {
+            // Field offsets within the linear index, in scheme order (same
+            // layout as the scalar shift path).
+            let (rank_at, bg_at, bank_at, row_at, col_at) = match self.scheme {
+                DecodeScheme::RowBankBankGroupColumn => {
+                    let col = 0;
+                    let bg = s.cols;
+                    let bank = bg + s.bgs;
+                    let rank = bank + s.banks;
+                    let row = rank + s.ranks;
+                    (rank, bg, bank, row, col)
+                }
+                DecodeScheme::RowColumnBankBankGroup => {
+                    let bg = 0;
+                    let bank = s.bgs;
+                    let rank = bank + s.banks;
+                    let col = rank + s.ranks;
+                    let row = col + s.cols;
+                    (rank, bg, bank, row, col)
+                }
+                DecodeScheme::BankBankGroupRowColumn => {
+                    let col = 0;
+                    let row = s.cols;
+                    let bg = row + s.rows;
+                    let bank = bg + s.bgs;
+                    let rank = bank + s.banks;
+                    (rank, bg, bank, row, col)
+                }
+            };
+            let fields: [(&mut [u32], u32, u32); 5] = [
+                (rank, rank_at, s.ranks),
+                (bank_group, bg_at, s.bgs),
+                (bank, bank_at, s.banks),
+                (row, row_at, s.rows),
+                (column, col_at, s.cols),
+            ];
+            for (lane, shift, bits) in fields {
+                assert_eq!(lane.len(), linear.len(), "lane length mismatch");
+                let mask = (1u64 << bits) - 1;
+                for (value, &l) in lane.iter_mut().zip(linear) {
+                    *value = ((l >> shift) & mask) as u32;
+                }
+            }
+            return;
+        }
+        assert!(
+            rank.len() == linear.len()
+                && bank_group.len() == linear.len()
+                && bank.len() == linear.len()
+                && row.len() == linear.len()
+                && column.len() == linear.len(),
+            "lane length mismatch"
+        );
+        for (k, &l) in linear.iter().enumerate() {
+            let address = self.decode(l);
+            rank[k] = address.rank;
+            bank_group[k] = address.bank_group;
+            bank[k] = address.bank;
+            row[k] = address.row;
+            column[k] = address.column;
+        }
+    }
+
+    /// Appends the decoded addresses of `linear` to `out` with channel 0 —
+    /// the batched form of [`AddressDecoder::decode`] (see
+    /// [`AddressDecoder::decode_slice`]).
+    pub fn decode_batch(&self, linear: &[u64], out: &mut AddressBatch) {
+        out.append_with(linear.len(), |lanes| self.decode_slice(linear, lanes));
     }
 
     /// Encodes a physical address back into its linear burst index.
@@ -508,6 +617,36 @@ mod tests {
             .iter()
             .all(|x| x.flat_bank(&geometry()) == 0 && x.row == 0));
         assert_eq!(a.last().unwrap().column, 127);
+    }
+
+    #[test]
+    fn decode_batch_matches_scalar_decode_on_both_paths() {
+        // Fast shift/mask path (pow2 preset) and the generic divide chain
+        // (non-pow2 custom geometry), all schemes, multi-rank.
+        let mut odd = geometry();
+        odd.rows = 1000;
+        odd.columns_per_row = 96;
+        for g in [geometry(), odd] {
+            for scheme in DecodeScheme::ALL {
+                for ranks in [1u32, 2] {
+                    let decoder = AddressDecoder::with_ranks(g, scheme, ranks);
+                    let linear: Vec<u64> = (0..4096u64)
+                        .chain((1 << 22)..(1 << 22) + 256)
+                        .chain([u64::MAX >> 8])
+                        .collect();
+                    let mut batch = AddressBatch::new();
+                    decoder.decode_batch(&linear, &mut batch);
+                    assert_eq!(batch.len(), linear.len());
+                    for (k, &l) in linear.iter().enumerate() {
+                        assert_eq!(
+                            batch.get(k),
+                            (0, decoder.decode(l)),
+                            "{scheme:?} ranks={ranks} linear={l}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

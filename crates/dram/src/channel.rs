@@ -24,7 +24,7 @@
 
 use crate::controller::{Controller, ControllerConfig};
 use crate::error::ConfigError;
-use crate::request::Request;
+use crate::request::{BufferedRequests, Request, RequestSource};
 use crate::standards::DramConfig;
 use crate::stats::Stats;
 
@@ -302,6 +302,23 @@ impl ChannelRouter {
         self.stats()
     }
 
+    /// Feeds one batched [`RequestSource`] per channel through the shared
+    /// clock — the slice-at-a-time counterpart of
+    /// [`ChannelRouter::run_phase`].
+    ///
+    /// Each source is drained through a [`BufferedRequests`] adapter, so the
+    /// per-channel request sequences (and therefore the statistics) are
+    /// bit-identical to `run_phase` over the equivalent scalar iterators
+    /// while the mapping work runs in
+    /// [`BufferedRequests::DEFAULT_CHUNK`]-sized slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` differs from the channel count.
+    pub fn run_phase_sources<S: RequestSource>(&mut self, sources: Vec<S>) -> CombinedStats {
+        self.run_phase(sources.into_iter().map(BufferedRequests::new).collect())
+    }
+
     /// Snapshot of every channel's current statistics window.
     #[must_use]
     pub fn stats(&self) -> CombinedStats {
@@ -376,6 +393,21 @@ mod tests {
             "aggregate bandwidth should double: {single_bw} vs {dual_bw}"
         );
         assert_eq!(dual_stats.utilization_spread(), 0.0);
+    }
+
+    #[test]
+    fn run_phase_sources_matches_run_phase_bit_exactly() {
+        use crate::request::IteratorSource;
+        let cfg = config(2, 1);
+        let n = 10_000u64;
+        let mut scalar = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+        let scalar_stats = scalar.run_phase(vec![sequential(&cfg, n), sequential(&cfg, n / 2)]);
+        let mut batched = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+        let batched_stats = batched.run_phase_sources(vec![
+            IteratorSource(sequential(&cfg, n)),
+            IteratorSource(sequential(&cfg, n / 2)),
+        ]);
+        assert_eq!(scalar_stats, batched_stats);
     }
 
     #[test]

@@ -59,6 +59,7 @@
 //! | [`timing`] | [`TimingParams`]: all timing constraints in device clock cycles |
 //! | [`standards`] | presets for the ten configurations evaluated in the paper |
 //! | [`address`] | [`PhysicalAddress`] and linear-address decoding schemes |
+//! | [`batch`] | [`AddressBatch`]: structure-of-arrays buffers for batched address generation |
 //! | [`permutation`] | [`BitPermutation`]/[`PermutationMapping`]: the searchable bit-permutation generalization of the decode schemes |
 //! | [`command`] | the DRAM command set issued by the controller |
 //! | [`bank`] | per-bank state machine with earliest-issue bookkeeping |
@@ -73,6 +74,7 @@
 
 pub mod address;
 pub mod bank;
+pub mod batch;
 pub mod builder;
 pub mod channel;
 pub mod command;
@@ -89,6 +91,7 @@ pub mod timing;
 
 pub use address::{AddressDecoder, DecodeScheme, PhysicalAddress};
 pub use bank::{BankId, BankState};
+pub use batch::{AddressBatch, AddressLanesMut};
 pub use builder::DramConfigBuilder;
 pub use channel::{ChannelRouter, CombinedStats};
 pub use command::{Command, CommandKind};
@@ -99,7 +102,7 @@ pub use energy::{EnergyParams, EnergyReport};
 pub use error::ConfigError;
 pub use geometry::{ChannelTopology, DeviceGeometry};
 pub use permutation::{AddressField, BitPermutation, PermutationMapping};
-pub use request::{Request, RequestKind};
+pub use request::{BufferedRequests, IteratorSource, Request, RequestKind, RequestSource};
 pub use sim::MemorySystem;
 pub use standards::{DramConfig, DramStandard};
 pub use stats::Stats;

@@ -18,6 +18,7 @@
 //! tests in `tbi_interleaver`.
 
 use crate::address::{DecodeScheme, PhysicalAddress};
+use crate::batch::{AddressBatch, AddressLanesMut};
 use crate::error::ConfigError;
 use crate::geometry::{ChannelTopology, DeviceGeometry};
 
@@ -354,6 +355,71 @@ enum DecodePlan {
     Gather { masks: [u64; 6] },
 }
 
+/// One contiguous run of linear-address bits feeding an address field:
+/// `field |= ((linear >> src) & ((1 << width) - 1)) << dst`.
+///
+/// This is the portable (stable-Rust, u64-scalar) equivalent of one `pdep`
+/// deposit step.  A field whose source bits form a single contiguous run
+/// needs exactly one step; an arbitrary permutation needs one step per run,
+/// and the runs of all six fields partition the covered bits, so the whole
+/// decode never exceeds [`MAX_PERMUTATION_BITS`] steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ScatterStep {
+    /// Source shift: position of the run's lowest bit in the linear address.
+    src: u8,
+    /// Destination shift: position of the run's lowest bit in the field.
+    dst: u8,
+    /// Run width in bits (always ≥ 1 for stored steps).
+    width: u8,
+}
+
+/// Precomputed per-field scatter tables: the batched decode plan.
+///
+/// `ranges[field]` indexes the flat `steps` array, so the whole plan stays
+/// `Copy` (no allocation) while fields own a variable number of runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScatterPlan {
+    steps: [ScatterStep; MAX_PERMUTATION_BITS],
+    /// Per-field `[start, end)` ranges into `steps`, in
+    /// [`AddressField::index`] order.
+    ranges: [(u8, u8); 6],
+}
+
+impl ScatterPlan {
+    /// Decomposes each field's source-bit mask into maximal contiguous runs.
+    fn build(masks: &[u64; 6]) -> Self {
+        let mut steps = [ScatterStep::default(); MAX_PERMUTATION_BITS];
+        let mut ranges = [(0u8, 0u8); 6];
+        let mut next = 0u8;
+        for (field, &mask) in masks.iter().enumerate() {
+            let start = next;
+            let mut remaining = mask;
+            let mut dst = 0u8;
+            while remaining != 0 {
+                let src = remaining.trailing_zeros() as u8;
+                let width = (remaining >> src).trailing_ones() as u8;
+                steps[next as usize] = ScatterStep { src, dst, width };
+                next += 1;
+                dst += width;
+                remaining &= !(((1u64 << width) - 1) << src);
+            }
+            ranges[field] = (start, next);
+        }
+        Self { steps, ranges }
+    }
+
+    /// The steps of `field` (by [`AddressField::index`]).
+    fn field_steps(&self, field: usize) -> &[ScatterStep] {
+        let (start, end) = self.ranges[field];
+        &self.steps[start as usize..end as usize]
+    }
+
+    /// Total number of steps across all six fields.
+    fn segments(&self) -> u32 {
+        u32::from(self.ranges.iter().map(|&(s, e)| e - s).sum::<u8>())
+    }
+}
+
 /// Decodes linear burst indices through a [`BitPermutation`].
 ///
 /// This is the searchable generalization of [`AddressDecoder`](crate::AddressDecoder): where the
@@ -396,6 +462,7 @@ pub struct PermutationMapping {
     topology: ChannelTopology,
     permutation: BitPermutation,
     plan: DecodePlan,
+    scatter: ScatterPlan,
 }
 
 impl PermutationMapping {
@@ -413,11 +480,16 @@ impl PermutationMapping {
         permutation: BitPermutation,
     ) -> Result<Self, ConfigError> {
         permutation.validate_for(&geometry, topology)?;
+        let mut masks = [0u64; 6];
+        for (bit, field) in permutation.fields().iter().enumerate() {
+            masks[field.index()] |= 1u64 << bit;
+        }
         Ok(Self {
             geometry,
             topology,
             permutation,
             plan: Self::plan(&permutation),
+            scatter: ScatterPlan::build(&masks),
         })
     }
 
@@ -517,6 +589,107 @@ impl PermutationMapping {
                 column: fields[AddressField::Column.index()],
             },
         )
+    }
+
+    /// Number of scatter steps (contiguous source-bit runs summed over all
+    /// six fields) the batched decode executes per element.
+    ///
+    /// This is a deterministic instruction-count proxy: a contiguous
+    /// permutation costs one step per non-empty field (exactly the classic
+    /// shift/mask chains), and every extra run added by bit swaps costs one
+    /// more shift/mask/OR.  The `mapgen_speed` benchmark records it so
+    /// mapping-kernel regressions are caught without wall-clock noise.
+    #[must_use]
+    pub fn scatter_segments(&self) -> u32 {
+        self.scatter.segments()
+    }
+
+    /// Decodes a slice of linear burst indices into per-field lanes, one
+    /// tight shift/mask/OR loop per scatter step (see
+    /// [`PermutationMapping::decode_batch`]).
+    ///
+    /// Lanes a field does not cover are zeroed.  Results are bit-identical
+    /// to per-element [`PermutationMapping::decode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane length differs from `linear.len()`.
+    pub fn decode_slice(&self, linear: &[u64], lanes: AddressLanesMut<'_>) {
+        let AddressLanesMut {
+            channel,
+            rank,
+            bank_group,
+            bank,
+            row,
+            column,
+        } = lanes;
+        let out = [channel, rank, bank_group, bank, row, column];
+        for (field, lane) in out.into_iter().enumerate() {
+            assert_eq!(lane.len(), linear.len(), "lane length mismatch");
+            let mut steps = self.scatter.field_steps(field).iter();
+            match steps.next() {
+                None => lane.fill(0),
+                Some(first) => {
+                    // First run assigns (no dependency on prior lane
+                    // contents), later runs OR in — each a straight-line
+                    // loop over the slice that the compiler vectorizes.
+                    let mask = (1u64 << first.width) - 1;
+                    for (value, &l) in lane.iter_mut().zip(linear) {
+                        *value = (((l >> first.src) & mask) as u32) << first.dst;
+                    }
+                    for step in steps {
+                        let mask = (1u64 << step.width) - 1;
+                        for (value, &l) in lane.iter_mut().zip(linear) {
+                            *value |= (((l >> step.src) & mask) as u32) << step.dst;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends the decoded `(channel, address)` tuples of `linear` to `out`
+    /// — the batched form of [`PermutationMapping::decode`].
+    ///
+    /// Instead of the scalar gather path's per-bit `trailing_zeros` loop,
+    /// this runs the precomputed scatter table: one shift/mask/OR pass over
+    /// the whole slice per contiguous source-bit run
+    /// ([`PermutationMapping::scatter_segments`] passes in total), writing
+    /// each output field as a separate structure-of-arrays lane.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tbi_dram::{
+    ///     AddressBatch, BitPermutation, ChannelTopology, DecodeScheme, DeviceGeometry,
+    ///     PermutationMapping,
+    /// };
+    ///
+    /// let geometry = DeviceGeometry {
+    ///     bank_groups: 4,
+    ///     banks_per_group: 4,
+    ///     rows: 1 << 16,
+    ///     columns_per_row: 128,
+    ///     burst_length: 8,
+    ///     bus_width_bits: 64,
+    /// };
+    /// let permutation = BitPermutation::for_scheme(
+    ///     DecodeScheme::RowColumnBankBankGroup,
+    ///     &geometry,
+    ///     ChannelTopology::default(),
+    /// )?;
+    /// let mapping = PermutationMapping::new(geometry, ChannelTopology::default(), permutation)?;
+    /// let linear: Vec<u64> = (0..64).collect();
+    /// let mut batch = AddressBatch::new();
+    /// mapping.decode_batch(&linear, &mut batch);
+    /// assert_eq!(batch.len(), 64);
+    /// for (k, &l) in linear.iter().enumerate() {
+    ///     assert_eq!(batch.get(k), mapping.decode(l));
+    /// }
+    /// # Ok::<(), tbi_dram::ConfigError>(())
+    /// ```
+    pub fn decode_batch(&self, linear: &[u64], out: &mut AddressBatch) {
+        out.append_with(linear.len(), |lanes| self.decode_slice(linear, lanes));
     }
 
     /// Encodes a `(channel, address)` pair back into its linear burst index
@@ -694,6 +867,74 @@ mod tests {
             );
         }
         assert_eq!(AddressField::from_code('x'), None);
+    }
+
+    #[test]
+    fn scatter_segments_count_runs_per_field() {
+        // A contiguous scheme permutation has exactly one run per non-empty
+        // field; single-channel single-rank leaves channel/rank empty.
+        let scheme = DecodeScheme::RowColumnBankBankGroup;
+        let contiguous =
+            BitPermutation::for_scheme(scheme, &geometry(), ChannelTopology::default()).unwrap();
+        let mapping =
+            PermutationMapping::new(geometry(), ChannelTopology::default(), contiguous).unwrap();
+        assert_eq!(mapping.scatter_segments(), 4);
+        // Swapping the bottom bit (bank group) with the top bit (row) splits
+        // both fields' runs: bank group 1 -> 2 runs, row 1 -> 2 runs.
+        let swapped = contiguous.with_swap(0, contiguous.total_bits() as usize - 1);
+        let mapping =
+            PermutationMapping::new(geometry(), ChannelTopology::default(), swapped).unwrap();
+        assert!(!mapping.is_shift_mask());
+        assert_eq!(mapping.scatter_segments(), 6);
+    }
+
+    #[test]
+    fn decode_batch_matches_scalar_decode_for_contiguous_and_gather_plans() {
+        let scheme = DecodeScheme::RowColumnBankBankGroup;
+        let topology = ChannelTopology::new(2, 2);
+        let base = BitPermutation::for_scheme(scheme, &geometry(), topology).unwrap();
+        let bits = base.total_bits() as usize;
+        // Progressively shuffle: 0 swaps keeps the shift/mask plan, the rest
+        // exercise increasingly fragmented scatter tables.
+        let variants = [
+            base,
+            base.with_swap(0, bits - 1),
+            base.with_swap(1, 7).with_swap(3, bits - 2).with_swap(0, 9),
+        ];
+        for permutation in variants {
+            let mapping = PermutationMapping::new(geometry(), topology, permutation).unwrap();
+            let linear: Vec<u64> = (0..4096u64)
+                .chain((1 << 20)..(1 << 20) + 512)
+                .chain([u64::MAX, (1 << bits) - 1, 1 << (bits - 1)])
+                .collect();
+            let mut batch = crate::batch::AddressBatch::new();
+            mapping.decode_batch(&linear, &mut batch);
+            assert_eq!(batch.len(), linear.len());
+            for (k, &l) in linear.iter().enumerate() {
+                assert_eq!(
+                    batch.get(k),
+                    mapping.decode(l),
+                    "{permutation} diverged at linear={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_batch_appends_after_existing_contents() {
+        let scheme = DecodeScheme::RowColumnBankBankGroup;
+        let permutation =
+            BitPermutation::for_scheme(scheme, &geometry(), ChannelTopology::default()).unwrap();
+        let mapping =
+            PermutationMapping::new(geometry(), ChannelTopology::default(), permutation).unwrap();
+        let mut batch = crate::batch::AddressBatch::new();
+        let sentinel = PhysicalAddress::new(3, 3, 7, 7);
+        batch.push(9, sentinel);
+        mapping.decode_batch(&[5, 6], &mut batch);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.get(0), (9, sentinel));
+        assert_eq!(batch.get(1), mapping.decode(5));
+        assert_eq!(batch.get(2), mapping.decode(6));
     }
 
     proptest! {

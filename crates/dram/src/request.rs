@@ -51,6 +51,103 @@ impl Request {
     }
 }
 
+/// A pull-driven producer of request batches — the slice-at-a-time
+/// counterpart of an `Iterator<Item = Request>` front-end.
+///
+/// Batched trace generators implement this so the controller fill loops can
+/// amortize per-request mapping work over whole slices (see
+/// [`MemorySystem::run_source`](crate::MemorySystem::run_source) and
+/// [`ChannelRouter::run_phase_sources`](crate::ChannelRouter::run_phase_sources)).
+/// The requests produced across successive `fill` calls must form the same
+/// sequence the equivalent scalar iterator would yield, so driver statistics
+/// stay bit-identical between the two paths.
+pub trait RequestSource {
+    /// Appends the next batch of requests to `out` and returns how many were
+    /// appended.
+    ///
+    /// `max` is a sizing hint: sources should aim for roughly `max` requests
+    /// but may append more (e.g. to finish an internal chunk) or fewer.
+    /// Returning `0` means the source is exhausted; a non-exhausted source
+    /// must append at least one request.
+    fn fill(&mut self, out: &mut Vec<Request>, max: usize) -> usize;
+}
+
+/// Adapts any request iterator into a [`RequestSource`] (each `fill` pulls
+/// up to `max` items) — the bridge for scalar trace fronts.
+#[derive(Debug, Clone)]
+pub struct IteratorSource<I>(pub I);
+
+impl<I: Iterator<Item = Request>> RequestSource for IteratorSource<I> {
+    fn fill(&mut self, out: &mut Vec<Request>, max: usize) -> usize {
+        let before = out.len();
+        out.extend(self.0.by_ref().take(max));
+        out.len() - before
+    }
+}
+
+/// Drains a [`RequestSource`] one request at a time through an internal
+/// chunk buffer.
+///
+/// This is how the batched sources plug into the existing saturation loops:
+/// the per-element cost collapses to a buffered `Vec` read while the mapping
+/// work happens in [`RequestSource::fill`]-sized slices.  Because the
+/// sequence is unchanged, statistics are bit-identical to the scalar path.
+#[derive(Debug)]
+pub struct BufferedRequests<S> {
+    source: S,
+    buffer: Vec<Request>,
+    position: usize,
+    chunk: usize,
+    exhausted: bool,
+}
+
+impl<S: RequestSource> BufferedRequests<S> {
+    /// Default refill size in requests.
+    pub const DEFAULT_CHUNK: usize = 4096;
+
+    /// Wraps `source` with the default chunk size.
+    #[must_use]
+    pub fn new(source: S) -> Self {
+        Self::with_chunk(source, Self::DEFAULT_CHUNK)
+    }
+
+    /// Wraps `source`, refilling `chunk` requests at a time (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn with_chunk(source: S, chunk: usize) -> Self {
+        Self {
+            source,
+            buffer: Vec::new(),
+            position: 0,
+            chunk: chunk.max(1),
+            exhausted: false,
+        }
+    }
+}
+
+impl<S: RequestSource> Iterator for BufferedRequests<S> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.position == self.buffer.len() {
+            if self.exhausted {
+                return None;
+            }
+            self.buffer.clear();
+            self.position = 0;
+            if self.source.fill(&mut self.buffer, self.chunk) == 0 {
+                self.exhausted = true;
+                return None;
+            }
+        }
+        let request = self.buffer[self.position];
+        self.position += 1;
+        Some(request)
+    }
+}
+
+impl<S: RequestSource> std::iter::FusedIterator for BufferedRequests<S> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +158,37 @@ mod tests {
         assert!(Request::write(a).is_write());
         assert!(!Request::read(a).is_write());
         assert_eq!(Request::read(a).address, a);
+    }
+
+    fn numbered(n: u32) -> Vec<Request> {
+        (0..n)
+            .map(|k| Request::write(PhysicalAddress::new(0, 0, k, 0)))
+            .collect()
+    }
+
+    #[test]
+    fn iterator_source_fills_in_max_sized_slices() {
+        let requests = numbered(10);
+        let mut source = IteratorSource(requests.iter().copied());
+        let mut out = Vec::new();
+        assert_eq!(source.fill(&mut out, 4), 4);
+        assert_eq!(source.fill(&mut out, 4), 4);
+        assert_eq!(source.fill(&mut out, 4), 2);
+        assert_eq!(source.fill(&mut out, 4), 0);
+        assert_eq!(out, requests);
+    }
+
+    #[test]
+    fn buffered_requests_preserve_the_sequence_for_any_chunk_size() {
+        let requests = numbered(23);
+        for chunk in [1usize, 2, 7, 23, 100] {
+            let drained: Vec<Request> =
+                BufferedRequests::with_chunk(IteratorSource(requests.iter().copied()), chunk)
+                    .collect();
+            assert_eq!(drained, requests, "chunk={chunk}");
+        }
+        let mut empty = BufferedRequests::new(IteratorSource(std::iter::empty()));
+        assert_eq!(empty.next(), None);
+        assert_eq!(empty.next(), None, "fused after exhaustion");
     }
 }

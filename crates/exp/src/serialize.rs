@@ -371,6 +371,29 @@ mod tests {
     }
 
     #[test]
+    fn timing_fields_serialize_non_finite_values_as_null() {
+        // A zero-duration measurement window yields infinite cycles/second
+        // (and a failed clock read can yield NaN wall time); both must emit
+        // valid JSON `null`, not bare `inf`/`NaN` tokens the parser rejects.
+        let mut record = sample("degenerate-timing", false);
+        record.wall_time_s = f64::NAN;
+        record.sim_cycles_per_second = f64::INFINITY;
+        let text = records_to_json(&[record]);
+        let value = parse(&text).expect("non-finite timing fields still parse");
+        let first = &value.as_array().unwrap()[0];
+        assert!(matches!(first.get("wall_time_s"), Some(JsonValue::Null)));
+        assert!(matches!(
+            first.get("sim_cycles_per_second"),
+            Some(JsonValue::Null)
+        ));
+        // The finite fields of the same record are unaffected.
+        assert_eq!(
+            first.get("sustained_gbps").and_then(JsonValue::as_f64),
+            Some(48.82)
+        );
+    }
+
+    #[test]
     fn csv_has_header_and_one_line_per_record() {
         let records = vec![sample("a", false), sample("b", true)];
         let text = records_to_csv(&records);

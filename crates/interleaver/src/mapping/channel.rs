@@ -28,10 +28,13 @@
 //! rank 0 and the wrapped scheme's exact single-channel address — the legacy
 //! path is reproduced bit-identically.
 
-use tbi_dram::{AddressDecoder, ChannelTopology, DramConfig, PhysicalAddress};
+use tbi_dram::{
+    AddressBatch, AddressDecoder, ChannelTopology, DramConfig, PhysicalAddress, Request,
+    RequestSource,
+};
 
 use crate::config::InterleaverSpec;
-use crate::mapping::{DramMapping, MappingKind, PermutedMapping};
+use crate::mapping::{DramMapping, MappingKind, PermutedMapping, BATCH_CHUNK};
 use crate::triangular::TriangularInterleaver;
 use crate::InterleaverError;
 
@@ -65,7 +68,7 @@ enum Router {
     },
     /// Bit-permutation routing: the permutation's own channel/rank bits
     /// select the lane directly (see [`PermutedMapping`]).
-    Permuted { mapping: PermutedMapping },
+    Permuted { mapping: Box<PermutedMapping> },
 }
 
 /// A channel/rank-aware mapping from index-space positions to
@@ -138,7 +141,12 @@ impl ChannelMapping {
                 }
             }
             MappingKind::Permutation(permutation) => Router::Permuted {
-                mapping: PermutedMapping::new(config.geometry, topology, permutation, n)?,
+                mapping: Box::new(PermutedMapping::new(
+                    config.geometry,
+                    topology,
+                    permutation,
+                    n,
+                )?),
             },
             _ => {
                 let inner = kind.build_for_geometry(config.geometry, n)?;
@@ -233,6 +241,60 @@ impl ChannelMapping {
             Router::Permuted { mapping } => mapping.route(i, j),
         }
     }
+
+    /// Batched counterpart of [`ChannelMapping::route`]: appends the
+    /// `(channel, address)` pair of every position in `coords`, in order, to
+    /// `out`.
+    ///
+    /// The row-major and permutation routers stage linear indices through a
+    /// stack chunk and decode whole slices (see
+    /// [`AddressDecoder::decode_slice`] and
+    /// [`PermutedMapping::route_batch`]); the stripe-tile router routes per
+    /// element (its cost is a handful of shifts, with no linear decode stage
+    /// to amortize).  Results are bit-identical to per-element `route`.
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) if any position lies outside the index
+    /// space.
+    pub fn route_batch(&self, coords: &[(u32, u32)], out: &mut AddressBatch) {
+        match &self.router {
+            Router::LinearSplice {
+                interleaver,
+                decoder,
+            } => {
+                let channels = u64::from(self.topology.channels);
+                let mut linear = [0u64; BATCH_CHUNK];
+                let mut channel = [0u32; BATCH_CHUNK];
+                for chunk in coords.chunks(BATCH_CHUNK) {
+                    let staged = &mut linear[..chunk.len()];
+                    for (slot, &(i, j)) in staged.iter_mut().zip(chunk) {
+                        *slot = interleaver.write_rank(i, j);
+                    }
+                    if channels > 1 {
+                        for (lane, slot) in channel.iter_mut().zip(staged.iter_mut()) {
+                            *lane = (*slot % channels) as u32;
+                            *slot /= channels;
+                        }
+                    }
+                    out.append_with(chunk.len(), |lanes| {
+                        if channels > 1 {
+                            lanes.channel.copy_from_slice(&channel[..chunk.len()]);
+                        }
+                        decoder.decode_slice(staged, lanes);
+                    });
+                }
+            }
+            Router::TileRotate { .. } => {
+                out.reserve(coords.len());
+                for &(i, j) in coords {
+                    let (channel, address) = self.route(i, j);
+                    out.push(channel, address);
+                }
+            }
+            Router::Permuted { mapping } => mapping.route_batch(coords, out),
+        }
+    }
 }
 
 /// Stripe-tile edge: [`STRIPE_TILE`] for large index spaces, shrunk (to at
@@ -266,6 +328,62 @@ pub struct ChannelTrace<'a> {
     outer: u32,
     inner: u32,
     remaining: u64,
+    /// Scratch SoA buffer for [`ChannelTrace::fill_batch`] (reused across
+    /// calls; empty until the batched path is used).
+    scratch: AddressBatch,
+}
+
+impl ChannelTrace<'_> {
+    /// Appends at least `max` of this channel's remaining `phase` requests
+    /// to `out` (fewer when the trace ends first; possibly a few more, up to
+    /// the batch-chunk granularity) and returns how many were appended.
+    ///
+    /// Positions are routed in [`ChannelMapping::route_batch`] slices and
+    /// filtered by the batch's channel lane, so the per-position mapping
+    /// cost is the batched kernel's instead of a scalar `route` call.  The
+    /// appended sequence is exactly the iterator's — mixing `next` and
+    /// `fill_batch` calls is allowed and never reorders or drops requests.
+    ///
+    /// Returns `0` if and only if the trace is exhausted.
+    pub fn fill_batch(&mut self, out: &mut Vec<Request>, max: usize) -> usize {
+        use crate::trace::AccessPhase;
+        let before = out.len();
+        let mut coords = [(0u32, 0u32); BATCH_CHUNK];
+        while out.len() - before < max && self.remaining > 0 {
+            let take = self.remaining.min(BATCH_CHUNK as u64) as usize;
+            for slot in coords.iter_mut().take(take) {
+                *slot = match self.phase {
+                    AccessPhase::Write => (self.outer, self.inner),
+                    AccessPhase::Read => (self.inner, self.outer),
+                };
+                self.inner += 1;
+                if self.inner >= self.n - self.outer {
+                    self.inner = 0;
+                    self.outer += 1;
+                }
+            }
+            self.remaining -= take as u64;
+            self.scratch.clear();
+            self.mapping.route_batch(&coords[..take], &mut self.scratch);
+            for (index, &channel) in self.scratch.channels().iter().enumerate() {
+                if channel != self.channel {
+                    continue;
+                }
+                let address = self.scratch.address(index);
+                out.push(match self.phase {
+                    AccessPhase::Write => Request::write(address),
+                    AccessPhase::Read => Request::read(address),
+                });
+            }
+        }
+        out.len() - before
+    }
+}
+
+impl RequestSource for ChannelTrace<'_> {
+    fn fill(&mut self, out: &mut Vec<Request>, max: usize) -> usize {
+        self.fill_batch(out, max)
+    }
 }
 
 impl Iterator for ChannelTrace<'_> {
@@ -352,6 +470,7 @@ impl<'a> ChannelTraceGenerator<'a> {
             outer: 0,
             inner: 0,
             remaining: self.len,
+            scratch: AddressBatch::new(),
         }
     }
 
@@ -528,6 +647,61 @@ mod tests {
             assert_eq!(union.len() as u64, generator.requests_per_phase());
             let distinct: HashSet<_> = union.iter().collect();
             assert_eq!(distinct.len(), union.len(), "{phase}: duplicate addresses");
+        }
+    }
+
+    #[test]
+    fn route_batch_matches_scalar_route_for_every_router() {
+        let n = 200u32;
+        // Permutations with channel bits exercise the Permuted router's
+        // batched path; ALL covers LinearSplice and TileRotate.
+        for (channels, ranks) in [(1, 1), (2, 1), (2, 2), (3, 1)] {
+            let cfg = config(channels, ranks);
+            let mut kinds: Vec<MappingKind> = MappingKind::ALL.to_vec();
+            // Permutations need pow2 channel counts; skip them on 3x1.
+            if let Ok(permutation) =
+                tbi_dram::BitPermutation::for_scheme(cfg.decode_scheme, &cfg.geometry, cfg.topology)
+            {
+                kinds.push(MappingKind::Permutation(permutation));
+            }
+            for kind in kinds {
+                let mapping = match ChannelMapping::new(kind, &cfg, n) {
+                    Ok(mapping) => mapping,
+                    // Permutations need pow2 channel counts; skip 3x1 there.
+                    Err(_) => continue,
+                };
+                let coords: Vec<(u32, u32)> = (0..n)
+                    .flat_map(|i| (0..(n - i)).map(move |j| (i, j)))
+                    .collect();
+                let mut batch = tbi_dram::AddressBatch::new();
+                mapping.route_batch(&coords, &mut batch);
+                assert_eq!(batch.len(), coords.len());
+                for (index, &(i, j)) in coords.iter().enumerate() {
+                    assert_eq!(
+                        batch.get(index),
+                        mapping.route(i, j),
+                        "{kind} {channels}x{ranks} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_trace_fill_batch_matches_the_iterator() {
+        let cfg = config(2, 2);
+        for kind in [MappingKind::RowMajor, MappingKind::Optimized] {
+            let mapping = ChannelMapping::new(kind, &cfg, 96).unwrap();
+            let generator = ChannelTraceGenerator::new(&mapping);
+            for phase in AccessPhase::ALL {
+                for channel in 0..2 {
+                    let scalar: Vec<_> = generator.channel_requests(phase, channel).collect();
+                    let mut trace = generator.channel_requests(phase, channel);
+                    let mut batched = Vec::new();
+                    while trace.fill_batch(&mut batched, 100) > 0 {}
+                    assert_eq!(batched, scalar, "{kind} {phase} channel {channel}");
+                }
+            }
         }
     }
 

@@ -27,9 +27,16 @@ pub use permuted::PermutedMapping;
 pub use row_major::RowMajorMapping;
 pub use simple::{BankRoundRobinMapping, TiledMapping};
 
-use tbi_dram::{BitPermutation, ChannelTopology, DeviceGeometry, DramConfig, PhysicalAddress};
+use tbi_dram::{
+    AddressBatch, BitPermutation, ChannelTopology, DeviceGeometry, DramConfig, PhysicalAddress,
+};
 
 use crate::InterleaverError;
+
+/// Chunk size (in positions) of the batched mapping kernels: coordinates are
+/// staged through stack arrays of this many elements, so batch mapping
+/// allocates nothing beyond the caller's output buffer.
+pub(crate) const BATCH_CHUNK: usize = 256;
 
 /// A mapping from interleaver index-space positions to DRAM addresses.
 ///
@@ -43,6 +50,31 @@ pub trait DramMapping: Send + Sync {
     /// May panic (in debug builds) if `(i, j)` lies outside the index space
     /// the mapping was constructed for.
     fn map(&self, i: u32, j: u32) -> PhysicalAddress;
+
+    /// Batched counterpart of [`DramMapping::map`]: appends the address of
+    /// every position in `coords`, in order, to `out`.
+    ///
+    /// The appended addresses are bit-identical to calling
+    /// [`DramMapping::map`] per element.  The channel lane of the appended
+    /// region holds the scheme's routed channel where the mapping has one
+    /// (e.g. a [`PermutedMapping`] whose permutation carries channel bits)
+    /// and `0` otherwise — the single-channel view of `map`.
+    ///
+    /// The default implementation maps one element at a time; schemes with a
+    /// linear decode stage ([`RowMajorMapping`], [`PermutedMapping`])
+    /// override it with slice kernels that amortize the per-element decode
+    /// work.
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) if any position lies outside the index
+    /// space the mapping was constructed for.
+    fn map_batch(&self, coords: &[(u32, u32)], out: &mut AddressBatch) {
+        out.reserve(coords.len());
+        for &(i, j) in coords {
+            out.push(0, self.map(i, j));
+        }
+    }
 
     /// Short human-readable name of the scheme.
     fn name(&self) -> &'static str;
@@ -328,6 +360,37 @@ mod tests {
                         "{kind}: collision at ({i},{j}) -> {addr}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn map_batch_matches_scalar_map_for_every_kind() {
+        let config = ddr4();
+        let n = 150u32;
+        let coords: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| (0..(n - i)).map(move |j| (i, j)))
+            .collect();
+        let mut kinds: Vec<MappingKind> = MappingKind::ALL.to_vec();
+        kinds.push(MappingKind::Permutation(
+            tbi_dram::BitPermutation::for_scheme(
+                config.decode_scheme,
+                &config.geometry,
+                ChannelTopology::default(),
+            )
+            .unwrap(),
+        ));
+        for kind in kinds {
+            let mapping = kind.build(&config, n).unwrap();
+            let mut batch = tbi_dram::AddressBatch::new();
+            mapping.map_batch(&coords, &mut batch);
+            assert_eq!(batch.len(), coords.len(), "{kind}");
+            for (index, &(i, j)) in coords.iter().enumerate() {
+                assert_eq!(
+                    batch.get(index),
+                    (0, mapping.map(i, j)),
+                    "{kind} at ({i},{j})"
+                );
             }
         }
     }

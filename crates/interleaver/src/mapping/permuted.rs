@@ -17,10 +17,11 @@
 //! preset devices provide for the paper's 12.5 M-element interleaver.
 
 use tbi_dram::{
-    BitPermutation, ChannelTopology, DeviceGeometry, PermutationMapping, PhysicalAddress,
+    AddressBatch, BitPermutation, ChannelTopology, DeviceGeometry, PermutationMapping,
+    PhysicalAddress,
 };
 
-use crate::mapping::DramMapping;
+use crate::mapping::{DramMapping, BATCH_CHUNK};
 use crate::InterleaverError;
 
 /// Number of bits needed to index `0..n` (0 for `n == 1`).
@@ -145,6 +146,30 @@ impl PermutedMapping {
         self.decoder.decode(self.linear_index(i, j))
     }
 
+    /// Batched counterpart of [`PermutedMapping::route`]: appends the
+    /// `(channel, address)` pair of every position in `coords`, in order, to
+    /// `out`.
+    ///
+    /// Linear indices are staged through a stack chunk and decoded with
+    /// [`PermutationMapping::decode_batch`], whose precomputed scatter plan
+    /// turns the per-bit gather loop into a few shift/mask/OR passes per
+    /// field — the line-rate path of the permutation design-space search.
+    ///
+    /// # Panics
+    ///
+    /// May panic (in debug builds) if any position lies outside the index
+    /// space.
+    pub fn route_batch(&self, coords: &[(u32, u32)], out: &mut AddressBatch) {
+        let mut linear = [0u64; BATCH_CHUNK];
+        for chunk in coords.chunks(BATCH_CHUNK) {
+            for (slot, &(i, j)) in linear.iter_mut().zip(chunk) {
+                debug_assert!(i < self.n && j < self.n, "({i},{j}) outside index space");
+                *slot = self.linear_index(i, j);
+            }
+            self.decoder.decode_batch(&linear[..chunk.len()], out);
+        }
+    }
+
     /// The permutation decoding the padded linear index.
     #[must_use]
     pub fn permutation(&self) -> &BitPermutation {
@@ -158,6 +183,13 @@ impl DramMapping for PermutedMapping {
     /// through [`ChannelMapping`](crate::mapping::ChannelMapping) instead).
     fn map(&self, i: u32, j: u32) -> PhysicalAddress {
         self.route(i, j).1
+    }
+
+    /// Batched routing ([`PermutedMapping::route_batch`]): the channel lane
+    /// holds the permutation's routed channel (0 when the permutation has no
+    /// channel bits, i.e. whenever [`DramMapping::map`] is meaningful).
+    fn map_batch(&self, coords: &[(u32, u32)], out: &mut AddressBatch) {
+        self.route_batch(coords, out);
     }
 
     fn name(&self) -> &'static str {

@@ -1,8 +1,10 @@
 //! The row-major baseline mapping.
 
-use tbi_dram::{AddressDecoder, DecodeScheme, DeviceGeometry, DramConfig, PhysicalAddress};
+use tbi_dram::{
+    AddressBatch, AddressDecoder, DecodeScheme, DeviceGeometry, DramConfig, PhysicalAddress,
+};
 
-use crate::mapping::DramMapping;
+use crate::mapping::{DramMapping, BATCH_CHUNK};
 use crate::triangular::TriangularInterleaver;
 use crate::InterleaverError;
 
@@ -106,6 +108,19 @@ impl RowMajorMapping {
 impl DramMapping for RowMajorMapping {
     fn map(&self, i: u32, j: u32) -> PhysicalAddress {
         self.decoder.decode(self.linear_index(i, j))
+    }
+
+    /// Batched baseline mapping: stages linear burst indices through a stack
+    /// chunk and decodes whole slices with
+    /// [`AddressDecoder::decode_batch`].
+    fn map_batch(&self, coords: &[(u32, u32)], out: &mut AddressBatch) {
+        let mut linear = [0u64; BATCH_CHUNK];
+        for chunk in coords.chunks(BATCH_CHUNK) {
+            for (slot, &(i, j)) in linear.iter_mut().zip(chunk) {
+                *slot = self.linear_index(i, j);
+            }
+            self.decoder.decode_batch(&linear[..chunk.len()], out);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -227,9 +227,12 @@ impl ThroughputEvaluator {
         let generator = TraceGenerator::new(interleaver, mapping);
         let mut system = MemorySystem::with_controller(self.dram.clone(), self.controller)?;
 
-        let write_stats = system.run_trace(generator.requests(AccessPhase::Write));
+        // The batched source path: mapping work runs in slices through
+        // `PhaseTrace::fill_batch`, with statistics bit-identical to feeding
+        // the scalar iterator (pinned by the source-equivalence tests).
+        let write_stats = system.run_source(generator.requests(AccessPhase::Write));
         system.reset_stats();
-        let read_stats = system.run_trace(generator.requests(AccessPhase::Read));
+        let read_stats = system.run_source(generator.requests(AccessPhase::Read));
 
         Ok(UtilizationReport {
             config_label: self.dram.label(),
@@ -268,7 +271,9 @@ impl ThroughputEvaluator {
             let traces: Vec<_> = (0..topology.channels)
                 .map(|channel| generator.channel_requests(phase, channel))
                 .collect();
-            router.run_phase(traces)
+            // Batched per-channel sources (`ChannelTrace::fill_batch`);
+            // request sequences and statistics match the scalar iterators.
+            router.run_phase_sources(traces)
         };
         let write_stats = phase_stats(&mut router, AccessPhase::Write);
         router.reset_stats();

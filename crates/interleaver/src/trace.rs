@@ -1,8 +1,8 @@
 //! DRAM request trace generation for the two interleaver access phases.
 
-use tbi_dram::Request;
+use tbi_dram::{AddressBatch, Request, RequestSource};
 
-use crate::mapping::DramMapping;
+use crate::mapping::{DramMapping, BATCH_CHUNK};
 use crate::triangular::TriangularInterleaver;
 
 /// The two access phases of a triangular block interleaver.
@@ -115,6 +115,7 @@ impl<'a> TraceGenerator<'a> {
             outer: 0,
             inner: 0,
             remaining: self.interleaver.len(),
+            scratch: AddressBatch::new(),
         }
     }
 
@@ -162,6 +163,59 @@ pub struct PhaseTrace<'a> {
     /// Position within the current row/column, `0..n - outer`.
     inner: u32,
     remaining: u64,
+    /// Scratch SoA buffer for [`PhaseTrace::fill_batch`] (reused across
+    /// calls; empty until the batched path is used).
+    scratch: AddressBatch,
+}
+
+impl PhaseTrace<'_> {
+    /// Appends up to roughly `max` of the remaining requests to `out` (the
+    /// last mapping chunk may overshoot slightly; fewer when the trace ends
+    /// first) and returns how many were appended.
+    ///
+    /// Positions are mapped in [`DramMapping::map_batch`] slices, so the
+    /// per-request mapping cost is the batched kernel's instead of a scalar
+    /// `map` call.  The appended sequence is exactly the iterator's — mixing
+    /// `next` and `fill_batch` calls is allowed and never reorders or drops
+    /// requests.
+    ///
+    /// Returns `0` if and only if the trace is exhausted.
+    pub fn fill_batch(&mut self, out: &mut Vec<Request>, max: usize) -> usize {
+        let before = out.len();
+        let mut coords = [(0u32, 0u32); BATCH_CHUNK];
+        while out.len() - before < max && self.remaining > 0 {
+            let take = self.remaining.min(BATCH_CHUNK as u64) as usize;
+            for slot in coords.iter_mut().take(take) {
+                *slot = match self.phase {
+                    AccessPhase::Write => (self.outer, self.inner),
+                    AccessPhase::Read => (self.inner, self.outer),
+                };
+                self.inner += 1;
+                if self.inner >= self.n - self.outer {
+                    self.inner = 0;
+                    self.outer += 1;
+                }
+            }
+            self.remaining -= take as u64;
+            self.scratch.clear();
+            self.mapping.map_batch(&coords[..take], &mut self.scratch);
+            out.reserve(take);
+            for index in 0..take {
+                let address = self.scratch.address(index);
+                out.push(match self.phase {
+                    AccessPhase::Write => Request::write(address),
+                    AccessPhase::Read => Request::read(address),
+                });
+            }
+        }
+        out.len() - before
+    }
+}
+
+impl RequestSource for PhaseTrace<'_> {
+    fn fill(&mut self, out: &mut Vec<Request>, max: usize) -> usize {
+        self.fill_batch(out, max)
+    }
 }
 
 impl std::fmt::Debug for PhaseTrace<'_> {
@@ -202,11 +256,20 @@ impl Iterator for PhaseTrace<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = usize::try_from(self.remaining).unwrap_or(usize::MAX);
-        (remaining, Some(remaining))
+        // On targets where `usize` cannot hold the 64-bit remaining count
+        // (paper-sized traces exceed 2^32 positions on 32-bit hosts), report
+        // an honest "at least usize::MAX, upper bound unknown" instead of
+        // silently saturating both bounds to a wrong exact size.
+        match usize::try_from(self.remaining) {
+            Ok(remaining) => (remaining, Some(remaining)),
+            Err(_) => (usize::MAX, None),
+        }
     }
 }
 
+// `len()` must equal the exact element count, which only fits in `usize` on
+// 64-bit targets; 32-bit consumers get the honest `size_hint` above instead.
+#[cfg(target_pointer_width = "64")]
 impl ExactSizeIterator for PhaseTrace<'_> {}
 
 impl std::iter::FusedIterator for PhaseTrace<'_> {}
@@ -291,6 +354,66 @@ mod tests {
         assert_eq!(trace.len(), 0);
         assert!(trace.next().is_none(), "fused after exhaustion");
         assert!(trace.next().is_none());
+    }
+
+    #[test]
+    fn size_hint_is_exact_at_every_step() {
+        let (config, interleaver) = setup(12);
+        let mapping = MappingKind::RowMajor.build(&config, 12).unwrap();
+        let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+        let mut trace = gen.requests(AccessPhase::Write);
+        let mut expected = interleaver.len() as usize;
+        assert_eq!(trace.size_hint(), (expected, Some(expected)));
+        while trace.next().is_some() {
+            expected -= 1;
+            let (lower, upper) = trace.size_hint();
+            assert_eq!(lower, expected, "lower bound must stay exact");
+            assert_eq!(upper, Some(expected), "upper bound must stay exact");
+        }
+        assert_eq!(trace.size_hint(), (0, Some(0)));
+    }
+
+    #[test]
+    fn fill_batch_yields_the_iterator_sequence() {
+        let (config, interleaver) = setup(37);
+        for kind in MappingKind::ALL {
+            let mapping = kind.build(&config, 37).unwrap();
+            let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+            for phase in AccessPhase::ALL {
+                let scalar: Vec<_> = gen.requests(phase).collect();
+                for max in [1usize, 64, 1000] {
+                    let mut trace = gen.requests(phase);
+                    let mut batched = Vec::new();
+                    loop {
+                        let appended = trace.fill_batch(&mut batched, max);
+                        if appended == 0 {
+                            break;
+                        }
+                    }
+                    assert_eq!(batched, scalar, "{kind} {phase} max={max}");
+                    assert_eq!(trace.fill_batch(&mut batched, max), 0, "stays exhausted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_batch_and_next_can_be_mixed() {
+        let (config, interleaver) = setup(29);
+        let mapping = MappingKind::Optimized.build(&config, 29).unwrap();
+        let gen = TraceGenerator::new(interleaver, mapping.as_ref());
+        let scalar: Vec<_> = gen.requests(AccessPhase::Read).collect();
+        let mut trace = gen.requests(AccessPhase::Read);
+        let mut mixed = Vec::new();
+        while mixed.len() < scalar.len() {
+            if let Some(request) = trace.next() {
+                mixed.push(request);
+            } else {
+                break;
+            }
+            trace.fill_batch(&mut mixed, 10);
+        }
+        assert_eq!(mixed, scalar);
     }
 
     #[test]

@@ -131,6 +131,109 @@ proptest! {
         }
     }
 
+    /// Batched address generation: `map_batch` must fill lanes bit-identical
+    /// to per-element `map()` for every preset, every decode scheme (the
+    /// row-major baseline honours it), every named kind, and both
+    /// permutation decode plans — including the non-contiguous "gather"
+    /// permutation that exercises the scatter-table slow path.
+    #[test]
+    fn map_batch_lanes_equal_scalar_map_for_all_presets_schemes_and_kinds(
+        preset_idx in 0usize..ALL_CONFIGS.len(),
+        scheme_idx in 0usize..DecodeScheme::ALL.len(),
+        kind_idx in 0usize..MappingKind::ALL.len() + 2,
+        n in 64u32..300,
+    ) {
+        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let mut dram = DramConfig::preset(standard, rate).unwrap();
+        dram.decode_scheme = DecodeScheme::ALL[scheme_idx];
+        let kind = if kind_idx < MappingKind::ALL.len() {
+            MappingKind::ALL[kind_idx]
+        } else {
+            let contiguous = BitPermutation::for_scheme(
+                dram.decode_scheme,
+                &dram.geometry,
+                ChannelTopology::default(),
+            )
+            .unwrap();
+            if kind_idx == MappingKind::ALL.len() {
+                MappingKind::Permutation(contiguous)
+            } else {
+                // Swapping low against high bits breaks every field's
+                // contiguity: the scalar decode takes the per-bit gather
+                // loop, the batch kernel its multi-segment scatter plan.
+                let top = contiguous.fields().len() - 1;
+                MappingKind::Permutation(contiguous.with_swap(0, top).with_swap(1, top / 2))
+            }
+        };
+        let mapping = kind.build(&dram, n).unwrap();
+
+        let coords: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| (0..n - i).map(move |j| (i, j)))
+            .collect();
+        let mut batch = tbi_dram::AddressBatch::new();
+        mapping.map_batch(&coords, &mut batch);
+        prop_assert_eq!(batch.len(), coords.len());
+        for (index, &(i, j)) in coords.iter().enumerate() {
+            let (channel, address) = batch.get(index);
+            prop_assert_eq!(channel, 0, "single-channel batch at ({},{})", i, j);
+            prop_assert_eq!(
+                address,
+                mapping.map(i, j),
+                "{} on {}: batch diverges at ({},{})",
+                kind, dram.label(), i, j
+            );
+        }
+    }
+
+    /// Batched channel routing: `route_batch` must agree with per-element
+    /// `route()` for every preset, decode scheme, channel/rank topology and
+    /// router (linear-splice, stripe-tile, permutation — contiguous and
+    /// gather forms).
+    #[test]
+    fn route_batch_equals_scalar_route_across_topologies_and_schemes(
+        preset_idx in 0usize..ALL_CONFIGS.len(),
+        scheme_idx in 0usize..DecodeScheme::ALL.len(),
+        kind_idx in 0usize..MappingKind::ALL.len() + 2,
+        channels_log2 in 0u32..3,
+        ranks_log2 in 0u32..2,
+        n in 64u32..250,
+    ) {
+        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let mut dram = DramConfig::preset(standard, rate).unwrap();
+        dram.decode_scheme = DecodeScheme::ALL[scheme_idx];
+        let topology = ChannelTopology::new(1 << channels_log2, 1 << ranks_log2);
+        let dram = dram.with_topology(topology);
+        let kind = if kind_idx < MappingKind::ALL.len() {
+            MappingKind::ALL[kind_idx]
+        } else {
+            let contiguous =
+                BitPermutation::for_scheme(dram.decode_scheme, &dram.geometry, topology)
+                    .unwrap();
+            if kind_idx == MappingKind::ALL.len() {
+                MappingKind::Permutation(contiguous)
+            } else {
+                let top = contiguous.fields().len() - 1;
+                MappingKind::Permutation(contiguous.with_swap(0, top).with_swap(1, top / 2))
+            }
+        };
+        let mapping = ChannelMapping::new(kind, &dram, n).unwrap();
+
+        let coords: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| (0..n - i).map(move |j| (i, j)))
+            .collect();
+        let mut batch = tbi_dram::AddressBatch::new();
+        mapping.route_batch(&coords, &mut batch);
+        prop_assert_eq!(batch.len(), coords.len());
+        for (index, &(i, j)) in coords.iter().enumerate() {
+            prop_assert_eq!(
+                batch.get(index),
+                mapping.route(i, j),
+                "{} on {} {}x{}: batch route diverges at ({},{})",
+                kind, dram.label(), topology.channels, topology.ranks, i, j
+            );
+        }
+    }
+
     /// Scaled-out topologies: the permutation variant of a scenario routes
     /// through [`ChannelMapping`] injectively, covers every channel, and
     /// respects the rank bounds — for random (channels, ranks) and sizes.
