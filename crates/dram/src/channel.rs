@@ -95,6 +95,9 @@ impl CombinedStats {
     /// `channels × max elapsed` — the fraction of the subsystem's combined
     /// bus-time that carried data.  Idle tail cycles of faster channels count
     /// against it, exactly as they would in hardware.
+    ///
+    /// Returns exactly `0.0` (never NaN) when the set is empty or no channel
+    /// has elapsed cycles, so zero-traffic windows serialize cleanly.
     #[must_use]
     pub fn utilization(&self) -> f64 {
         let elapsed = self.aggregate().elapsed_cycles;
@@ -112,11 +115,19 @@ impl CombinedStats {
     /// Spread (max − min) of the per-channel bus utilizations: 0 for a
     /// single channel or a perfectly balanced stripe, larger when the
     /// channel-interleaved mapping leaves some channels under-loaded.
+    ///
+    /// Edge cases are defined (and pinned by tests) so no NaN can leak into
+    /// serialized records: an empty set and a single channel both yield
+    /// exactly `0.0`, and a zero-traffic channel (zero elapsed cycles)
+    /// contributes a utilization of `0.0` — so one idle channel next to one
+    /// busy channel yields the busy channel's utilization as the spread.
     #[must_use]
     pub fn utilization_spread(&self) -> f64 {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         for stats in &self.per_channel {
+            // `bus_utilization` defines 0/0 as 0.0, keeping idle channels
+            // finite here.
             let u = stats.bus_utilization();
             min = min.min(u);
             max = max.max(u);
@@ -203,6 +214,26 @@ impl ChannelRouter {
     #[must_use]
     pub fn controller(&self, channel: u32) -> &Controller {
         &self.controllers[channel as usize]
+    }
+
+    /// Mutable access to the controller of channel `channel` — the seam
+    /// external drive loops (e.g. the `tbi_sched` stream scheduler) use to
+    /// enqueue requests, step the laggard and drain completion logs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    #[must_use]
+    pub fn controller_mut(&mut self, channel: u32) -> &mut Controller {
+        &mut self.controllers[channel as usize]
+    }
+
+    /// The channel whose local clock is furthest behind among channels with
+    /// pending requests — the channel [`ChannelRouter::step`] would advance —
+    /// or `None` when no channel has pending work.
+    #[must_use]
+    pub fn laggard_channel(&self) -> Option<u32> {
+        self.laggard().map(|channel| channel as u32)
     }
 
     /// The DRAM configuration shared by every channel.
@@ -464,5 +495,119 @@ mod tests {
         assert_eq!(empty.utilization(), 0.0);
         assert_eq!(empty.utilization_spread(), 0.0);
         assert_eq!(empty.aggregate(), Stats::new());
+    }
+
+    #[test]
+    fn single_channel_combined_stats_are_the_channel_stats() {
+        let mut stats = Stats::new();
+        stats.elapsed_cycles = 500;
+        stats.data_bus_busy_cycles = 400;
+        stats.completed_requests = 100;
+        let combined = CombinedStats::new(vec![stats.clone()]);
+        assert_eq!(combined.aggregate(), stats);
+        assert_eq!(combined.utilization_spread(), 0.0);
+        assert!((combined.utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_traffic_channels_never_produce_nan() {
+        // An idle channel (zero elapsed cycles) next to a busy one: every
+        // derived metric must stay finite, with the idle channel counting as
+        // utilization 0.
+        let mut busy = Stats::new();
+        busy.elapsed_cycles = 200;
+        busy.data_bus_busy_cycles = 150;
+        let combined = CombinedStats::new(vec![busy, Stats::new()]);
+        assert!(combined.utilization().is_finite());
+        assert!((combined.utilization() - 150.0 / 400.0).abs() < 1e-12);
+        assert!((combined.utilization_spread() - 0.75).abs() < 1e-12);
+        assert!(combined.aggregate_bandwidth_gbps(1600.0, 64).is_finite());
+        assert_eq!(combined.aggregate().elapsed_cycles, 200);
+
+        // All channels idle: everything is exactly zero.
+        let idle = CombinedStats::new(vec![Stats::new(), Stats::new()]);
+        assert_eq!(idle.utilization(), 0.0);
+        assert_eq!(idle.utilization_spread(), 0.0);
+        assert_eq!(idle.aggregate_bandwidth_gbps(1600.0, 64), 0.0);
+    }
+
+    #[test]
+    fn completion_logging_is_observational_and_complete() {
+        let cfg = config(1, 1);
+        let n = 5_000u64;
+        let mut plain = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+        let plain_stats = plain.run_phase(vec![sequential(&cfg, n)]);
+
+        let mut logged = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+        logged.controller_mut(0).set_completion_logging(true);
+        let logged_stats = logged.run_phase(vec![sequential(&cfg, n)]);
+        assert_eq!(plain_stats, logged_stats, "logging must not perturb timing");
+
+        let completions: Vec<_> = logged.controller_mut(0).drain_completions().collect();
+        assert_eq!(completions.len() as u64, n);
+        let geometry = cfg.geometry;
+        let flat_banks = geometry.total_banks();
+        for completion in &completions {
+            assert!(completion.flat_bank < flat_banks);
+            assert!(completion.data_end > 0);
+        }
+        // The log drains destructively.
+        assert_eq!(logged.controller_mut(0).drain_completions().count(), 0);
+    }
+
+    /// Truncates an inner source after `limit` requests and then reports
+    /// exhaustion (`fill` returning 0) even though the inner source could
+    /// continue — the mid-phase cut-off of the exhaustion-semantics tests.
+    struct TruncatedSource<S> {
+        inner: S,
+        limit: usize,
+    }
+
+    impl<S: RequestSource> RequestSource for TruncatedSource<S> {
+        fn fill(&mut self, out: &mut Vec<Request>, max: usize) -> usize {
+            if self.limit == 0 {
+                return 0;
+            }
+            let before = out.len();
+            let take = self.limit.min(max);
+            self.inner.fill(out, take);
+            out.truncate(before + self.limit.min(out.len() - before));
+            let appended = out.len() - before;
+            self.limit -= appended;
+            appended
+        }
+    }
+
+    #[test]
+    fn mid_phase_source_exhaustion_terminates_and_matches_iterator_path() {
+        use crate::request::IteratorSource;
+        // One channel's source dries up mid-phase (fill returns 0 after 1000
+        // requests while the sibling channel still has work): the run must
+        // terminate cleanly and stay bit-identical to scalar iterators
+        // truncated at the same point.
+        let cfg = config(2, 1);
+        let n = 6_000u64;
+        let cut = 1_000usize;
+        let mut scalar = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+        let scalar_stats = scalar.run_phase(vec![
+            Box::new(sequential(&cfg, n)) as Box<dyn Iterator<Item = Request>>,
+            Box::new(sequential(&cfg, n).take(cut)),
+        ]);
+        let mut batched = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+        let batched_stats = batched.run_phase_sources(vec![
+            TruncatedSource {
+                inner: IteratorSource(sequential(&cfg, n)),
+                limit: usize::MAX,
+            },
+            TruncatedSource {
+                inner: IteratorSource(sequential(&cfg, n)),
+                limit: cut,
+            },
+        ]);
+        assert_eq!(scalar_stats, batched_stats);
+        assert_eq!(
+            batched_stats.per_channel()[1].completed_requests,
+            cut as u64
+        );
     }
 }

@@ -166,6 +166,24 @@ struct LastColumn {
     group: u32,
 }
 
+/// One retired request, recorded by the opt-in completion log (see
+/// [`Controller::set_completion_logging`]).
+///
+/// Requests of one bank retire in FIFO order (FR-FCFS only reorders *across*
+/// banks), so a driver that mirrors its enqueues in per-bank FIFOs can
+/// attribute each completion to the exact request that caused it from
+/// `flat_bank` alone — the hook the stream scheduler's per-tenant latency
+/// accounting is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Cycle at which the request's data burst leaves the bus (its
+    /// contribution to [`Stats::elapsed_cycles`]).
+    pub data_end: u64,
+    /// Rank-qualified flat bank index of the retired request (see
+    /// [`PhysicalAddress::flat_bank`](crate::PhysicalAddress::flat_bank)).
+    pub flat_bank: u32,
+}
+
 /// A single-channel DRAM memory controller.
 ///
 /// With a multi-rank [`ChannelTopology`](crate::ChannelTopology) the
@@ -215,6 +233,11 @@ pub struct Controller {
     floors_act_dirty: bool,
     // `fast_path_configured()` evaluated once at construction.
     fast_path_ok: bool,
+    // Opt-in completion log (empty and disabled unless a driver asks for
+    // it); purely observational, so enabling it cannot perturb scheduling
+    // decisions or statistics.
+    completion_log: Vec<Completion>,
+    log_completions: bool,
 }
 
 impl Controller {
@@ -261,6 +284,8 @@ impl Controller {
             floors_col_dirty: true,
             floors_act_dirty: true,
             fast_path_ok: false,
+            completion_log: Vec::new(),
+            log_completions: false,
             config,
             ctrl,
         };
@@ -314,6 +339,26 @@ impl Controller {
     #[must_use]
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Enables or disables the completion log.
+    ///
+    /// While enabled, every retired request appends a [`Completion`] entry
+    /// (in retirement order) for the driver to collect via
+    /// [`Controller::drain_completions`].  Logging is purely observational:
+    /// it never changes scheduling decisions, timing or [`Stats`], so runs
+    /// with and without the log are bit-identical.
+    pub fn set_completion_logging(&mut self, enabled: bool) {
+        self.log_completions = enabled;
+        if !enabled {
+            self.completion_log.clear();
+        }
+    }
+
+    /// Removes and returns all logged completions accumulated since the last
+    /// drain, in retirement order.
+    pub fn drain_completions(&mut self) -> std::vec::Drain<'_, Completion> {
+        self.completion_log.drain(..)
     }
 
     /// State of the bank identified by `bank`.
@@ -856,6 +901,12 @@ impl Controller {
                 debug_assert_eq!(entry.request.address, command.address);
                 debug_assert_eq!(entry.request.is_write(), is_write);
                 self.stats.completed_requests += 1;
+                if self.log_completions {
+                    self.completion_log.push(Completion {
+                        data_end,
+                        flat_bank: flat_bank as u32,
+                    });
+                }
                 match entry.request.kind {
                     RequestKind::Read => self.stats.read_bursts += 1,
                     RequestKind::Write => self.stats.write_bursts += 1,

@@ -96,7 +96,8 @@ pub use builder::DramConfigBuilder;
 pub use channel::{ChannelRouter, CombinedStats};
 pub use command::{Command, CommandKind};
 pub use controller::{
-    Controller, ControllerConfig, PagePolicy, RefreshMode, SchedulingPolicy, TimingEngine,
+    Completion, Controller, ControllerConfig, PagePolicy, RefreshMode, SchedulingPolicy,
+    TimingEngine,
 };
 pub use energy::{EnergyParams, EnergyReport};
 pub use error::ConfigError;

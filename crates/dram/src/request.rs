@@ -178,6 +178,44 @@ mod tests {
         assert_eq!(out, requests);
     }
 
+    /// Serves scripted chunk sizes, then reports exhaustion (`fill`
+    /// returning 0) even though more requests could exist — models a source
+    /// that dries up mid-phase.
+    struct ScriptedSource {
+        chunks: Vec<usize>,
+        next: u32,
+    }
+
+    impl RequestSource for ScriptedSource {
+        fn fill(&mut self, out: &mut Vec<Request>, _max: usize) -> usize {
+            match self.chunks.pop() {
+                None | Some(0) => 0,
+                Some(count) => {
+                    for _ in 0..count {
+                        out.push(Request::write(PhysicalAddress::new(0, 0, self.next, 0)));
+                        self.next += 1;
+                    }
+                    count
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffered_requests_terminate_cleanly_on_mid_stream_exhaustion() {
+        // The source serves 5 then 3 requests, then returns 0: the adapter
+        // must yield exactly those 8 in order, report exhaustion, stay
+        // fused, and never call `fill` again after the first 0.
+        let mut buffered = BufferedRequests::new(ScriptedSource {
+            chunks: vec![3, 5], // popped back-to-front
+            next: 0,
+        });
+        let drained: Vec<Request> = buffered.by_ref().collect();
+        assert_eq!(drained, numbered(8));
+        assert_eq!(buffered.next(), None, "fused after mid-stream exhaustion");
+        assert_eq!(buffered.next(), None);
+    }
+
     #[test]
     fn buffered_requests_preserve_the_sequence_for_any_chunk_size() {
         let requests = numbered(23);

@@ -63,9 +63,9 @@ pub mod search;
 pub mod serialize;
 
 pub use grid::{RefreshSetting, SweepGrid};
-pub use record::{LinkRecord, Record};
+pub use record::{LinkRecord, Record, TenantLatency, TenantSummary};
 pub use runner::Experiment;
-pub use scenario::{LinkStage, Scenario};
+pub use scenario::{LinkStage, Scenario, TenantStage};
 pub use search::{MappingSearch, SearchRecord, SearchSettings};
 
 use tbi_dram::ConfigError;

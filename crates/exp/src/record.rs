@@ -11,6 +11,46 @@ pub struct LinkRecord {
     pub residual_symbol_error_rate: f64,
 }
 
+/// Per-tenant latency metrics of one stream in a multi-tenant run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantLatency {
+    /// Tenant identity.
+    pub tenant: String,
+    /// QoS class label (`premium` / `standard` / `best_effort`).
+    pub qos: String,
+    /// Completed requests of this tenant.
+    pub requests: u64,
+    /// Mean request latency in device cycles.
+    pub mean_latency_cycles: f64,
+    /// Median request latency (conservative log2-bucket bound), cycles.
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile request latency (conservative bound), cycles.
+    pub p99_latency_cycles: u64,
+    /// Blocks that finished after their QoS deadline.
+    pub deadline_misses: u64,
+}
+
+/// Multi-tenant scheduling results attached to a [`Record`] when the
+/// scenario ran in tenant mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Scheduling policy label (`round_robin` / `weighted_share` / `edf`).
+    pub policy: String,
+    /// Number of concurrent tenant streams.
+    pub streams: u32,
+    /// Jain fairness index over the tenants' mean latencies, in
+    /// `[1/streams, 1]`.
+    pub fairness_index: f64,
+    /// Worst per-tenant p50 latency in device cycles.
+    pub worst_p50_cycles: u64,
+    /// Worst per-tenant p99 latency in device cycles.
+    pub worst_p99_cycles: u64,
+    /// Deadline misses summed over all tenants.
+    pub deadline_misses: u64,
+    /// Per-tenant breakdown, in stream order.
+    pub per_tenant: Vec<TenantLatency>,
+}
+
 /// The typed result of one scenario run.
 ///
 /// Records compare bit-exactly ([`PartialEq`]): the DRAM simulation is
@@ -79,6 +119,8 @@ pub struct Record {
     pub sim_cycles_per_second: f64,
     /// Error rates of the optional channel/FEC stage.
     pub link: Option<LinkRecord>,
+    /// Per-tenant scheduling metrics of the optional multi-tenant mode.
+    pub tenants: Option<TenantSummary>,
 }
 
 /// Equality over the *deterministic* fields only: everything except
@@ -107,6 +149,7 @@ impl PartialEq for Record {
             && self.energy_nj_per_byte == other.energy_nj_per_byte
             && self.simulated_cycles == other.simulated_cycles
             && self.link == other.link
+            && self.tenants == other.tenants
     }
 }
 
@@ -148,6 +191,7 @@ mod tests {
             wall_time_s: 0.25,
             sim_cycles_per_second: 16_000.0,
             link: None,
+            tenants: None,
         }
     }
 
@@ -209,6 +253,20 @@ mod tests {
             ),
             ("simulated_cycles", Box::new(|r| r.simulated_cycles += 1)),
             ("link", Box::new(|r| r.link = Some(LinkRecord::default()))),
+            (
+                "tenants",
+                Box::new(|r| {
+                    r.tenants = Some(TenantSummary {
+                        policy: "round_robin".to_string(),
+                        streams: 2,
+                        fairness_index: 1.0,
+                        worst_p50_cycles: 10,
+                        worst_p99_cycles: 20,
+                        deadline_misses: 0,
+                        per_tenant: Vec::new(),
+                    });
+                }),
+            ),
         ];
         for (field, mutate) in mutations {
             let mut changed = base.clone();

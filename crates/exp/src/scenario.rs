@@ -11,7 +11,11 @@ use tbi_interleaver::mapping::DramMapping;
 use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
 use tbi_satcom::{GilbertElliott, LinkConfig, LinkSimulation};
 
-use crate::record::{LinkRecord, Record};
+use tbi_sched::{
+    PhasePattern, QosClass, SchedConfig, SchedPolicyKind, StreamScheduler, StreamSpec,
+};
+
+use crate::record::{LinkRecord, Record, TenantLatency, TenantSummary};
 use crate::ExpError;
 
 /// An optional end-to-end channel/FEC stage attached to a scenario.
@@ -74,6 +78,66 @@ impl LinkStage {
     }
 }
 
+/// An optional multi-tenant scheduling stage attached to a scenario.
+///
+/// When present, [`Scenario::run`] replaces the single-stream phase drivers
+/// with a [`StreamScheduler`] multiplexing `streams` concurrent copies of
+/// the scenario's interleaver over the shared channels, and attaches a
+/// [`TenantSummary`] (per-tenant p50/p99 latency, fairness index, deadline
+/// misses) to the record.  Streams get a fixed 1:2:1 QoS mix by index —
+/// `premium` (index ≡ 0 mod 4), `standard` (1, 2), `best_effort` (3) — so
+/// two runs differing only in `policy` are directly comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStage {
+    /// Number of concurrent tenant streams (clamped to at least 1).
+    pub streams: u32,
+    /// Stream-selection policy.
+    pub policy: SchedPolicyKind,
+    /// Triangular blocks each stream processes (alternating write/read
+    /// phases; clamped to at least 1).
+    pub blocks: u64,
+    /// In-flight block budget (0 = auto: two blocks per stream).
+    pub max_in_flight_blocks: usize,
+}
+
+impl TenantStage {
+    /// Creates a tenant stage with `streams` streams under `policy`, two
+    /// blocks per stream and the auto in-flight budget.
+    #[must_use]
+    pub fn new(streams: u32, policy: SchedPolicyKind) -> Self {
+        Self {
+            streams: streams.max(1),
+            policy,
+            blocks: 2,
+            max_in_flight_blocks: 0,
+        }
+    }
+
+    /// Sets the number of blocks per stream.
+    #[must_use]
+    pub fn with_blocks(mut self, blocks: u64) -> Self {
+        self.blocks = blocks.max(1);
+        self
+    }
+
+    /// Sets an explicit in-flight block budget.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, blocks: usize) -> Self {
+        self.max_in_flight_blocks = blocks;
+        self
+    }
+
+    /// The QoS class of stream `index` under the fixed 1:2:1 mix.
+    #[must_use]
+    pub fn qos_for(index: u32) -> QosClass {
+        match index % 4 {
+            0 => QosClass::Premium,
+            3 => QosClass::BestEffort,
+            _ => QosClass::Standard,
+        }
+    }
+}
+
 /// One fully specified run: DRAM configuration, mapping scheme, interleaver
 /// sizing, controller options and an optional link stage.
 ///
@@ -104,6 +168,7 @@ pub struct Scenario {
     spec: InterleaverSpec,
     controller: ControllerConfig,
     link: Option<LinkStage>,
+    tenants: Option<TenantStage>,
     custom_id: Option<String>,
 }
 
@@ -137,6 +202,7 @@ impl Scenario {
             spec,
             controller: ControllerConfig::default(),
             link: None,
+            tenants: None,
             custom_id: None,
         }
     }
@@ -173,6 +239,15 @@ impl Scenario {
         self
     }
 
+    /// Attaches a multi-tenant scheduling stage: the run multiplexes
+    /// `stage.streams` concurrent copies of the interleaver through a
+    /// [`StreamScheduler`] instead of the single-stream phase drivers.
+    #[must_use]
+    pub fn with_tenants(mut self, stage: TenantStage) -> Self {
+        self.tenants = Some(stage);
+        self
+    }
+
     /// Overrides the derived scenario ID.
     #[must_use]
     pub fn with_id(mut self, id: impl Into<String>) -> Self {
@@ -201,6 +276,9 @@ impl Scenario {
                 "/c{}r{}",
                 self.dram.topology.channels, self.dram.topology.ranks
             ));
+        }
+        if let Some(stage) = &self.tenants {
+            id.push_str(&format!("/tenants={}x{}", stage.streams, stage.policy));
         }
         id
     }
@@ -235,6 +313,12 @@ impl Scenario {
         self.link.as_ref()
     }
 
+    /// The optional multi-tenant stage.
+    #[must_use]
+    pub fn tenants(&self) -> Option<&TenantStage> {
+        self.tenants.as_ref()
+    }
+
     /// The throughput evaluator implied by the scenario.
     #[must_use]
     pub fn evaluator(&self) -> ThroughputEvaluator {
@@ -265,7 +349,9 @@ impl Scenario {
     /// Returns [`ExpError`] if the mapping cannot be built, the interleaver
     /// does not fit the device, or the optional link stage fails.
     pub fn run(&self) -> Result<Record, ExpError> {
-        if self.dram.topology.is_single() {
+        if self.tenants.is_some() {
+            self.run_tenant_mode()
+        } else if self.dram.topology.is_single() {
             self.run_single_channel()
         } else {
             self.run_multi_channel()
@@ -313,6 +399,7 @@ impl Scenario {
             wall_time_s,
             sim_cycles_per_second,
             link,
+            tenants: None,
         })
     }
 
@@ -382,6 +469,118 @@ impl Scenario {
             wall_time_s,
             sim_cycles_per_second,
             link,
+            tenants: None,
+        })
+    }
+
+    /// The multi-tenant path: `streams` concurrent copies of the
+    /// interleaver run through a [`StreamScheduler`] under the configured
+    /// policy; the DRAM counters come from the scheduler's single combined
+    /// statistics window (writes and reads interleave freely, so the two
+    /// per-phase utilization columns both carry the combined window's bus
+    /// utilization), and the per-tenant latency metrics fill
+    /// [`Record::tenants`].
+    fn run_tenant_mode(&self) -> Result<Record, ExpError> {
+        let stage = self
+            .tenants
+            .expect("run_tenant_mode requires a tenant stage");
+        let started = std::time::Instant::now();
+        let streams: Vec<StreamSpec> = (0..stage.streams)
+            .map(|index| {
+                StreamSpec::new(format!("tenant-{index:04}"), *self.spec())
+                    .with_qos(TenantStage::qos_for(index))
+                    .with_mapping(self.mapping)
+                    .with_pattern(PhasePattern::Alternating)
+                    .with_blocks(stage.blocks)
+            })
+            .collect();
+        let sched = SchedConfig::new(stage.policy).with_max_in_flight(stage.max_in_flight_blocks);
+        let scheduler = StreamScheduler::new(self.dram.clone(), self.controller, streams, sched)
+            .map_err(|error| match error {
+                tbi_sched::SchedError::Config(e) => ExpError::Dram(e),
+                tbi_sched::SchedError::Interleaver(e) => ExpError::Interleaver(e),
+                tbi_sched::SchedError::NoStreams => {
+                    unreachable!("tenant stage always builds at least one stream")
+                }
+            })?;
+        let report = scheduler.run();
+        let wall_time_s = started.elapsed().as_secs_f64();
+        let params = EnergyParams::for_config(&self.dram);
+        let mut energy_total_mj = 0.0;
+        let mut total_bytes = 0.0;
+        let mut activates = 0u64;
+        let mut simulated_cycles = 0u64;
+        for stats in report.stats.per_channel() {
+            let energy = EnergyReport::from_stats(stats, &self.dram, &params);
+            energy_total_mj += energy.total_mj;
+            total_bytes += (stats.read_bursts + stats.write_bursts) as f64
+                * f64::from(self.dram.geometry.burst_bytes());
+            activates += stats.activates;
+            simulated_cycles += stats.elapsed_cycles;
+        }
+        let energy_nj_per_byte = if total_bytes > 0.0 {
+            energy_total_mj * 1e6 / total_bytes
+        } else {
+            0.0
+        };
+        let sim_cycles_per_second = if wall_time_s > 0.0 {
+            simulated_cycles as f64 / wall_time_s
+        } else {
+            0.0
+        };
+        let utilization = report.stats.utilization();
+        let aggregate_gbps = report
+            .stats
+            .aggregate_bandwidth_gbps(self.dram.clock_mhz(), self.dram.geometry.bus_width_bits);
+        let row_hit_rate = report.stats.aggregate().row_hit_rate();
+        let link = self.link.as_ref().map(LinkStage::run).transpose()?;
+        let per_tenant = report
+            .tenants
+            .iter()
+            .map(|tenant| TenantLatency {
+                tenant: tenant.tenant.clone(),
+                qos: tenant.qos.label().to_string(),
+                requests: tenant.requests,
+                mean_latency_cycles: tenant.latency.mean(),
+                p50_latency_cycles: tenant.latency.p50(),
+                p99_latency_cycles: tenant.latency.p99(),
+                deadline_misses: tenant.deadline_misses,
+            })
+            .collect();
+        let tenants = TenantSummary {
+            policy: report.policy.label().to_string(),
+            streams: stage.streams,
+            fairness_index: report.fairness_index(),
+            worst_p50_cycles: report.worst_p50(),
+            worst_p99_cycles: report.worst_p99(),
+            deadline_misses: report.total_deadline_misses(),
+            per_tenant,
+        };
+        Ok(Record {
+            scenario_id: self.id(),
+            dram_label: self.dram.label(),
+            mapping: self.mapping.label(),
+            bursts: self.spec.burst_count(),
+            dimension: self.spec.dimension(),
+            refresh_disabled: self.controller.refresh_mode == Some(RefreshMode::Disabled),
+            channels: self.dram.topology.channels,
+            ranks: self.dram.topology.ranks,
+            write_utilization: utilization,
+            read_utilization: utilization,
+            min_utilization: utilization,
+            sustained_gbps: aggregate_gbps / f64::from(self.dram.topology.channels),
+            aggregate_gbps,
+            channel_utilization_spread: report.stats.utilization_spread(),
+            write_row_hit_rate: row_hit_rate,
+            read_row_hit_rate: row_hit_rate,
+            activates,
+            energy_total_mj,
+            energy_nj_per_byte,
+            simulated_cycles,
+            wall_time_s,
+            sim_cycles_per_second,
+            link,
+            tenants: Some(tenants),
         })
     }
 }
@@ -408,7 +607,15 @@ impl std::fmt::Display for Scenario {
             self.controller.page_policy,
             self.controller.queue_capacity,
             self.controller.engine,
-        )
+        )?;
+        if let Some(stage) = &self.tenants {
+            write!(
+                f,
+                " tenants={} policy={} blocks={}",
+                stage.streams, stage.policy, stage.blocks
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -45,6 +45,37 @@ pub fn json_number(value: f64) -> String {
     }
 }
 
+fn tenants_to_json(summary: &crate::record::TenantSummary) -> String {
+    let per_tenant: Vec<String> = summary
+        .per_tenant
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"tenant\":{},\"qos\":{},\"requests\":{},\"mean_latency_cycles\":{},\
+                 \"p50_latency_cycles\":{},\"p99_latency_cycles\":{},\"deadline_misses\":{}}}",
+                json_string(&t.tenant),
+                json_string(&t.qos),
+                t.requests,
+                json_number(t.mean_latency_cycles),
+                t.p50_latency_cycles,
+                t.p99_latency_cycles,
+                t.deadline_misses,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"policy\":{},\"streams\":{},\"fairness_index\":{},\"worst_p50_cycles\":{},\
+         \"worst_p99_cycles\":{},\"deadline_misses\":{},\"per_tenant\":[{}]}}",
+        json_string(&summary.policy),
+        summary.streams,
+        json_number(summary.fairness_index),
+        summary.worst_p50_cycles,
+        summary.worst_p99_cycles,
+        summary.deadline_misses,
+        per_tenant.join(","),
+    )
+}
+
 fn record_to_json(record: &Record) -> String {
     let link = match &record.link {
         None => "null".to_string(),
@@ -62,7 +93,7 @@ fn record_to_json(record: &Record) -> String {
          \"aggregate_gbps\":{},\"channel_utilization_spread\":{},\"write_row_hit_rate\":{},\
          \"read_row_hit_rate\":{},\"activates\":{},\"energy_total_mj\":{},\
          \"energy_nj_per_byte\":{},\"simulated_cycles\":{},\"wall_time_s\":{},\
-         \"sim_cycles_per_second\":{},\"link\":{}}}",
+         \"sim_cycles_per_second\":{},\"link\":{},\"tenants\":{}}}",
         json_string(&record.scenario_id),
         json_string(&record.dram_label),
         json_string(&record.mapping),
@@ -86,6 +117,10 @@ fn record_to_json(record: &Record) -> String {
         json_number(record.wall_time_s),
         json_number(record.sim_cycles_per_second),
         link,
+        match &record.tenants {
+            None => "null".to_string(),
+            Some(summary) => tenants_to_json(summary),
+        },
     )
 }
 
@@ -106,13 +141,16 @@ pub fn records_to_json(records: &[Record]) -> String {
     out
 }
 
-/// The CSV header emitted by [`records_to_csv`] (25 columns).
+/// The CSV header emitted by [`records_to_csv`] (30 columns).  The five
+/// tenant columns are empty for records without a multi-tenant stage; the
+/// per-tenant breakdown is only available in the JSON form.
 pub const CSV_HEADER: &str = "scenario_id,dram,mapping,bursts,dimension,refresh_disabled,\
 channels,ranks,write_utilization,read_utilization,min_utilization,sustained_gbps,\
 aggregate_gbps,channel_utilization_spread,write_row_hit_rate,\
 read_row_hit_rate,activates,energy_total_mj,energy_nj_per_byte,simulated_cycles,\
 wall_time_s,sim_cycles_per_second,frame_error_rate,\
-channel_symbol_error_rate,residual_symbol_error_rate";
+channel_symbol_error_rate,residual_symbol_error_rate,tenant_policy,tenant_streams,\
+tenant_fairness_index,tenant_worst_p50_cycles,tenant_worst_p99_cycles";
 
 /// Quotes a CSV field if it contains a comma, quote or newline.
 fn csv_field(value: &str) -> String {
@@ -138,8 +176,24 @@ pub fn records_to_csv(records: &[Record]) -> String {
                 json_number(l.residual_symbol_error_rate),
             ),
         };
+        let (policy, streams, fairness, p50, p99) = match &r.tenants {
+            None => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
+            Some(t) => (
+                t.policy.clone(),
+                t.streams.to_string(),
+                json_number(t.fairness_index),
+                t.worst_p50_cycles.to_string(),
+                t.worst_p99_cycles.to_string(),
+            ),
+        };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(&r.scenario_id),
             csv_field(&r.dram_label),
             csv_field(&r.mapping),
@@ -165,6 +219,11 @@ pub fn records_to_csv(records: &[Record]) -> String {
             fer,
             cser,
             rser,
+            csv_field(&policy),
+            streams,
+            fairness,
+            p50,
+            p99,
         ));
     }
     out
@@ -328,6 +387,38 @@ mod tests {
                 channel_symbol_error_rate: 0.05,
                 residual_symbol_error_rate: 0.001,
             }),
+            tenants: None,
+        }
+    }
+
+    fn tenant_summary() -> crate::record::TenantSummary {
+        crate::record::TenantSummary {
+            policy: "weighted_share".to_string(),
+            streams: 2,
+            fairness_index: 0.875,
+            worst_p50_cycles: 4_000,
+            worst_p99_cycles: 12_000,
+            deadline_misses: 3,
+            per_tenant: vec![
+                crate::record::TenantLatency {
+                    tenant: "tenant-0000".to_string(),
+                    qos: "premium".to_string(),
+                    requests: 1_000,
+                    mean_latency_cycles: 1_234.5,
+                    p50_latency_cycles: 1_000,
+                    p99_latency_cycles: 4_000,
+                    deadline_misses: 0,
+                },
+                crate::record::TenantLatency {
+                    tenant: "tenant-0001".to_string(),
+                    qos: "best_effort".to_string(),
+                    requests: 1_000,
+                    mean_latency_cycles: 6_789.0,
+                    p50_latency_cycles: 8_000,
+                    p99_latency_cycles: 12_000,
+                    deadline_misses: 3,
+                },
+            ],
         }
     }
 
@@ -400,14 +491,66 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], CSV_HEADER);
-        assert_eq!(lines[0].split(',').count(), 25);
-        assert_eq!(lines[1].split(',').count(), 25);
+        assert_eq!(lines[0].split(',').count(), 30);
+        assert_eq!(lines[1].split(',').count(), 30);
         assert!(
-            lines[1].ends_with(",,,"),
-            "link columns empty: {}",
+            lines[1].ends_with(",,,,,,,,"),
+            "link and tenant columns empty: {}",
             lines[1]
         );
         assert!(lines[2].contains("0.015625"));
+    }
+
+    #[test]
+    fn tenant_summary_round_trips_through_json_and_csv() {
+        let mut record = sample("tenants", false);
+        record.tenants = Some(tenant_summary());
+        let text = records_to_json(&[record.clone()]);
+        let value = parse(&text).expect("tenant JSON parses");
+        let first = &value.as_array().unwrap()[0];
+        let tenants = first.get("tenants").expect("tenants object");
+        assert_eq!(
+            tenants.get("policy").and_then(JsonValue::as_str),
+            Some("weighted_share")
+        );
+        assert_eq!(
+            tenants.get("fairness_index").and_then(JsonValue::as_f64),
+            Some(0.875)
+        );
+        assert_eq!(
+            tenants.get("worst_p99_cycles").and_then(JsonValue::as_f64),
+            Some(12_000.0)
+        );
+        let per_tenant = tenants
+            .get("per_tenant")
+            .and_then(JsonValue::as_array)
+            .expect("per-tenant array");
+        assert_eq!(per_tenant.len(), 2);
+        assert_eq!(
+            per_tenant[1].get("qos").and_then(JsonValue::as_str),
+            Some("best_effort")
+        );
+        assert_eq!(
+            per_tenant[1]
+                .get("p99_latency_cycles")
+                .and_then(JsonValue::as_f64),
+            Some(12_000.0)
+        );
+        // A record without tenants still serializes the field as null.
+        let plain = records_to_json(&[sample("plain", false)]);
+        let value = parse(&plain).unwrap();
+        assert!(matches!(
+            value.as_array().unwrap()[0].get("tenants"),
+            Some(JsonValue::Null)
+        ));
+        // CSV carries the five summary columns.
+        let csv = records_to_csv(&[record]);
+        let line = csv.lines().nth(1).unwrap();
+        assert_eq!(line.split(',').count(), 30);
+        assert!(
+            line.ends_with("weighted_share,2,0.875,4000,12000"),
+            "{line}"
+        );
     }
 
     #[test]

@@ -14,14 +14,15 @@
 
 use tbi_exp::json::{parse, JsonValue};
 use tbi_exp::serialize::{records_to_csv, records_to_json, CSV_HEADER};
-use tbi_exp::{LinkRecord, Record};
+use tbi_exp::{LinkRecord, Record, TenantLatency, TenantSummary};
 
 const JSON_FIXTURE: &str = include_str!("fixtures/records_golden.json");
 const CSV_FIXTURE: &str = include_str!("fixtures/records_golden.csv");
 
 /// A fixed, fully populated record set: a legacy single-channel record
-/// without a link stage, a multi-channel/multi-rank record, and a record
-/// with a link stage plus characters that exercise JSON/CSV escaping.
+/// without a link stage, a multi-channel/multi-rank record with a tenant
+/// summary, and a record with a link stage plus characters that exercise
+/// JSON/CSV escaping.
 fn golden_records() -> Vec<Record> {
     vec![
         Record {
@@ -48,6 +49,7 @@ fn golden_records() -> Vec<Record> {
             wall_time_s: 0.5,
             sim_cycles_per_second: 330_864.0,
             link: None,
+            tenants: None,
         },
         Record {
             scenario_id: "LPDDR4-4266/b20000/optimized/refresh=off/c4r2".to_string(),
@@ -73,6 +75,34 @@ fn golden_records() -> Vec<Record> {
             wall_time_s: 0.25,
             sim_cycles_per_second: 2_801_664.0,
             link: None,
+            tenants: Some(TenantSummary {
+                policy: "weighted_share".to_string(),
+                streams: 2,
+                fairness_index: 0.8125,
+                worst_p50_cycles: 2_047,
+                worst_p99_cycles: 16_383,
+                deadline_misses: 1,
+                per_tenant: vec![
+                    TenantLatency {
+                        tenant: "tenant-0000".to_string(),
+                        qos: "premium".to_string(),
+                        requests: 20_100,
+                        mean_latency_cycles: 768.5,
+                        p50_latency_cycles: 511,
+                        p99_latency_cycles: 2_047,
+                        deadline_misses: 0,
+                    },
+                    TenantLatency {
+                        tenant: "tenant-0001".to_string(),
+                        qos: "standard".to_string(),
+                        requests: 20_100,
+                        mean_latency_cycles: 3_072.25,
+                        p50_latency_cycles: 2_047,
+                        p99_latency_cycles: 16_383,
+                        deadline_misses: 1,
+                    },
+                ],
+            }),
         },
         Record {
             scenario_id: "custom \"quoted\", with commas".to_string(),
@@ -102,6 +132,7 @@ fn golden_records() -> Vec<Record> {
                 channel_symbol_error_rate: 0.05078125,
                 residual_symbol_error_rate: 0.0009765625,
             }),
+            tenants: None,
         },
     ]
 }
@@ -190,6 +221,35 @@ fn committed_json_fixture_round_trips_through_the_parser() {
                 );
             }
         }
+        match &record.tenants {
+            None => assert!(matches!(object.get("tenants"), Some(JsonValue::Null))),
+            Some(tenants) => {
+                let parsed = object.get("tenants").expect("tenants object present");
+                assert_eq!(
+                    parsed.get("policy").and_then(JsonValue::as_str),
+                    Some(tenants.policy.as_str())
+                );
+                assert_eq!(
+                    parsed.get("fairness_index").and_then(JsonValue::as_f64),
+                    Some(tenants.fairness_index)
+                );
+                let per_tenant = parsed
+                    .get("per_tenant")
+                    .and_then(JsonValue::as_array)
+                    .expect("per-tenant array present");
+                assert_eq!(per_tenant.len(), tenants.per_tenant.len());
+                for (entry, tenant) in per_tenant.iter().zip(&tenants.per_tenant) {
+                    assert_eq!(
+                        entry.get("tenant").and_then(JsonValue::as_str),
+                        Some(tenant.tenant.as_str())
+                    );
+                    assert_eq!(
+                        entry.get("p99_latency_cycles").and_then(JsonValue::as_f64),
+                        Some(tenant.p99_latency_cycles as f64)
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -198,7 +258,7 @@ fn committed_csv_fixture_matches_the_header_contract() {
     let mut lines = CSV_FIXTURE.lines();
     assert_eq!(lines.next(), Some(CSV_HEADER));
     let columns = CSV_HEADER.split(',').count();
-    assert_eq!(columns, 25, "column additions must update this contract");
+    assert_eq!(columns, 30, "column additions must update this contract");
     for line in lines {
         // Quoted fields may embed commas; strip quoted sections first.
         let mut in_quotes = false;

@@ -1,0 +1,128 @@
+//! Integration tests for the multi-tenant scenario mode.
+//!
+//! These cover the contracts the scheduler's own unit tests cannot see:
+//! the scenario ID tagging, the record-level tenant summary, engine
+//! equivalence of full records, and worker-count determinism of tenant
+//! sweeps run through [`Experiment`].
+
+use tbi_dram::{DramStandard, TimingEngine};
+use tbi_exp::{Experiment, Scenario, TenantStage};
+use tbi_interleaver::{InterleaverSpec, MappingKind};
+use tbi_sched::SchedPolicyKind;
+
+fn tenant_scenario(streams: u32, policy: SchedPolicyKind, engine: TimingEngine) -> Scenario {
+    Scenario::preset(
+        DramStandard::Ddr4,
+        3200,
+        MappingKind::Optimized,
+        InterleaverSpec::from_burst_count(600),
+    )
+    .expect("preset builds")
+    .with_engine(engine)
+    .with_tenants(TenantStage::new(streams, policy))
+}
+
+#[test]
+fn tenant_stage_tags_the_scenario_id() {
+    let scenario = tenant_scenario(8, SchedPolicyKind::WeightedShare, TimingEngine::Event);
+    let id = scenario.id();
+    assert!(
+        id.ends_with("/tenants=8xweighted_share"),
+        "tenant tag missing from id: {id}"
+    );
+    // Distinct stages must produce distinct IDs so sweep records stay unique.
+    let other = tenant_scenario(8, SchedPolicyKind::Edf, TimingEngine::Event);
+    assert_ne!(id, other.id());
+}
+
+#[test]
+fn tenant_record_reports_every_stream_with_consistent_quantiles() {
+    let record = tenant_scenario(6, SchedPolicyKind::RoundRobin, TimingEngine::Event)
+        .run()
+        .expect("tenant scenario runs");
+    let tenants = record.tenants.as_ref().expect("tenant summary present");
+    assert_eq!(tenants.policy, "round_robin");
+    assert_eq!(tenants.streams, 6);
+    assert_eq!(tenants.per_tenant.len(), 6);
+    assert!(
+        tenants.fairness_index > 1.0 / 6.0 - 1e-12 && tenants.fairness_index <= 1.0 + 1e-12,
+        "fairness index out of Jain bounds: {}",
+        tenants.fairness_index
+    );
+    let mut total_requests = 0;
+    for tenant in &tenants.per_tenant {
+        assert!(tenant.requests > 0, "{} completed nothing", tenant.tenant);
+        assert!(
+            tenant.p99_latency_cycles >= tenant.p50_latency_cycles,
+            "{}: p99 {} < p50 {}",
+            tenant.tenant,
+            tenant.p99_latency_cycles,
+            tenant.p50_latency_cycles
+        );
+        assert!(tenant.mean_latency_cycles >= 0.0);
+        assert!(
+            ["premium", "standard", "best_effort"].contains(&tenant.qos.as_str()),
+            "unknown QoS label {}",
+            tenant.qos
+        );
+        total_requests += tenant.requests;
+    }
+    assert_eq!(
+        tenants.worst_p99_cycles,
+        tenants
+            .per_tenant
+            .iter()
+            .map(|t| t.p99_latency_cycles)
+            .max()
+            .unwrap()
+    );
+    // Every stream pushes one full triangular block set through DRAM.
+    let per_block = InterleaverSpec::from_burst_count(600).total_positions();
+    let stage_blocks = 2; // TenantStage::new default
+    assert_eq!(total_requests, 6 * stage_blocks * per_block);
+    // The throughput columns are still populated in tenant mode.
+    assert!(record.min_utilization > 0.0);
+    assert!(record.aggregate_gbps > 0.0);
+    assert!(record.simulated_cycles > 0);
+}
+
+#[test]
+fn tenant_records_agree_across_timing_engines() {
+    for policy in SchedPolicyKind::ALL {
+        let event = tenant_scenario(4, policy, TimingEngine::Event)
+            .run()
+            .expect("event engine runs");
+        let cycle = tenant_scenario(4, policy, TimingEngine::Cycle)
+            .run()
+            .expect("cycle engine runs");
+        // Engine choice is part of the scenario ID; everything else must
+        // agree bit-exactly, including the tenant summary.
+        assert_eq!(event.tenants, cycle.tenants, "policy {policy}");
+        assert_eq!(event.simulated_cycles, cycle.simulated_cycles);
+        assert_eq!(event.min_utilization, cycle.min_utilization);
+    }
+}
+
+#[test]
+fn tenant_sweeps_are_deterministic_for_any_worker_count() {
+    let scenarios = || {
+        vec![
+            tenant_scenario(5, SchedPolicyKind::RoundRobin, TimingEngine::Event),
+            tenant_scenario(5, SchedPolicyKind::WeightedShare, TimingEngine::Event),
+            tenant_scenario(5, SchedPolicyKind::Edf, TimingEngine::Event),
+        ]
+    };
+    let serial = Experiment::new(scenarios())
+        .with_workers(1)
+        .run()
+        .expect("serial sweep runs");
+    let parallel = Experiment::new(scenarios())
+        .with_workers(4)
+        .run()
+        .expect("parallel sweep runs");
+    assert_eq!(serial, parallel, "records must not depend on worker count");
+    assert_eq!(serial.len(), 3);
+    for record in &serial {
+        assert!(record.tenants.is_some());
+    }
+}

@@ -249,9 +249,12 @@ impl ChannelMapping {
     /// The row-major and permutation routers stage linear indices through a
     /// stack chunk and decode whole slices (see
     /// [`AddressDecoder::decode_slice`] and
-    /// [`PermutedMapping::route_batch`]); the stripe-tile router routes per
-    /// element (its cost is a handful of shifts, with no linear decode stage
-    /// to amortize).  Results are bit-identical to per-element `route`.
+    /// [`PermutedMapping::route_batch`]); the stripe-tile router stages lane
+    /// indices and compacted inner coordinates through a stack chunk, maps
+    /// the inner coordinates with the wrapped scheme's
+    /// [`DramMapping::map_batch`] kernel and then overwrites the channel and
+    /// rank lanes in two tight per-lane loops.  Results are bit-identical to
+    /// per-element `route`.
     ///
     /// # Panics
     ///
@@ -285,11 +288,54 @@ impl ChannelMapping {
                     });
                 }
             }
-            Router::TileRotate { .. } => {
-                out.reserve(coords.len());
-                for &(i, j) in coords {
-                    let (channel, address) = self.route(i, j);
-                    out.push(channel, address);
+            Router::TileRotate {
+                inner,
+                tile,
+                shifts,
+            } => {
+                let channels = self.topology.channels;
+                let lanes_total = channels * self.topology.ranks;
+                let mut inner_coords = [(0u32, 0u32); BATCH_CHUNK];
+                let mut lane = [0u32; BATCH_CHUNK];
+                let mut scratch = AddressBatch::with_capacity(coords.len().min(BATCH_CHUNK));
+                for chunk in coords.chunks(BATCH_CHUNK) {
+                    let staged = &mut inner_coords[..chunk.len()];
+                    let lanes_staged = &mut lane[..chunk.len()];
+                    match shifts {
+                        Some(s) => {
+                            for ((slot, lane_slot), &(i, j)) in
+                                staged.iter_mut().zip(lanes_staged.iter_mut()).zip(chunk)
+                            {
+                                *lane_slot = ((i >> s.tile) + (j >> s.tile)) & (lanes_total - 1);
+                                let j_inner =
+                                    ((j >> (s.tile + s.channels)) << s.tile) | (j & (tile - 1));
+                                *slot = (i, j_inner);
+                            }
+                        }
+                        None => {
+                            for ((slot, lane_slot), &(i, j)) in
+                                staged.iter_mut().zip(lanes_staged.iter_mut()).zip(chunk)
+                            {
+                                *lane_slot = (i / tile + j / tile) % lanes_total;
+                                let j_inner = (j / (tile * channels)) * tile + j % tile;
+                                *slot = (i, j_inner);
+                            }
+                        }
+                    }
+                    scratch.clear();
+                    inner.map_batch(staged, &mut scratch);
+                    out.append_with(chunk.len(), |lanes| {
+                        lanes.bank_group.copy_from_slice(scratch.bank_groups());
+                        lanes.bank.copy_from_slice(scratch.banks());
+                        lanes.row.copy_from_slice(scratch.rows());
+                        lanes.column.copy_from_slice(scratch.columns());
+                        for (slot, &l) in lanes.channel.iter_mut().zip(lanes_staged.iter()) {
+                            *slot = l % channels;
+                        }
+                        for (slot, &l) in lanes.rank.iter_mut().zip(lanes_staged.iter()) {
+                            *slot = l / channels;
+                        }
+                    });
                 }
             }
             Router::Permuted { mapping } => mapping.route_batch(coords, out),

@@ -234,6 +234,49 @@ proptest! {
         }
     }
 
+    /// The stripe-tile (tile-rotate) router's batched kernel: `route_batch`
+    /// must be bit-identical to per-element `route()` for the wrapped
+    /// coordinate mappings on **non-pow2** channel counts too — those take
+    /// the generic divide-chain lane computation instead of the shift/mask
+    /// fast path, which the pow2-only topology proptest above never reaches.
+    #[test]
+    fn tile_rotate_route_batch_equals_scalar_route_including_non_pow2_lanes(
+        preset_idx in 0usize..ALL_CONFIGS.len(),
+        kind_idx in 0usize..MappingKind::ALL.len(),
+        channels in 1u32..7,
+        ranks in 1u32..3,
+        n in 64u32..250,
+    ) {
+        // The stripe-tile router backs every kind except the row-major
+        // linear splice; keep row-major out so the test name stays honest.
+        let tile_kinds: Vec<MappingKind> = MappingKind::ALL
+            .iter()
+            .copied()
+            .filter(|&kind| kind != MappingKind::RowMajor)
+            .collect();
+        let kind = tile_kinds[kind_idx % tile_kinds.len()];
+        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let dram = DramConfig::preset(standard, rate)
+            .unwrap()
+            .with_topology(ChannelTopology::new(channels, ranks));
+        let mapping = ChannelMapping::new(kind, &dram, n).unwrap();
+
+        let coords: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| (0..n - i).map(move |j| (i, j)))
+            .collect();
+        let mut batch = tbi_dram::AddressBatch::new();
+        mapping.route_batch(&coords, &mut batch);
+        prop_assert_eq!(batch.len(), coords.len());
+        for (index, &(i, j)) in coords.iter().enumerate() {
+            prop_assert_eq!(
+                batch.get(index),
+                mapping.route(i, j),
+                "{} on {} {}x{}: tile-rotate batch diverges at ({},{})",
+                kind, dram.label(), channels, ranks, i, j
+            );
+        }
+    }
+
     /// Scaled-out topologies: the permutation variant of a scenario routes
     /// through [`ChannelMapping`] injectively, covers every channel, and
     /// respects the rank bounds — for random (channels, ranks) and sizes.

@@ -1,0 +1,284 @@
+//! Pluggable stream-selection policies.
+//!
+//! On every scheduler step each channel with free queue slots asks the
+//! active [`SchedPolicy`] which ready stream should feed it next.  The
+//! policy sees one [`CandidateView`] per ready stream and returns the index
+//! of its choice; the scheduler then serves up to a policy-defined quantum
+//! of requests from that stream before asking again, which amortises the
+//! `O(candidates)` selection cost over a batch of enqueues.
+
+/// Identifier of a scheduling policy, used in configuration, CLI flags and
+/// records.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_sched::SchedPolicyKind;
+///
+/// let kind: SchedPolicyKind = "weighted_share".parse().unwrap();
+/// assert_eq!(kind, SchedPolicyKind::WeightedShare);
+/// assert_eq!(kind.to_string(), "weighted_share");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedPolicyKind {
+    /// Cycle through ready streams in index order, one pick each.
+    RoundRobin,
+    /// Share channel slots in proportion to each stream's QoS weight
+    /// (start-time-fair virtual-time queueing).
+    WeightedShare,
+    /// Always serve the ready stream whose head block has the earliest
+    /// deadline.
+    Edf,
+}
+
+impl SchedPolicyKind {
+    /// Every policy, in the order they appear in sweeps and artifacts.
+    pub const ALL: [SchedPolicyKind; 3] = [
+        SchedPolicyKind::RoundRobin,
+        SchedPolicyKind::WeightedShare,
+        SchedPolicyKind::Edf,
+    ];
+
+    /// Stable snake-case label used in records and artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPolicyKind::RoundRobin => "round_robin",
+            SchedPolicyKind::WeightedShare => "weighted_share",
+            SchedPolicyKind::Edf => "edf",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedPolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SchedPolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round_robin" | "rr" => Ok(SchedPolicyKind::RoundRobin),
+            "weighted_share" | "ws" => Ok(SchedPolicyKind::WeightedShare),
+            "edf" => Ok(SchedPolicyKind::Edf),
+            other => Err(format!(
+                "unknown policy '{other}' (expected round_robin, weighted_share or edf)"
+            )),
+        }
+    }
+}
+
+/// A ready stream as seen by a policy when picking.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateView {
+    /// Stream index.
+    pub stream: u32,
+    /// The stream's QoS bandwidth weight.
+    pub weight: u32,
+    /// Absolute deadline (device cycles) of the stream's oldest in-flight
+    /// block.
+    pub head_deadline: u64,
+}
+
+/// A stream-selection policy.
+///
+/// Implementations must be deterministic: the same candidate sequence and
+/// `on_served` history must produce the same picks, because scheduler runs
+/// are required to be bit-reproducible.
+pub trait SchedPolicy {
+    /// Which policy this is.
+    fn kind(&self) -> SchedPolicyKind;
+
+    /// Picks a stream for `channel` from `candidates` and returns its
+    /// stream index.  `candidates` is never empty and is sorted by stream
+    /// index.
+    fn pick(&mut self, channel: u32, candidates: &[CandidateView]) -> u32;
+
+    /// Informs the policy that `requests` requests of a stream with
+    /// `weight` were just enqueued on behalf of `stream`.
+    fn on_served(&mut self, stream: u32, requests: u64, weight: u32);
+
+    /// How many requests the scheduler may serve from one pick before
+    /// consulting the policy again.
+    fn quantum(&self, weight: u32) -> usize;
+}
+
+/// Builds the policy implementation for `kind` over `streams` streams on
+/// `channels` channels.
+#[must_use]
+pub fn build_policy(kind: SchedPolicyKind, streams: usize, channels: u32) -> Box<dyn SchedPolicy> {
+    match kind {
+        SchedPolicyKind::RoundRobin => Box::new(RoundRobin {
+            cursor: vec![0; channels as usize],
+        }),
+        SchedPolicyKind::WeightedShare => Box::new(WeightedShare {
+            vtime: vec![0; streams],
+        }),
+        SchedPolicyKind::Edf => Box::new(Edf),
+    }
+}
+
+/// Round-robin: a per-channel cursor walks the stream indices; each pick
+/// takes the first ready stream at or after the cursor.
+struct RoundRobin {
+    cursor: Vec<u32>,
+}
+
+impl SchedPolicy for RoundRobin {
+    fn kind(&self) -> SchedPolicyKind {
+        SchedPolicyKind::RoundRobin
+    }
+
+    fn pick(&mut self, channel: u32, candidates: &[CandidateView]) -> u32 {
+        let cursor = &mut self.cursor[channel as usize];
+        let picked = candidates
+            .iter()
+            .map(|c| c.stream)
+            .find(|&s| s >= *cursor)
+            .unwrap_or(candidates[0].stream);
+        *cursor = picked + 1;
+        picked
+    }
+
+    fn on_served(&mut self, _stream: u32, _requests: u64, _weight: u32) {}
+
+    fn quantum(&self, _weight: u32) -> usize {
+        usize::MAX
+    }
+}
+
+/// Weighted bandwidth share via virtual time: serving `r` requests at
+/// weight `w` advances the stream's virtual clock by `r × SCALE / w`, and
+/// each pick takes the smallest `(vtime, stream)` — so long-run service is
+/// proportional to weight regardless of arrival pattern.
+struct WeightedShare {
+    vtime: Vec<u64>,
+}
+
+/// Fixed-point scale for virtual-time arithmetic.
+const VTIME_SCALE: u64 = 1 << 16;
+
+impl SchedPolicy for WeightedShare {
+    fn kind(&self) -> SchedPolicyKind {
+        SchedPolicyKind::WeightedShare
+    }
+
+    fn pick(&mut self, _channel: u32, candidates: &[CandidateView]) -> u32 {
+        candidates
+            .iter()
+            .min_by_key(|c| (self.vtime[c.stream as usize], c.stream))
+            .map(|c| c.stream)
+            .expect("candidates is never empty")
+    }
+
+    fn on_served(&mut self, stream: u32, requests: u64, weight: u32) {
+        let weight = u64::from(weight.max(1));
+        self.vtime[stream as usize] = self.vtime[stream as usize]
+            .saturating_add(requests.saturating_mul(VTIME_SCALE) / weight);
+    }
+
+    fn quantum(&self, weight: u32) -> usize {
+        16 * weight.max(1) as usize
+    }
+}
+
+/// Earliest deadline first: each pick takes the smallest
+/// `(head_deadline, stream)`.
+struct Edf;
+
+impl SchedPolicy for Edf {
+    fn kind(&self) -> SchedPolicyKind {
+        SchedPolicyKind::Edf
+    }
+
+    fn pick(&mut self, _channel: u32, candidates: &[CandidateView]) -> u32 {
+        candidates
+            .iter()
+            .min_by_key(|c| (c.head_deadline, c.stream))
+            .map(|c| c.stream)
+            .expect("candidates is never empty")
+    }
+
+    fn on_served(&mut self, _stream: u32, _requests: u64, _weight: u32) {}
+
+    fn quantum(&self, _weight: u32) -> usize {
+        usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(stream: u32, weight: u32, head_deadline: u64) -> CandidateView {
+        CandidateView {
+            stream,
+            weight,
+            head_deadline,
+        }
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in SchedPolicyKind::ALL {
+            assert_eq!(kind.label().parse::<SchedPolicyKind>().unwrap(), kind);
+        }
+        assert!("bogus".parse::<SchedPolicyKind>().is_err());
+    }
+
+    #[test]
+    fn round_robin_cycles_per_channel() {
+        let mut policy = build_policy(SchedPolicyKind::RoundRobin, 3, 2);
+        let candidates = [view(0, 1, 0), view(1, 1, 0), view(2, 1, 0)];
+        assert_eq!(policy.pick(0, &candidates), 0);
+        assert_eq!(policy.pick(0, &candidates), 1);
+        // Channel 1 has its own cursor.
+        assert_eq!(policy.pick(1, &candidates), 0);
+        assert_eq!(policy.pick(0, &candidates), 2);
+        // Cursor wraps.
+        assert_eq!(policy.pick(0, &candidates), 0);
+        // A missing stream is skipped.
+        assert_eq!(policy.pick(0, &[view(0, 1, 0), view(2, 1, 0)]), 2);
+    }
+
+    #[test]
+    fn weighted_share_serves_in_weight_proportion() {
+        let mut policy = build_policy(SchedPolicyKind::WeightedShare, 2, 1);
+        let candidates = [view(0, 4, 0), view(1, 1, 0)];
+        let mut served = [0u64; 2];
+        for _ in 0..100 {
+            let picked = policy.pick(0, &candidates);
+            let quantum = policy.quantum(candidates[picked as usize].weight) as u64;
+            served[picked as usize] += quantum;
+            policy.on_served(picked, quantum, candidates[picked as usize].weight);
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!(
+            (ratio - 4.0).abs() < 1.0,
+            "expected ~4:1 service ratio, got {ratio} ({served:?})"
+        );
+    }
+
+    #[test]
+    fn edf_takes_earliest_deadline_with_stream_tiebreak() {
+        let mut policy = build_policy(SchedPolicyKind::Edf, 3, 1);
+        assert_eq!(
+            policy.pick(0, &[view(0, 1, 900), view(1, 1, 100), view(2, 1, 500)]),
+            1
+        );
+        assert_eq!(policy.pick(0, &[view(1, 1, 700), view(2, 1, 700)]), 1);
+    }
+
+    #[test]
+    fn single_candidate_is_always_picked() {
+        for kind in SchedPolicyKind::ALL {
+            let mut policy = build_policy(kind, 4, 2);
+            for _ in 0..5 {
+                assert_eq!(policy.pick(1, &[view(3, 2, 42)]), 3, "{kind}");
+            }
+        }
+    }
+}

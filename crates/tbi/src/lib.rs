@@ -12,6 +12,8 @@
 //!   ([`tbi_interleaver`]);
 //! * [`satcom`] — Reed–Solomon FEC, burst channels and the end-to-end
 //!   optical-downlink simulation ([`tbi_satcom`]);
+//! * [`sched`] — the multi-tenant stream scheduler: QoS policies,
+//!   admission control and per-tenant latency histograms ([`tbi_sched`]);
 //! * [`exp`] — the declarative [`Scenario`]/[`SweepGrid`]/[`Experiment`]
 //!   evaluation layer with parallel sweeps and JSON/CSV results
 //!   ([`tbi_exp`]).
@@ -46,6 +48,7 @@ pub use tbi_dram as dram;
 pub use tbi_exp as exp;
 pub use tbi_interleaver as interleaver;
 pub use tbi_satcom as satcom;
+pub use tbi_sched as sched;
 
 pub use tbi_dram::{
     AddressField, BitPermutation, ChannelRouter, ChannelTopology, CombinedStats, ControllerConfig,
@@ -64,6 +67,10 @@ pub use tbi_interleaver::{
 pub use tbi_satcom::{
     BandwidthBudget, CoherenceFading, GilbertElliott, LinkConfig, LinkReport, LinkSimulation,
     ReedSolomon,
+};
+pub use tbi_sched::{
+    LatencyHistogram, QosClass, SchedConfig, SchedPolicyKind, SchedReport, StreamScheduler,
+    StreamSpec, TenantReport,
 };
 
 #[cfg(test)]
