@@ -1,0 +1,297 @@
+//! Performance-trajectory gate: compares a freshly measured benchmark
+//! artifact against the committed `BENCH_*.json` baseline with per-metric
+//! tolerances.
+//!
+//! The committed artifacts record the performance wins of past PRs (engine
+//! speedup, channel scaling, mapping-search gains, tenant QoS separation).
+//! The `perf_gate` binary re-runs a scaled-down version of each workload and
+//! calls [`evaluate`] to check that no metric has regressed beyond its
+//! tolerance; CI fails on any `FAIL` line.  The pass/fail logic lives here —
+//! in the library, not the binary — so the regression and tolerance-boundary
+//! fixtures can pin it byte-for-byte (see `tests/perf_gate_golden.rs`).
+
+use tbi_exp::json::JsonValue;
+
+/// How one metric of the current run is judged against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckKind {
+    /// The current value must be at least `tolerance × committed` (e.g.
+    /// `MinRatio(0.5)`: a scaled-down re-run may lose up to half the
+    /// committed metric before the gate fails).  Committed values ≤ 0 fail
+    /// the check outright — a non-positive baseline means the committed
+    /// artifact itself is broken.
+    MinRatio(f64),
+    /// The current value must be the boolean `true` (identity/correctness
+    /// flags like `records_identical` or `all_identical`, which must hold at
+    /// any scale).
+    MustBeTrue,
+    /// The current value must be at least this absolute floor, independent
+    /// of the committed value.
+    AbsFloor(f64),
+}
+
+impl std::fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckKind::MinRatio(tolerance) => write!(f, ">= {tolerance} x committed"),
+            CheckKind::MustBeTrue => write!(f, "must be true"),
+            CheckKind::AbsFloor(floor) => write!(f, ">= {floor}"),
+        }
+    }
+}
+
+/// One metric to gate: the top-level JSON key and how to judge it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Top-level key of the artifact object holding the metric.
+    pub metric: String,
+    /// Pass criterion.
+    pub kind: CheckKind,
+}
+
+impl Check {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(metric: impl Into<String>, kind: CheckKind) -> Self {
+        Self {
+            metric: metric.into(),
+            kind,
+        }
+    }
+}
+
+/// Outcome of one [`Check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckResult {
+    /// The gated metric key.
+    pub metric: String,
+    /// The criterion that was applied.
+    pub kind: CheckKind,
+    /// Whether the metric passed.
+    pub passed: bool,
+    /// Human-readable evidence (values involved, or the missing key).
+    pub detail: String,
+}
+
+/// Outcome of gating one benchmark artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// The artifact's `bench` tag (e.g. `engine_speed`).
+    pub bench: String,
+    /// Per-check outcomes, in check order.
+    pub results: Vec<CheckResult>,
+}
+
+impl GateReport {
+    /// Whether every check passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.results.iter().all(|r| r.passed)
+    }
+
+    /// Renders the report as one `PASS`/`FAIL` line per check plus a final
+    /// verdict line.  The output is deterministic for fixed inputs (floats
+    /// print via `Display`, the shortest round-trip form), so golden tests
+    /// can pin it byte-for-byte.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for result in &self.results {
+            let status = if result.passed { "PASS" } else { "FAIL" };
+            out.push_str(&format!(
+                "{status} {}/{} ({}): {}\n",
+                self.bench, result.metric, result.kind, result.detail
+            ));
+        }
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        out.push_str(&format!("{verdict} {}\n", self.bench));
+        out
+    }
+}
+
+/// Extracts a finite f64 from a top-level key.
+fn number(doc: &JsonValue, key: &str) -> Result<f64, String> {
+    match doc.get(key) {
+        None => Err(format!("missing key `{key}`")),
+        Some(value) => match value.as_f64() {
+            Some(n) if n.is_finite() => Ok(n),
+            Some(n) => Err(format!("`{key}` is not finite ({n})")),
+            None => Err(format!("`{key}` is not a number")),
+        },
+    }
+}
+
+/// Judges every check of `checks` for the `bench` artifact, comparing the
+/// freshly measured `current` document against the `committed` baseline.
+///
+/// A key missing from either document — or holding the wrong type — fails
+/// its check rather than being skipped: a silently missing metric is
+/// indistinguishable from a regression.
+#[must_use]
+pub fn evaluate(
+    bench: &str,
+    current: &JsonValue,
+    committed: &JsonValue,
+    checks: &[Check],
+) -> GateReport {
+    let results = checks
+        .iter()
+        .map(|check| {
+            let (passed, detail) = match check.kind {
+                CheckKind::MustBeTrue => match current.get(&check.metric) {
+                    Some(JsonValue::Bool(true)) => (true, "true".to_string()),
+                    Some(JsonValue::Bool(false)) => (false, "false".to_string()),
+                    Some(_) => (false, format!("`{}` is not a boolean", check.metric)),
+                    None => (false, format!("missing key `{}`", check.metric)),
+                },
+                CheckKind::AbsFloor(floor) => match number(current, &check.metric) {
+                    Ok(value) => (value >= floor, format!("current {value}, floor {floor}")),
+                    Err(message) => (false, message),
+                },
+                CheckKind::MinRatio(tolerance) => {
+                    match (
+                        number(current, &check.metric),
+                        number(committed, &check.metric),
+                    ) {
+                        (Ok(value), Ok(baseline)) => {
+                            if baseline <= 0.0 {
+                                (
+                                    false,
+                                    format!("committed baseline {baseline} is not positive"),
+                                )
+                            } else {
+                                (
+                                    value >= baseline * tolerance,
+                                    format!(
+                                        "current {value}, committed {baseline}, \
+                                         required {}",
+                                        baseline * tolerance
+                                    ),
+                                )
+                            }
+                        }
+                        (Err(message), _) => (false, format!("current: {message}")),
+                        (_, Err(message)) => (false, format!("committed: {message}")),
+                    }
+                }
+            };
+            CheckResult {
+                metric: check.metric.clone(),
+                kind: check.kind,
+                passed,
+                detail,
+            }
+        })
+        .collect();
+    GateReport {
+        bench: bench.to_string(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbi_exp::json::parse;
+
+    fn doc(text: &str) -> JsonValue {
+        parse(text).unwrap()
+    }
+
+    #[test]
+    fn min_ratio_passes_at_and_above_the_boundary() {
+        let committed = doc(r#"{"speedup": 10.0}"#);
+        for (current_value, expect) in [(5.0, true), (4.999, false), (10.0, true)] {
+            let current = doc(&format!(r#"{{"speedup": {current_value}}}"#));
+            let report = evaluate(
+                "engine_speed",
+                &current,
+                &committed,
+                &[Check::new("speedup", CheckKind::MinRatio(0.5))],
+            );
+            assert_eq!(report.passed(), expect, "current {current_value}");
+        }
+    }
+
+    #[test]
+    fn must_be_true_rejects_false_and_non_booleans() {
+        let committed = doc(r#"{}"#);
+        for (text, expect) in [
+            (r#"{"ok": true}"#, true),
+            (r#"{"ok": false}"#, false),
+            (r#"{"ok": 1}"#, false),
+            (r#"{}"#, false),
+        ] {
+            let report = evaluate(
+                "b",
+                &doc(text),
+                &committed,
+                &[Check::new("ok", CheckKind::MustBeTrue)],
+            );
+            assert_eq!(report.passed(), expect, "doc {text}");
+        }
+    }
+
+    #[test]
+    fn abs_floor_ignores_the_committed_value() {
+        let report = evaluate(
+            "b",
+            &doc(r#"{"x": 1.5}"#),
+            &doc(r#"{"x": 100.0}"#),
+            &[Check::new("x", CheckKind::AbsFloor(1.0))],
+        );
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn missing_keys_fail_instead_of_skipping() {
+        let report = evaluate(
+            "b",
+            &doc(r#"{}"#),
+            &doc(r#"{"x": 1.0}"#),
+            &[Check::new("x", CheckKind::MinRatio(0.5))],
+        );
+        assert!(!report.passed());
+        assert!(report.results[0].detail.contains("missing key `x`"));
+        let report = evaluate(
+            "b",
+            &doc(r#"{"x": 1.0}"#),
+            &doc(r#"{}"#),
+            &[Check::new("x", CheckKind::MinRatio(0.5))],
+        );
+        assert!(!report.passed());
+        assert!(report.results[0].detail.starts_with("committed:"));
+    }
+
+    #[test]
+    fn non_positive_baseline_fails_min_ratio() {
+        let report = evaluate(
+            "b",
+            &doc(r#"{"x": 1.0}"#),
+            &doc(r#"{"x": 0.0}"#),
+            &[Check::new("x", CheckKind::MinRatio(0.5))],
+        );
+        assert!(!report.passed());
+        assert!(report.results[0].detail.contains("not positive"));
+    }
+
+    #[test]
+    fn render_emits_one_line_per_check_plus_verdict() {
+        let report = evaluate(
+            "engine_speed",
+            &doc(r#"{"speedup": 8.0, "records_identical": true}"#),
+            &doc(r#"{"speedup": 10.0}"#),
+            &[
+                Check::new("speedup", CheckKind::MinRatio(0.5)),
+                Check::new("records_identical", CheckKind::MustBeTrue),
+            ],
+        );
+        let text = report.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("PASS engine_speed/speedup"));
+        assert!(lines[1].starts_with("PASS engine_speed/records_identical"));
+        assert_eq!(lines[2], "PASS engine_speed");
+        assert!(report.passed());
+    }
+}

@@ -7,6 +7,8 @@
 //! common command-line surface ([`HarnessOptions`]) and the Table-I-style
 //! text formatting.
 
+pub mod gate;
+
 use std::path::PathBuf;
 
 use tbi_dram::{ControllerConfig, RefreshMode, TimingEngine};
@@ -30,6 +32,9 @@ pub struct HarnessOptions {
     pub no_refresh: bool,
     /// Worker threads for the experiment run (0 = automatic).
     pub workers: usize,
+    /// Worker threads *inside* each scenario, driving the per-channel
+    /// controllers (results are bit-identical for any value; default 1).
+    pub threads: usize,
     /// Write the records as JSON to this path.
     pub json: Option<PathBuf>,
     /// Write the records as CSV to this path.
@@ -53,6 +58,7 @@ impl HarnessOptions {
             bursts: DEFAULT_BURSTS,
             no_refresh: false,
             workers: 0,
+            threads: 1,
             json: None,
             csv: None,
             engine: TimingEngine::default(),
@@ -65,10 +71,10 @@ impl HarnessOptions {
     /// Parses options from command-line arguments.
     ///
     /// Supported flags: `--full` (12.5 M bursts as in the paper),
-    /// `--bursts <n>`, `--no-refresh`, `--workers <n>`, `--json <path>`,
-    /// `--csv <path>`, `--engine <cycle|event>`, `--channels <n>`,
-    /// `--ranks <n>` and `--help`/`-h` (which sets [`HarnessOptions::help`]
-    /// and stops parsing).
+    /// `--bursts <n>`, `--no-refresh`, `--workers <n>`, `--threads <n>`,
+    /// `--json <path>`, `--csv <path>`, `--engine <cycle|event>`,
+    /// `--channels <n>`, `--ranks <n>` and `--help`/`-h` (which sets
+    /// [`HarnessOptions::help`] and stops parsing).
     ///
     /// # Errors
     ///
@@ -109,6 +115,17 @@ impl HarnessOptions {
                             "worker count must be at least 1 (omit --workers for all cores)"
                                 .to_string(),
                         );
+                    }
+                }
+                "--threads" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--threads requires a value".to_string())?;
+                    options.threads = value
+                        .parse()
+                        .map_err(|e| format!("invalid thread count `{value}`: {e}"))?;
+                    if options.threads == 0 {
+                        return Err("thread count must be at least 1".to_string());
                     }
                 }
                 "--channels" => {
@@ -182,6 +199,7 @@ impl HarnessOptions {
                 "--channels",
                 "--ranks",
                 "--workers",
+                "--threads",
                 "--json",
                 "--csv",
             ],
@@ -193,7 +211,7 @@ impl HarnessOptions {
     /// always included.
     #[must_use]
     pub fn usage_for(binary: &str, flags: &[&str]) -> String {
-        let known: [(&str, &str, String); 9] = [
+        let known: [(&str, &str, String); 10] = [
             (
                 "--full",
                 "--full",
@@ -228,6 +246,11 @@ impl HarnessOptions {
                 "--workers",
                 "--workers <n>",
                 "worker threads for the sweep (default: all cores)".to_string(),
+            ),
+            (
+                "--threads",
+                "--threads <n>",
+                "worker threads per scenario, driving its channels (default 1)".to_string(),
             ),
             (
                 "--json",
@@ -283,7 +306,7 @@ impl HarnessOptions {
     ///
     /// Propagates [`ExpError`] from the first failing scenario.
     pub fn run_grid(&self, grid: SweepGrid) -> Result<Vec<Record>, ExpError> {
-        let experiment = grid.into_experiment();
+        let experiment = grid.threads(self.threads).into_experiment();
         let experiment = if self.workers == 0 {
             experiment.with_auto_workers()
         } else {
@@ -386,6 +409,16 @@ mod tests {
     }
 
     #[test]
+    fn parse_threads_flag() {
+        assert_eq!(HarnessOptions::new().threads, 1);
+        let options = HarnessOptions::parse(["--threads", "4"].map(String::from)).unwrap();
+        assert_eq!(options.threads, 4);
+        assert!(HarnessOptions::parse(["--threads"].map(String::from)).is_err());
+        assert!(HarnessOptions::parse(["--threads", "0"].map(String::from)).is_err());
+        assert!(HarnessOptions::parse(["--threads", "many"].map(String::from)).is_err());
+    }
+
+    #[test]
     fn parse_engine_flag() {
         assert_eq!(HarnessOptions::new().engine, TimingEngine::Event);
         let cycle = HarnessOptions::parse(["--engine", "cycle"].map(String::from)).unwrap();
@@ -445,6 +478,7 @@ mod tests {
             // Missing values for every value-taking flag.
             &["--bursts"],
             &["--workers"],
+            &["--threads"],
             &["--json"],
             &["--csv"],
             &["--engine"],
@@ -463,6 +497,8 @@ mod tests {
             &["--bursts", "-5"],
             &["--bursts", "1e6"],
             &["--workers", "many"],
+            &["--threads", "0"],
+            &["--threads", "-1"],
             &["--channels", "0"],
             &["--channels", "3"],
             &["--ranks", "0"],
@@ -506,6 +542,7 @@ mod tests {
             "--channels",
             "--ranks",
             "--workers",
+            "--threads",
             "--json",
             "--csv",
             "--help",

@@ -21,6 +21,20 @@
 //! With a `1 × 1` topology the router degenerates to exactly one controller
 //! and reproduces the legacy single-channel results bit-identically on both
 //! timing engines.
+//!
+//! # Threaded drive mode
+//!
+//! [`ChannelRouter::run_phase_threaded`] executes the same phase with each
+//! channel's controller on its own worker thread.  This is sound because the
+//! sequential loop's per-channel projection is already independent: the
+//! laggard-first clock only decides *which* channel bursts next, never what
+//! a burst does, and a channel's queue is refilled exactly when its own
+//! stepping frees slots.  Each worker therefore replays the projection
+//! `fill → (burst-until-accepting → fill)* → drain` verbatim, and the
+//! per-channel [`Stats`] — reassembled in channel order at the join — are
+//! **bit-identical to the sequential path for any thread count** (pinned by
+//! `tests/parallel_differential.rs`).  See `docs/ARCHITECTURE.md` for the
+//! barrier protocol and its determinism invariants.
 
 use crate::controller::{Controller, ControllerConfig};
 use crate::error::ConfigError;
@@ -77,6 +91,14 @@ impl CombinedStats {
     /// `elapsed_cycles`, which is the maximum (channels run concurrently, so
     /// the subsystem finishes when the slowest channel does).
     ///
+    /// The reduction uses only commutative, associative operations
+    /// (unsigned sums and an unsigned max), so the result is independent of
+    /// the order in which per-channel entries are visited — a property the
+    /// threaded drive mode relies on and a unit test pins.  The
+    /// `per_channel` vector itself is always assembled in channel order by
+    /// [`ChannelRouter::stats`], regardless of which worker thread finished
+    /// first.
+    ///
     /// For a single channel this returns that channel's statistics
     /// unchanged.
     #[must_use]
@@ -95,6 +117,10 @@ impl CombinedStats {
     /// `channels × max elapsed` — the fraction of the subsystem's combined
     /// bus-time that carried data.  Idle tail cycles of faster channels count
     /// against it, exactly as they would in hardware.
+    ///
+    /// Like [`CombinedStats::aggregate`], the computation reduces with a sum
+    /// and a max only, so it is independent of per-channel visiting order
+    /// (threading-order-independent by construction).
     ///
     /// Returns exactly `0.0` (never NaN) when the set is empty or no channel
     /// has elapsed cycles, so zero-traffic windows serialize cleanly.
@@ -333,6 +359,115 @@ impl ChannelRouter {
         self.stats()
     }
 
+    /// Runs the same phase as [`ChannelRouter::run_phase`] with each
+    /// channel's controller on its own worker thread, producing
+    /// **bit-identical** [`CombinedStats`] (and, when completion logging is
+    /// enabled, bit-identical per-channel completion logs) for any
+    /// `threads` value.
+    ///
+    /// Channels never read each other's state, so the sequential laggard
+    /// clock only interleaves — it never alters — each channel's operation
+    /// sequence.  Every worker replays that per-channel projection
+    /// independently: fill the queue from the channel's own stream, burst
+    /// until the queue can accept again, refill, and finally drain.  The
+    /// per-channel statistics are reassembled in channel order at the join,
+    /// so the result does not depend on thread count, channel-to-worker
+    /// assignment, or completion order of the workers.
+    ///
+    /// `threads` is clamped to `1..=channels`; with a single thread the
+    /// channels are driven inline on the calling thread (still using the
+    /// per-channel projection, which is equivalent to the interleaved
+    /// sequential loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len()` differs from the channel count.
+    pub fn run_phase_threaded<I>(&mut self, traces: Vec<I>, threads: usize) -> CombinedStats
+    where
+        I: Iterator<Item = Request> + Send,
+    {
+        assert_eq!(
+            traces.len(),
+            self.controllers.len(),
+            "one trace per channel required"
+        );
+        let threads = threads.clamp(1, self.controllers.len().max(1));
+        if threads <= 1 {
+            for (controller, trace) in self.controllers.iter_mut().zip(traces) {
+                drive_channel(controller, trace);
+            }
+            return self.stats();
+        }
+        // Split the channels into `threads` contiguous chunks; the chunking
+        // is irrelevant to the result (each channel's work is independent),
+        // it only balances the load.
+        let chunk = self.controllers.len().div_ceil(threads);
+        let mut trace_chunks: Vec<Vec<I>> = Vec::new();
+        let mut traces = traces;
+        while !traces.is_empty() {
+            let rest = traces.split_off(chunk.min(traces.len()));
+            trace_chunks.push(std::mem::replace(&mut traces, rest));
+        }
+        std::thread::scope(|scope| {
+            for (controllers, chunk_traces) in self.controllers.chunks_mut(chunk).zip(trace_chunks)
+            {
+                scope.spawn(move || {
+                    for (controller, trace) in controllers.iter_mut().zip(chunk_traces) {
+                        drive_channel(controller, trace);
+                    }
+                });
+            }
+        });
+        self.stats()
+    }
+
+    /// The batched counterpart of [`ChannelRouter::run_phase_threaded`]:
+    /// one [`RequestSource`] per channel, each drained through a
+    /// [`BufferedRequests`] adapter on its worker thread.  Bit-identical to
+    /// [`ChannelRouter::run_phase_sources`] for any `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` differs from the channel count.
+    pub fn run_phase_sources_threaded<S: RequestSource + Send>(
+        &mut self,
+        sources: Vec<S>,
+        threads: usize,
+    ) -> CombinedStats {
+        self.run_phase_threaded(
+            sources.into_iter().map(BufferedRequests::new).collect(),
+            threads,
+        )
+    }
+
+    /// Drains every channel to completion, optionally in parallel.
+    ///
+    /// Draining is a per-channel operation (step until idle, then finalize
+    /// the elapsed window), so running the drains on `threads` workers
+    /// produces bit-identical controller state to draining each channel in
+    /// channel order.  External drive loops whose *decision* phase is
+    /// inherently sequential — the `tbi_sched` stream scheduler's policy
+    /// loop — use this to parallelize their final drain segment.
+    pub fn drain_all(&mut self, threads: usize) {
+        let threads = threads.clamp(1, self.controllers.len().max(1));
+        if threads <= 1 {
+            for controller in &mut self.controllers {
+                controller.drain();
+            }
+            return;
+        }
+        let chunk = self.controllers.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for controllers in self.controllers.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for controller in controllers {
+                        controller.drain();
+                    }
+                });
+            }
+        });
+    }
+
     /// Feeds one batched [`RequestSource`] per channel through the shared
     /// clock — the slice-at-a-time counterpart of
     /// [`ChannelRouter::run_phase`].
@@ -364,6 +499,44 @@ impl ChannelRouter {
             controller.reset_stats();
         }
     }
+}
+
+/// Drives one channel to completion: the per-channel projection of the
+/// sequential [`ChannelRouter::run_phase`] loop.
+///
+/// Equivalence argument (pinned by `tests/parallel_differential.rs`): in the
+/// sequential loop a channel is refilled at the top of every outer
+/// iteration, but a refill only admits requests when the channel's own
+/// stepping freed queue slots — for every other channel the pass is a no-op
+/// (its queue is still full, or its trace is exhausted).  Projected onto one
+/// channel the sequential schedule is therefore exactly
+/// `fill, (burst-until-accepting, fill)*, drain`, which is what this loop
+/// executes.  The loop exits when a fill leaves the channel with no pending
+/// work, which in the sequential loop is exactly when the channel drops out
+/// of the laggard candidate set for good.
+fn drive_channel<I: Iterator<Item = Request>>(controller: &mut Controller, trace: I) {
+    let mut trace = trace.fuse();
+    loop {
+        let mut free = controller.free_slots();
+        while free > 0 {
+            match trace.next() {
+                Some(request) => {
+                    let accepted = controller.enqueue(request);
+                    debug_assert!(accepted, "enqueue within free_slots cannot fail");
+                    free -= 1;
+                }
+                None => break,
+            }
+        }
+        if controller.pending_requests() == 0 {
+            break;
+        }
+        controller.step();
+        while !controller.can_accept() && controller.pending_requests() > 0 {
+            controller.step();
+        }
+    }
+    controller.drain();
 }
 
 #[cfg(test)]
@@ -529,6 +702,131 @@ mod tests {
         assert_eq!(idle.utilization(), 0.0);
         assert_eq!(idle.utilization_spread(), 0.0);
         assert_eq!(idle.aggregate_bandwidth_gbps(1600.0, 64), 0.0);
+    }
+
+    #[test]
+    fn combined_stats_reduction_is_order_independent() {
+        // The aggregate/utilization/spread reductions use only commutative,
+        // associative operations (sums, max, min), so any permutation of the
+        // per-channel entries yields identical derived metrics.  This is the
+        // property that makes the threaded drive mode safe: it never matters
+        // which worker finishes first, only that `stats()` assembles the
+        // vector in channel order.
+        let mut a = Stats::new();
+        a.elapsed_cycles = 120;
+        a.data_bus_busy_cycles = 84;
+        a.completed_requests = 7;
+        let mut b = Stats::new();
+        b.elapsed_cycles = 100;
+        b.data_bus_busy_cycles = 90;
+        b.row_hits = 3;
+        let mut c = Stats::new();
+        c.elapsed_cycles = 50;
+        c.data_bus_busy_cycles = 10;
+        c.stall_cycles = 5;
+        let reference = CombinedStats::new(vec![a.clone(), b.clone(), c.clone()]);
+        let permutations = [
+            vec![a.clone(), c.clone(), b.clone()],
+            vec![b.clone(), a.clone(), c.clone()],
+            vec![b.clone(), c.clone(), a.clone()],
+            vec![c.clone(), a.clone(), b.clone()],
+            vec![c, b, a],
+        ];
+        for permuted in permutations {
+            let combined = CombinedStats::new(permuted);
+            assert_eq!(combined.aggregate(), reference.aggregate());
+            assert_eq!(combined.utilization(), reference.utilization());
+            assert_eq!(
+                combined.utilization_spread(),
+                reference.utilization_spread()
+            );
+            assert_eq!(
+                combined.aggregate_bandwidth_gbps(1600.0, 64),
+                reference.aggregate_bandwidth_gbps(1600.0, 64)
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_run_phase_is_bit_identical_for_any_thread_count() {
+        // Four channels with deliberately unbalanced streams; every thread
+        // count (including one that does not divide the channel count) must
+        // reproduce the sequential CombinedStats bit-exactly.
+        let cfg = config(4, 1);
+        let lengths = [9_000u64, 500, 4_321, 7];
+        let traces = |cfg: &DramConfig| -> Vec<_> {
+            lengths
+                .iter()
+                .map(|&n| {
+                    let cfg = cfg.clone();
+                    (0..n).map(move |i| Request::write(cfg.decode_linear(i)))
+                })
+                .collect()
+        };
+        let mut sequential = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+        let reference = sequential.run_phase(traces(&cfg));
+        for threads in [1usize, 2, 3, 4, 16] {
+            let mut threaded =
+                ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+            let stats = threaded.run_phase_threaded(traces(&cfg), threads);
+            assert_eq!(stats, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_run_phase_preserves_completion_log_ordering() {
+        // With completion logging on, the per-channel completion logs (the
+        // per-request ordering the stream scheduler observes) must match the
+        // sequential path exactly, channel by channel.
+        let cfg = config(2, 1);
+        let n = 3_000u64;
+        let run = |threads: Option<usize>| {
+            let mut router = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+            for channel in 0..2 {
+                router.controller_mut(channel).set_completion_logging(true);
+            }
+            let traces = vec![
+                Box::new(sequential(&cfg, n)) as Box<dyn Iterator<Item = Request> + Send>,
+                Box::new(sequential(&cfg, n / 3)),
+            ];
+            let stats = match threads {
+                None => router.run_phase(traces),
+                Some(t) => router.run_phase_threaded(traces, t),
+            };
+            let logs: Vec<Vec<_>> = (0..2)
+                .map(|c| router.controller_mut(c).drain_completions().collect())
+                .collect();
+            (stats, logs)
+        };
+        let (reference_stats, reference_logs) = run(None);
+        for threads in [1usize, 2, 5] {
+            let (stats, logs) = run(Some(threads));
+            assert_eq!(stats, reference_stats, "threads={threads}");
+            assert_eq!(logs, reference_logs, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn drain_all_threaded_matches_sequential_drain() {
+        // Partially-filled queues drained in parallel must finalize exactly
+        // the same per-channel windows as channel-order drains.
+        let cfg = config(4, 1);
+        let build = || {
+            let mut router = ChannelRouter::new(cfg.clone(), ControllerConfig::default()).unwrap();
+            for channel in 0..4u32 {
+                for i in 0..(16 * (u64::from(channel) + 1)) {
+                    router.enqueue(channel, Request::write(cfg.decode_linear(i)));
+                }
+            }
+            router
+        };
+        let mut reference = build();
+        reference.drain_all(1);
+        for threads in [2usize, 3, 4] {
+            let mut threaded = build();
+            threaded.drain_all(threads);
+            assert_eq!(threaded.stats(), reference.stats(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -88,21 +88,20 @@ impl Controller {
     fn classify_head(&self, flat_bank: usize) -> Option<(HeadCandidate, PhysicalAddress)> {
         let head = self.queues.head(flat_bank)?;
         let address = head.request.address;
-        let bank = &self.banks[flat_bank];
         // Rank-qualified group index, consistent with the floor table rows
         // (on single-rank channels this is the plain bank group).
         let group = (address.rank * self.config.geometry.bank_groups + address.bank_group) as u8;
-        let (priority, perbank_ready, class) = if bank.is_row_open(address.row) {
+        let (priority, perbank_ready, class) = if self.banks.is_row_open(flat_bank, address.row) {
             let class = if head.request.is_write() {
                 CLASS_WRITE
             } else {
                 CLASS_READ
             };
-            (1u64, bank.col_allowed_at, class)
-        } else if bank.is_idle() {
-            (2, bank.act_allowed_at, CLASS_ACTIVATE)
+            (1u64, self.banks.col_allowed_at(flat_bank), class)
+        } else if self.banks.is_idle(flat_bank) {
+            (2, self.banks.act_allowed_at(flat_bank), CLASS_ACTIVATE)
         } else {
-            (3, bank.pre_allowed_at, CLASS_PRECHARGE)
+            (3, self.banks.pre_allowed_at(flat_bank), CLASS_PRECHARGE)
         };
         debug_assert!(head.seq < 1 << 56, "sequence number overflows the key");
         Some((
@@ -254,7 +253,7 @@ impl Controller {
             usize::MAX
         };
         let mut stashed = HeadCandidate::INVALID;
-        if refresh_pending && self.banks[refresh_target].is_idle() {
+        if refresh_pending && self.banks.is_idle(refresh_target) {
             stashed =
                 std::mem::replace(&mut self.head_cand[refresh_target], HeadCandidate::INVALID);
         }
@@ -284,12 +283,11 @@ impl Controller {
         // the full scan's `consider(0, 0, ...)` calls.
         let mut refresh_command = None;
         if refresh_pending {
-            let bank = &self.banks[refresh_target];
-            let (ready, command) = if bank.is_idle() {
+            let (ready, command) = if self.banks.is_idle(refresh_target) {
                 // Restore the stashed request candidate before any return.
                 self.head_cand[refresh_target] = stashed;
                 (
-                    bank.act_allowed_at,
+                    self.banks.act_allowed_at(refresh_target),
                     Command {
                         kind: crate::command::CommandKind::RefreshBank,
                         address: self.bank_address(refresh_target),
@@ -297,7 +295,7 @@ impl Controller {
                 )
             } else {
                 (
-                    bank.pre_allowed_at,
+                    self.banks.pre_allowed_at(refresh_target),
                     Command::precharge(self.bank_address(refresh_target)),
                 )
             };

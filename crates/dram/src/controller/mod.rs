@@ -40,7 +40,7 @@ mod refresh;
 pub use queue::{CommandQueues, QueuedRequest};
 pub use refresh::{RefreshEngine, RefreshMode};
 
-use crate::bank::{BankId, BankState};
+use crate::bank::{BankArray, BankId, BankState};
 use crate::command::{Command, CommandKind};
 use crate::error::ConfigError;
 use crate::request::{Request, RequestKind};
@@ -197,7 +197,9 @@ pub struct Completion {
 pub struct Controller {
     config: DramConfig,
     ctrl: ControllerConfig,
-    banks: Vec<BankState>,
+    // SoA-packed bank lanes: the scheduler scans touch one lane at a time,
+    // so the hot loops stay on dense cache lines (see `BankArray`).
+    banks: BankArray,
     queues: CommandQueues,
     refresh: RefreshEngine,
     stats: Stats,
@@ -262,7 +264,7 @@ impl Controller {
         let refresh_mode = ctrl.refresh_mode.unwrap_or(config.default_refresh);
         let refresh = RefreshEngine::new(refresh_mode, &config.timing, total_banks as u32);
         let mut controller = Self {
-            banks: vec![BankState::new(); total_banks],
+            banks: BankArray::new(total_banks),
             queues: CommandQueues::new(total_banks, ctrl.queue_capacity),
             refresh,
             stats: Stats::new(),
@@ -361,14 +363,16 @@ impl Controller {
         self.completion_log.drain(..)
     }
 
-    /// State of the bank identified by `bank`.
+    /// State of the bank identified by `bank`, reassembled by value from
+    /// the controller's structure-of-arrays bank lanes ([`BankState`] is
+    /// `Copy`, so this is a handful of loads).
     ///
     /// # Panics
     ///
     /// Panics if `bank` is out of range for the configured geometry.
     #[must_use]
-    pub fn bank_state(&self, bank: BankId) -> &BankState {
-        &self.banks[bank.index() as usize]
+    pub fn bank_state(&self, bank: BankId) -> BankState {
+        self.banks.get(bank.index() as usize)
     }
 
     /// Resets the statistics window to the current cycle.  Bank and queue
@@ -575,13 +579,8 @@ impl Controller {
             match self.refresh.mode() {
                 RefreshMode::AllBank => {
                     // Precharge any open bank, then refresh when everything is idle.
-                    if self.banks.iter().all(BankState::is_idle) {
-                        let ready = self
-                            .banks
-                            .iter()
-                            .map(|b| b.act_allowed_at)
-                            .max()
-                            .unwrap_or(self.now);
+                    if self.banks.all_idle() {
+                        let ready = self.banks.max_act_allowed_at().unwrap_or(self.now);
                         let cmd = Command {
                             kind: CommandKind::RefreshAll,
                             address: Default::default(),
@@ -597,13 +596,13 @@ impl Controller {
                             &mut best_wait,
                         );
                     } else {
-                        for (i, bank) in self.banks.iter().enumerate() {
-                            if !bank.is_idle() {
+                        for i in 0..self.banks.len() {
+                            if !self.banks.is_idle(i) {
                                 let addr = self.bank_address(i);
                                 consider(
                                     0,
                                     i as u64,
-                                    bank.pre_allowed_at,
+                                    self.banks.pre_allowed_at(i),
                                     Command::precharge(addr),
                                     i,
                                     self.now,
@@ -616,9 +615,8 @@ impl Controller {
                 }
                 RefreshMode::PerBank => {
                     let target = self.refresh.target_bank() as usize;
-                    let bank = &self.banks[target];
                     let addr = self.bank_address(target);
-                    if bank.is_idle() {
+                    if self.banks.is_idle(target) {
                         let cmd = Command {
                             kind: CommandKind::RefreshBank,
                             address: addr,
@@ -626,7 +624,7 @@ impl Controller {
                         consider(
                             0,
                             0,
-                            bank.act_allowed_at,
+                            self.banks.act_allowed_at(target),
                             cmd,
                             target,
                             self.now,
@@ -637,7 +635,7 @@ impl Controller {
                         consider(
                             0,
                             0,
-                            bank.pre_allowed_at,
+                            self.banks.pre_allowed_at(target),
                             Command::precharge(addr),
                             target,
                             self.now,
@@ -653,7 +651,7 @@ impl Controller {
         // Regular request service.
         let oldest = self.queues.oldest_seq();
         for flat_bank in self.queues.active_banks() {
-            if block_all_acts && self.banks[flat_bank].is_idle() {
+            if block_all_acts && self.banks.is_idle(flat_bank) {
                 // During an all-bank refresh drain no new rows may be opened.
                 continue;
             }
@@ -662,7 +660,7 @@ impl Controller {
                 continue;
             }
             let addr = head.request.address;
-            let bank = &self.banks[flat_bank];
+            let bank = self.banks.get(flat_bank);
             let is_write = head.request.is_write();
 
             if bank.is_row_open(addr.row) {
@@ -700,7 +698,7 @@ impl Controller {
                 );
             } else {
                 // Row conflict: precharge first.
-                let ready = self.banks[flat_bank].pre_allowed_at;
+                let ready = bank.pre_allowed_at;
                 consider(
                     3,
                     head.seq,
@@ -716,13 +714,13 @@ impl Controller {
 
         // Closed-page policy: proactively close banks whose queues ran dry.
         if self.ctrl.page_policy == PagePolicy::Closed {
-            for (i, bank) in self.banks.iter().enumerate() {
-                if !bank.is_idle() && self.queues.head(i).is_none() {
+            for i in 0..self.banks.len() {
+                if !self.banks.is_idle(i) && self.queues.head(i).is_none() {
                     let addr = self.bank_address(i);
                     consider(
                         4,
                         u64::MAX,
-                        bank.pre_allowed_at,
+                        self.banks.pre_allowed_at(i),
                         Command::precharge(addr),
                         i,
                         self.now,
@@ -760,7 +758,7 @@ impl Controller {
             rank,
             bank_group: within / banks_per_group,
             bank: within % banks_per_group,
-            row: self.banks[flat_bank].open_row.unwrap_or(0),
+            row: self.banks.open_row_of(flat_bank).unwrap_or(0),
             column: 0,
         }
     }
@@ -783,7 +781,7 @@ impl Controller {
     /// bank-group index.
     fn earliest_activate(&self, flat_bank: usize, group: u32) -> u64 {
         let t = &self.config.timing;
-        let mut ready = self.banks[flat_bank].act_allowed_at;
+        let mut ready = self.banks.act_allowed_at(flat_bank);
         if let Some(last) = self.last_act_any {
             ready = ready.max(t.act_ready_after_act(last, false));
         }
@@ -808,7 +806,7 @@ impl Controller {
     ) -> u64 {
         let t = &self.config.timing;
         let group = self.qualified_group(addr);
-        let mut ready = self.banks[flat_bank].col_allowed_at;
+        let mut ready = self.banks.col_allowed_at(flat_bank);
         if let Some(col) = self.last_column {
             ready = ready.max(t.column_ready_after_column(col.time, col.group == group));
         }
@@ -848,7 +846,8 @@ impl Controller {
         match command.kind {
             CommandKind::Activate => {
                 let group = self.qualified_group(&command.address);
-                self.banks[flat_bank].record_activate(now, command.address.row, t);
+                self.banks
+                    .record_activate(flat_bank, now, command.address.row, t);
                 self.last_act_any = Some(now);
                 self.last_act_per_group[group as usize] = Some(now);
                 self.act_ring[(self.act_count & 3) as usize] = now;
@@ -859,26 +858,22 @@ impl Controller {
                 }
             }
             CommandKind::Precharge => {
-                self.banks[flat_bank].record_precharge(now, t);
+                self.banks.record_precharge(flat_bank, now, t);
                 self.stats.precharges += 1;
                 if let Some(head) = self.queues.head_mut(flat_bank) {
                     head.caused_conflict = true;
                 }
             }
             CommandKind::PrechargeAll => {
-                for bank in &mut self.banks {
-                    if !bank.is_idle() {
-                        bank.record_precharge(now, t);
-                    }
-                }
+                self.banks.precharge_all_open(now, t);
                 self.stats.precharges += 1;
             }
             CommandKind::Read | CommandKind::Write => {
                 let is_write = command.kind == CommandKind::Write;
                 if is_write {
-                    self.banks[flat_bank].record_write(now, burst, t);
+                    self.banks.record_write(flat_bank, now, burst, t);
                 } else {
-                    self.banks[flat_bank].record_read(now, burst, t);
+                    self.banks.record_read(flat_bank, now, burst, t);
                 }
                 let group = self.qualified_group(&command.address);
                 let latency = t.column_latency(is_write);
@@ -921,9 +916,7 @@ impl Controller {
                 self.stats.row_hits += 1 - conflict - empty;
             }
             CommandKind::RefreshAll => {
-                for bank in &mut self.banks {
-                    bank.record_refresh(now, t.t_rfc_ab);
-                }
+                self.banks.record_refresh_all(now, t.t_rfc_ab);
                 self.stats.refreshes_all_bank += 1;
                 self.refresh.complete_one();
             }
@@ -933,7 +926,7 @@ impl Controller {
                 } else {
                     t.t_rfc_ab
                 };
-                self.banks[flat_bank].record_refresh(now, busy);
+                self.banks.record_refresh(flat_bank, now, busy);
                 self.stats.refreshes_per_bank += 1;
                 self.refresh.complete_one();
             }

@@ -1,6 +1,11 @@
 //! Per-bank transaction queues with a shared capacity limit.
-
-use std::collections::VecDeque;
+//!
+//! Storage is a single contiguous arena of queue nodes (allocated once,
+//! up-front, sized to the shared capacity) threaded into intrusive per-bank
+//! singly-linked lists plus a free list.  Compared to the previous
+//! `Vec<VecDeque<_>>` layout this removes per-bank heap allocations from the
+//! hot controller loop and keeps all queued requests in one cache-dense slab
+//! regardless of how requests distribute across banks.
 
 use crate::request::Request;
 
@@ -17,13 +22,40 @@ pub struct QueuedRequest {
     pub caused_activate: bool,
 }
 
+/// Sentinel index marking the end of an intrusive list.
+const NIL: u32 = u32::MAX;
+
+/// One slot in the arena: the queued request plus the intrusive link to the
+/// next node in the same per-bank list (or the next free node when the slot
+/// is on the free list).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    entry: QueuedRequest,
+    next: u32,
+}
+
 /// Per-bank FIFO queues sharing one capacity budget.
 ///
 /// Requests are served FCFS *within* a bank; the scheduler may reorder
 /// *across* banks (this is the essence of FR-FCFS for streaming workloads).
+///
+/// All nodes live in one arena sized to the shared capacity; per-bank FIFOs
+/// are intrusive singly-linked lists (head + tail per bank), and recycled
+/// slots go on a free list, so steady-state operation performs no heap
+/// allocation at all.
 #[derive(Debug, Clone)]
 pub struct CommandQueues {
-    queues: Vec<VecDeque<QueuedRequest>>,
+    /// Arena of queue nodes.  Grows lazily up to `capacity`, then slots are
+    /// recycled through `free_head` forever.
+    nodes: Vec<Node>,
+    /// Index of the oldest queued request per bank (`NIL` when empty).
+    heads: Vec<u32>,
+    /// Index of the newest queued request per bank (`NIL` when empty).
+    tails: Vec<u32>,
+    /// Per-bank queue lengths (kept so `bank_len` stays O(1)).
+    bank_lens: Vec<u32>,
+    /// Head of the free list of recycled arena slots (`NIL` when none).
+    free_head: u32,
     capacity: usize,
     occupancy: usize,
     next_seq: u64,
@@ -35,7 +67,11 @@ impl CommandQueues {
     #[must_use]
     pub fn new(banks: usize, capacity: usize) -> Self {
         Self {
-            queues: vec![VecDeque::new(); banks],
+            nodes: Vec::with_capacity(capacity),
+            heads: vec![NIL; banks],
+            tails: vec![NIL; banks],
+            bank_lens: vec![0; banks],
+            free_head: NIL,
             capacity,
             occupancy: 0,
             next_seq: 0,
@@ -75,12 +111,30 @@ impl CommandQueues {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queues[flat_bank].push_back(QueuedRequest {
+        let entry = QueuedRequest {
             seq,
             request,
             caused_conflict: false,
             caused_activate: false,
-        });
+        };
+        let slot = if self.free_head != NIL {
+            let slot = self.free_head;
+            self.free_head = self.nodes[slot as usize].next;
+            self.nodes[slot as usize] = Node { entry, next: NIL };
+            slot
+        } else {
+            debug_assert!(self.nodes.len() < self.capacity);
+            self.nodes.push(Node { entry, next: NIL });
+            (self.nodes.len() - 1) as u32
+        };
+        let tail = self.tails[flat_bank];
+        if tail == NIL {
+            self.heads[flat_bank] = slot;
+        } else {
+            self.nodes[tail as usize].next = slot;
+        }
+        self.tails[flat_bank] = slot;
+        self.bank_lens[flat_bank] += 1;
         self.occupancy += 1;
         true
     }
@@ -88,44 +142,64 @@ impl CommandQueues {
     /// Number of requests queued for `flat_bank`.
     #[must_use]
     pub fn bank_len(&self, flat_bank: usize) -> usize {
-        self.queues[flat_bank].len()
+        self.bank_lens[flat_bank] as usize
     }
 
     /// The oldest request queued for `flat_bank`, if any.
     #[must_use]
     pub fn head(&self, flat_bank: usize) -> Option<&QueuedRequest> {
-        self.queues[flat_bank].front()
+        let head = self.heads[flat_bank];
+        if head == NIL {
+            None
+        } else {
+            Some(&self.nodes[head as usize].entry)
+        }
     }
 
     /// Mutable access to the oldest request queued for `flat_bank`.
     pub fn head_mut(&mut self, flat_bank: usize) -> Option<&mut QueuedRequest> {
-        self.queues[flat_bank].front_mut()
+        let head = self.heads[flat_bank];
+        if head == NIL {
+            None
+        } else {
+            Some(&mut self.nodes[head as usize].entry)
+        }
     }
 
     /// Removes and returns the oldest request queued for `flat_bank`.
     pub fn pop(&mut self, flat_bank: usize) -> Option<QueuedRequest> {
-        let popped = self.queues[flat_bank].pop_front();
-        if popped.is_some() {
-            self.occupancy -= 1;
+        let head = self.heads[flat_bank];
+        if head == NIL {
+            return None;
         }
-        popped
+        let node = self.nodes[head as usize];
+        self.heads[flat_bank] = node.next;
+        if node.next == NIL {
+            self.tails[flat_bank] = NIL;
+        }
+        self.nodes[head as usize].next = self.free_head;
+        self.free_head = head;
+        self.bank_lens[flat_bank] -= 1;
+        self.occupancy -= 1;
+        Some(node.entry)
     }
 
     /// Sequence number of the globally oldest queued request, if any.
     #[must_use]
     pub fn oldest_seq(&self) -> Option<u64> {
-        self.queues
+        self.heads
             .iter()
-            .filter_map(|q| q.front().map(|r| r.seq))
+            .filter(|&&h| h != NIL)
+            .map(|&h| self.nodes[h as usize].entry.seq)
             .min()
     }
 
     /// Iterator over bank indices that have at least one queued request.
     pub fn active_banks(&self) -> impl Iterator<Item = usize> + '_ {
-        self.queues
+        self.heads
             .iter()
             .enumerate()
-            .filter(|(_, q)| !q.is_empty())
+            .filter(|(_, &h)| h != NIL)
             .map(|(i, _)| i)
     }
 }
@@ -183,5 +257,44 @@ mod tests {
         q.pop(0);
         assert!(q.has_space());
         assert!(q.push(0, req(1)));
+    }
+
+    #[test]
+    fn arena_never_grows_past_capacity_under_churn() {
+        let mut q = CommandQueues::new(3, 4);
+        for round in 0..100u32 {
+            let bank = (round % 3) as usize;
+            while q.push(bank, req(round)) {}
+            assert_eq!(q.len(), 4, "capacity fully used each round");
+            // Drain in a different bank order than we filled.
+            for b in (0..3).rev() {
+                while q.pop(b).is_some() {}
+            }
+            assert!(q.is_empty());
+        }
+        // Slots were recycled through the free list, never re-allocated.
+        assert!(q.nodes.capacity() <= 4, "arena must not grow past capacity");
+    }
+
+    #[test]
+    fn interleaved_banks_keep_independent_fifo_order() {
+        let mut q = CommandQueues::new(2, 8);
+        q.push(0, req(10));
+        q.push(1, req(20));
+        q.push(0, req(11));
+        q.push(1, req(21));
+        q.push(0, req(12));
+        assert_eq!(q.bank_len(0), 3);
+        assert_eq!(q.bank_len(1), 2);
+        assert_eq!(q.head(0).unwrap().request.address.row, 10);
+        assert_eq!(q.head(1).unwrap().request.address.row, 20);
+        assert_eq!(q.pop(1).unwrap().request.address.row, 20);
+        assert_eq!(q.pop(0).unwrap().request.address.row, 10);
+        assert_eq!(q.pop(0).unwrap().request.address.row, 11);
+        assert_eq!(q.pop(1).unwrap().request.address.row, 21);
+        assert_eq!(q.pop(0).unwrap().request.address.row, 12);
+        assert!(q.is_empty());
+        assert_eq!(q.bank_len(0), 0);
+        assert_eq!(q.bank_len(1), 0);
     }
 }

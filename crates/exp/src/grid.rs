@@ -76,6 +76,7 @@ pub struct SweepGrid {
     refresh: Vec<RefreshSetting>,
     controller: ControllerConfig,
     link: Option<LinkStage>,
+    threads: usize,
 }
 
 impl SweepGrid {
@@ -238,6 +239,16 @@ impl SweepGrid {
         self
     }
 
+    /// Sets the intra-scenario worker-thread count applied to every
+    /// scenario ([`Scenario::with_threads`]; results are bit-identical for
+    /// any value).  This is orthogonal to the experiment-level worker pool,
+    /// which parallelizes *across* scenarios.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     /// Effective lengths of the six axes in nesting order
     /// (DRAM, channels, ranks, size, mapping, refresh).
     #[must_use]
@@ -322,7 +333,8 @@ impl SweepGrid {
                                     mapping,
                                     InterleaverSpec::from_burst_count(bursts),
                                 )
-                                .with_controller(controller);
+                                .with_controller(controller)
+                                .with_threads(self.threads.max(1));
                                 if let Some(link) = &self.link {
                                     scenario = scenario.with_link(link.clone());
                                 }

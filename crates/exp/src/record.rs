@@ -111,6 +111,12 @@ pub struct Record {
     pub energy_nj_per_byte: f64,
     /// Simulated device clock cycles across both phases (deterministic).
     pub simulated_cycles: u64,
+    /// Worker threads that drove the per-channel controllers.  A host
+    /// execution knob like [`Record::wall_time_s`]: results are
+    /// bit-identical for any value, so it is **excluded** from
+    /// [`PartialEq`] (two runs differing only in thread count compare
+    /// equal).
+    pub threads: u32,
     /// Wall-clock seconds spent simulating the DRAM phases (host-dependent;
     /// **excluded** from [`PartialEq`]).
     pub wall_time_s: f64,
@@ -124,8 +130,9 @@ pub struct Record {
 }
 
 /// Equality over the *deterministic* fields only: everything except
-/// [`Record::wall_time_s`] and [`Record::sim_cycles_per_second`], which vary
-/// run to run on the same scenario.
+/// [`Record::wall_time_s`], [`Record::sim_cycles_per_second`] and
+/// [`Record::threads`], which describe how the host executed the run rather
+/// than what the run computed.
 impl PartialEq for Record {
     fn eq(&self, other: &Self) -> bool {
         self.scenario_id == other.scenario_id
@@ -188,6 +195,7 @@ mod tests {
             energy_total_mj: 1.5,
             energy_nj_per_byte: 2.5,
             simulated_cycles: 4_000,
+            threads: 1,
             wall_time_s: 0.25,
             sim_cycles_per_second: 16_000.0,
             link: None,
@@ -195,15 +203,17 @@ mod tests {
         }
     }
 
-    /// The contract of the manual `PartialEq`: the two wall-clock fields —
-    /// and **only** those — are excluded from record equality.
+    /// The contract of the manual `PartialEq`: the host-execution fields
+    /// (wall time, simulation speed, thread count) — and **only** those —
+    /// are excluded from record equality.
     #[test]
     fn equality_ignores_wall_clock_fields() {
         let a = sample("a", 0.5);
         let mut b = a.clone();
         b.wall_time_s = 99.0;
         b.sim_cycles_per_second = 1.0;
-        assert_eq!(a, b, "wall-clock fields must not affect equality");
+        b.threads = 16;
+        assert_eq!(a, b, "host-execution fields must not affect equality");
         let mut c = a.clone();
         c.simulated_cycles += 1;
         assert_ne!(a, c, "simulated cycles are deterministic and compared");

@@ -170,6 +170,7 @@ pub struct Scenario {
     link: Option<LinkStage>,
     tenants: Option<TenantStage>,
     custom_id: Option<String>,
+    threads: usize,
 }
 
 impl Scenario {
@@ -204,7 +205,24 @@ impl Scenario {
             link: None,
             tenants: None,
             custom_id: None,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count used to drive the per-channel
+    /// controllers (clamped to at least 1).  Results are bit-identical for
+    /// any value — the thread count never enters [`Scenario::id`] and only
+    /// affects [`Record::wall_time_s`]-class fields.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Replaces the controller configuration.
@@ -323,6 +341,7 @@ impl Scenario {
     #[must_use]
     pub fn evaluator(&self) -> ThroughputEvaluator {
         ThroughputEvaluator::with_controller(self.dram.clone(), self.spec, self.controller)
+            .with_threads(self.threads)
     }
 
     /// Builds the scenario's DRAM mapping (used e.g. to render Figure 1
@@ -396,6 +415,7 @@ impl Scenario {
             energy_total_mj: energy.total_mj,
             energy_nj_per_byte: energy.nj_per_byte,
             simulated_cycles,
+            threads: self.threads as u32,
             wall_time_s,
             sim_cycles_per_second,
             link,
@@ -466,6 +486,7 @@ impl Scenario {
             energy_total_mj,
             energy_nj_per_byte,
             simulated_cycles,
+            threads: self.threads as u32,
             wall_time_s,
             sim_cycles_per_second,
             link,
@@ -494,7 +515,9 @@ impl Scenario {
                     .with_blocks(stage.blocks)
             })
             .collect();
-        let sched = SchedConfig::new(stage.policy).with_max_in_flight(stage.max_in_flight_blocks);
+        let sched = SchedConfig::new(stage.policy)
+            .with_max_in_flight(stage.max_in_flight_blocks)
+            .with_threads(self.threads);
         let scheduler = StreamScheduler::new(self.dram.clone(), self.controller, streams, sched)
             .map_err(|error| match error {
                 tbi_sched::SchedError::Config(e) => ExpError::Dram(e),
@@ -577,6 +600,7 @@ impl Scenario {
             energy_total_mj,
             energy_nj_per_byte,
             simulated_cycles,
+            threads: self.threads as u32,
             wall_time_s,
             sim_cycles_per_second,
             link,

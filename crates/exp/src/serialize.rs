@@ -88,7 +88,7 @@ fn record_to_json(record: &Record) -> String {
     };
     format!(
         "{{\"scenario_id\":{},\"dram\":{},\"mapping\":{},\"bursts\":{},\"dimension\":{},\
-         \"refresh_disabled\":{},\"channels\":{},\"ranks\":{},\"write_utilization\":{},\
+         \"refresh_disabled\":{},\"channels\":{},\"ranks\":{},\"threads\":{},\"write_utilization\":{},\
          \"read_utilization\":{},\"min_utilization\":{},\"sustained_gbps\":{},\
          \"aggregate_gbps\":{},\"channel_utilization_spread\":{},\"write_row_hit_rate\":{},\
          \"read_row_hit_rate\":{},\"activates\":{},\"energy_total_mj\":{},\
@@ -102,6 +102,7 @@ fn record_to_json(record: &Record) -> String {
         record.refresh_disabled,
         record.channels,
         record.ranks,
+        record.threads,
         json_number(record.write_utilization),
         json_number(record.read_utilization),
         json_number(record.min_utilization),
@@ -141,11 +142,11 @@ pub fn records_to_json(records: &[Record]) -> String {
     out
 }
 
-/// The CSV header emitted by [`records_to_csv`] (30 columns).  The five
+/// The CSV header emitted by [`records_to_csv`] (31 columns).  The five
 /// tenant columns are empty for records without a multi-tenant stage; the
 /// per-tenant breakdown is only available in the JSON form.
 pub const CSV_HEADER: &str = "scenario_id,dram,mapping,bursts,dimension,refresh_disabled,\
-channels,ranks,write_utilization,read_utilization,min_utilization,sustained_gbps,\
+channels,ranks,threads,write_utilization,read_utilization,min_utilization,sustained_gbps,\
 aggregate_gbps,channel_utilization_spread,write_row_hit_rate,\
 read_row_hit_rate,activates,energy_total_mj,energy_nj_per_byte,simulated_cycles,\
 wall_time_s,sim_cycles_per_second,frame_error_rate,\
@@ -193,7 +194,7 @@ pub fn records_to_csv(records: &[Record]) -> String {
             ),
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(&r.scenario_id),
             csv_field(&r.dram_label),
             csv_field(&r.mapping),
@@ -202,6 +203,7 @@ pub fn records_to_csv(records: &[Record]) -> String {
             r.refresh_disabled,
             r.channels,
             r.ranks,
+            r.threads,
             json_number(r.write_utilization),
             json_number(r.read_utilization),
             json_number(r.min_utilization),
@@ -380,6 +382,7 @@ mod tests {
             energy_total_mj: 3.25,
             energy_nj_per_byte: 1.27,
             simulated_cycles: 123_456,
+            threads: 1,
             wall_time_s: 0.5,
             sim_cycles_per_second: 246_912.0,
             link: link.then_some(LinkRecord {
@@ -491,8 +494,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], CSV_HEADER);
-        assert_eq!(lines[0].split(',').count(), 30);
-        assert_eq!(lines[1].split(',').count(), 30);
+        assert_eq!(lines[0].split(',').count(), 31);
+        assert_eq!(lines[1].split(',').count(), 31);
         assert!(
             lines[1].ends_with(",,,,,,,,"),
             "link and tenant columns empty: {}",
@@ -546,7 +549,7 @@ mod tests {
         // CSV carries the five summary columns.
         let csv = records_to_csv(&[record]);
         let line = csv.lines().nth(1).unwrap();
-        assert_eq!(line.split(',').count(), 30);
+        assert_eq!(line.split(',').count(), 31);
         assert!(
             line.ends_with("weighted_share,2,0.875,4000,12000"),
             "{line}"

@@ -46,6 +46,7 @@ fn golden_records() -> Vec<Record> {
             energy_total_mj: 3.375,
             energy_nj_per_byte: 1.3125,
             simulated_cycles: 165_432,
+            threads: 1,
             wall_time_s: 0.5,
             sim_cycles_per_second: 330_864.0,
             link: None,
@@ -72,6 +73,7 @@ fn golden_records() -> Vec<Record> {
             energy_total_mj: 2.625,
             energy_nj_per_byte: 1.025390625,
             simulated_cycles: 700_416,
+            threads: 1,
             wall_time_s: 0.25,
             sim_cycles_per_second: 2_801_664.0,
             link: None,
@@ -125,6 +127,7 @@ fn golden_records() -> Vec<Record> {
             energy_total_mj: 0.8125,
             energy_nj_per_byte: 2.5390625,
             simulated_cycles: 89_600,
+            threads: 1,
             wall_time_s: 0.125,
             sim_cycles_per_second: 716_800.0,
             link: Some(LinkRecord {
@@ -198,6 +201,10 @@ fn committed_json_fixture_round_trips_through_the_parser() {
             Some(f64::from(record.ranks))
         );
         assert_eq!(
+            object.get("threads").and_then(JsonValue::as_f64),
+            Some(f64::from(record.threads))
+        );
+        assert_eq!(
             object.get("aggregate_gbps").and_then(JsonValue::as_f64),
             Some(record.aggregate_gbps)
         );
@@ -258,7 +265,7 @@ fn committed_csv_fixture_matches_the_header_contract() {
     let mut lines = CSV_FIXTURE.lines();
     assert_eq!(lines.next(), Some(CSV_HEADER));
     let columns = CSV_HEADER.split(',').count();
-    assert_eq!(columns, 30, "column additions must update this contract");
+    assert_eq!(columns, 31, "column additions must update this contract");
     for line in lines {
         // Quoted fields may embed commas; strip quoted sections first.
         let mut in_quotes = false;

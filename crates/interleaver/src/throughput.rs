@@ -145,6 +145,7 @@ pub struct ThroughputEvaluator {
     dram: DramConfig,
     spec: InterleaverSpec,
     controller: ControllerConfig,
+    threads: usize,
 }
 
 impl ThroughputEvaluator {
@@ -156,6 +157,7 @@ impl ThroughputEvaluator {
             dram,
             spec,
             controller: ControllerConfig::default(),
+            threads: 1,
         }
     }
 
@@ -170,7 +172,18 @@ impl ThroughputEvaluator {
             dram,
             spec,
             controller,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count used by
+    /// [`ThroughputEvaluator::evaluate_channels`] (clamped to at least 1).
+    /// Results are bit-identical for any value; threading only changes
+    /// wall-clock time.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The DRAM configuration under evaluation.
@@ -267,13 +280,22 @@ impl ThroughputEvaluator {
         let mut router = ChannelRouter::new(self.dram.clone(), self.controller)
             .map_err(InterleaverError::Dram)?;
 
+        let threads = self.threads;
         let phase_stats = |router: &mut ChannelRouter, phase: AccessPhase| {
             let traces: Vec<_> = (0..topology.channels)
                 .map(|channel| generator.channel_requests(phase, channel))
                 .collect();
             // Batched per-channel sources (`ChannelTrace::fill_batch`);
             // request sequences and statistics match the scalar iterators.
-            router.run_phase_sources(traces)
+            // With `threads > 1` channels run on workers; the per-channel
+            // drive schedule — and therefore every statistic — is identical
+            // to the sequential laggard loop (see the threaded-drive notes
+            // on `ChannelRouter`).
+            if threads > 1 {
+                router.run_phase_sources_threaded(traces, threads)
+            } else {
+                router.run_phase_sources(traces)
+            }
         };
         let write_stats = phase_stats(&mut router, AccessPhase::Write);
         router.reset_stats();
@@ -475,6 +497,27 @@ mod tests {
             "channel load should be balanced, spread {}",
             dual.utilization_spread()
         );
+    }
+
+    #[test]
+    fn threaded_channel_evaluation_is_bit_identical() {
+        let dram = DramConfig::preset(DramStandard::Ddr4, 3200)
+            .unwrap()
+            .with_topology(tbi_dram::ChannelTopology::new(4, 1));
+        let spec = InterleaverSpec::from_burst_count(40_000);
+        let sequential = ThroughputEvaluator::new(dram.clone(), spec)
+            .evaluate_channels(MappingKind::Optimized)
+            .unwrap();
+        for threads in [2, 3, 4, 8] {
+            let threaded = ThroughputEvaluator::new(dram.clone(), spec)
+                .with_threads(threads)
+                .evaluate_channels(MappingKind::Optimized)
+                .unwrap();
+            assert_eq!(
+                threaded, sequential,
+                "threads={threads} must match the sequential evaluation"
+            );
+        }
     }
 
     #[test]

@@ -224,6 +224,9 @@ pub struct StreamScheduler {
     scratch: AddressBatch,
     /// Scratch candidate list rebuilt on every policy pick.
     candidates: Vec<CandidateView>,
+    /// Worker threads for the final per-channel drain
+    /// ([`SchedConfig::threads`]).
+    drain_threads: usize,
 }
 
 impl StreamScheduler {
@@ -285,6 +288,7 @@ impl StreamScheduler {
             channels,
             scratch: AddressBatch::new(),
             candidates: Vec::new(),
+            drain_threads: sched.threads.max(1),
         })
     }
 
@@ -321,9 +325,15 @@ impl StreamScheduler {
             }
             self.collect_completions();
         }
-        for channel in 0..self.channels {
-            self.router.controller_mut(channel).drain();
-        }
+        // The admission loop above is inherently sequential (policy picks
+        // observe cross-channel state), but once every stream is exhausted
+        // the remaining per-channel drains are independent: run them on
+        // worker threads when configured.  `drain_all` is bit-identical to
+        // the per-channel loop for any thread count, and completions stay
+        // in each controller's private log until `collect_completions`
+        // walks the channels in index order, so report ordering is
+        // unaffected.
+        self.router.drain_all(self.drain_threads);
         self.collect_completions();
         self.report()
     }

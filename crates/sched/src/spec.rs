@@ -253,6 +253,7 @@ impl StreamSpec {
 /// let config = SchedConfig::new(SchedPolicyKind::WeightedShare);
 /// assert_eq!(config.budget_for(8), 16);
 /// assert_eq!(config.with_max_in_flight(3).budget_for(8), 3);
+/// assert_eq!(config.with_threads(4).threads, 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedConfig {
@@ -262,6 +263,11 @@ pub struct SchedConfig {
     /// budget backing the slab pool); `0` means auto (two blocks per
     /// stream).
     pub max_in_flight_blocks: usize,
+    /// Worker threads for the final per-channel drain (the admission loop
+    /// itself stays sequential — its policy decisions are cross-channel).
+    /// Results are bit-identical for any value; `1` (the default) runs
+    /// fully sequentially.
+    pub threads: usize,
 }
 
 impl SchedConfig {
@@ -271,6 +277,7 @@ impl SchedConfig {
         Self {
             policy,
             max_in_flight_blocks: 0,
+            threads: 1,
         }
     }
 
@@ -279,6 +286,13 @@ impl SchedConfig {
     #[must_use]
     pub fn with_max_in_flight(mut self, blocks: usize) -> Self {
         self.max_in_flight_blocks = blocks;
+        self
+    }
+
+    /// Sets the drain worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 

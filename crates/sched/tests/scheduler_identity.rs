@@ -166,6 +166,95 @@ fn thousands_of_streams_complete_under_bounded_memory() {
 }
 
 #[test]
+fn threaded_drive_is_bit_identical_for_all_policies_and_engines() {
+    // The scheduler's admission loop is inherently sequential (policy
+    // decisions are cross-channel); `SchedConfig::with_threads` only
+    // parallelizes the final per-channel drain.  The full report — stats,
+    // per-tenant histograms, deadline accounting — must be bit-identical to
+    // the sequential run for every policy × engine × thread count,
+    // including an odd count and one exceeding the channel count.
+    let spec = InterleaverSpec::from_burst_count(1_200);
+    let streams = || {
+        vec![
+            StreamSpec::new("a", spec)
+                .with_qos(QosClass::Premium)
+                .with_blocks(2),
+            StreamSpec::new("b", spec).with_blocks(2),
+            StreamSpec::new("c", spec)
+                .with_qos(QosClass::BestEffort)
+                .with_pattern(tbi_sched::PhasePattern::Alternating)
+                .with_blocks(2),
+        ]
+    };
+    for engine in [TimingEngine::Cycle, TimingEngine::Event] {
+        for policy in SchedPolicyKind::ALL {
+            let sequential = StreamScheduler::new(
+                config(2, 1),
+                ctrl(engine),
+                streams(),
+                SchedConfig::new(policy),
+            )
+            .unwrap()
+            .run();
+            for threads in [2usize, 3, 4] {
+                let threaded = StreamScheduler::new(
+                    config(2, 1),
+                    ctrl(engine),
+                    streams(),
+                    SchedConfig::new(policy).with_threads(threads),
+                )
+                .unwrap()
+                .run();
+                assert_eq!(sequential, threaded, "{engine} {policy} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_drive_preserves_per_channel_completion_log_order() {
+    // The per-tenant latency accounting attributes completions by walking
+    // each controller's private log in channel-index order, so the log's
+    // per-channel request ordering is part of the determinism contract —
+    // not just the aggregated statistics.
+    let spec = InterleaverSpec::from_burst_count(2_000);
+    let config = config(4, 1);
+    let run_completions = |threads: usize| -> (CombinedStats, Vec<Vec<tbi_dram::Completion>>) {
+        let mapping = channel_mapping_for_spec(MappingKind::Optimized, &config, &spec).unwrap();
+        let generator = ChannelTraceGenerator::new(&mapping);
+        let mut router = ChannelRouter::new(config.clone(), ctrl(TimingEngine::Event)).unwrap();
+        for channel in 0..router.channels() {
+            router.controller_mut(channel).set_completion_logging(true);
+        }
+        let traces: Vec<_> = (0..router.channels())
+            .map(|channel| generator.channel_requests(AccessPhase::Write, channel))
+            .collect();
+        let stats = if threads == 0 {
+            router.run_phase_sources(traces)
+        } else {
+            router.run_phase_sources_threaded(traces, threads)
+        };
+        let logs: Vec<Vec<tbi_dram::Completion>> = (0..router.channels())
+            .map(|channel| router.controller_mut(channel).drain_completions().collect())
+            .collect();
+        (stats, logs)
+    };
+    let (sequential_stats, sequential_logs) = run_completions(0);
+    assert!(sequential_logs.iter().any(|log| !log.is_empty()));
+    for threads in [1usize, 2, 3, 4, 8] {
+        let (stats, logs) = run_completions(threads);
+        assert_eq!(
+            sequential_stats, stats,
+            "stats diverged at {threads} threads"
+        );
+        assert_eq!(
+            sequential_logs, logs,
+            "completion-log order diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn policies_differentiate_premium_p99_under_contention() {
     // One premium stream competes with seven best-effort streams on a
     // single channel.  Weighted share must hold the premium tenant's p99
