@@ -1,30 +1,35 @@
-//! Bit-permutation mapping design-space exploration on the Table I presets.
+//! Address-mapping design-space exploration on the Table I presets.
 //!
-//! For every preset DRAM configuration, runs `tbi_exp`'s seeded greedy
-//! bit-swap hill-climb ([`MappingSearch`]) over the space of
-//! [`BitPermutation`](tbi_dram::BitPermutation) address mappings and
-//! compares the best discovered mapping against the paper's hand-optimized
-//! scheme, emitting a script-friendly `BENCH_dse.json`.
+//! For every preset DRAM configuration, runs `tbi_exp`'s [`MappingSearch`]
+//! — the seeded greedy bit-swap hill-climb, or with `--strategy portfolio`
+//! the hybrid `(permutation, fold)` portfolio search (simulated annealing,
+//! evolutionary restarts, diagonal-fold starts, optional surrogate
+//! pre-screens and cross-preset `--transfer` seeds) — and compares the best
+//! discovered mapping against the paper's hand-optimized scheme, emitting a
+//! script-friendly `BENCH_dse.json`.
 //!
 //! ```text
 //! cargo run --release -p tbi_bench --bin mapping_search -- \
 //!     [--seed <n>] [--restarts <n>] [--budget <n>] [--neighbors <n>]
+//!     [--strategy greedy|portfolio] [--surrogate <divisor>] [--promote <k>]
+//!     [--sa-temp <micro>] [--transfer]
 //!     [--full | --bursts <n>] [--no-refresh] [--workers <n>] [--json <p>] [--csv <p>]
 //! ```
 //!
 //! The committed `BENCH_dse.json` pins the headline DSE claim: on every
-//! Table I preset the search rediscovers a mapping whose round-trip row-hit
-//! rate matches (within the documented
-//! [`MATCH_TOLERANCE`] of 10⁻⁴ relative —
-//! exact gains are embedded next to the flag) or beats the paper's
-//! optimized scheme, under the paper's in-text no-refresh condition, and
-//! the run is bit-reproducible for a fixed `--seed` at any worker count.
+//! Table I preset the portfolio search discovers a hybrid mapping whose
+//! round-trip row-hit rate **strictly beats** the paper's optimized scheme
+//! (`all_beat_optimized`; the tolerance-based
+//! [`MATCH_TOLERANCE`] flag is kept alongside —
+//! exact gains are embedded next to both), under the paper's in-text
+//! no-refresh condition, and the run is bit-reproducible for a fixed
+//! `--seed` at any worker count.
 
 use std::path::PathBuf;
 
 use tbi_bench::HarnessOptions;
 use tbi_dram::standards::ALL_CONFIGS;
-use tbi_dram::{DramConfig, TimingEngine};
+use tbi_dram::{BitPermutation, DramConfig, TimingEngine, XorFold};
 use tbi_exp::search::{MappingSearch, SearchRecord, SearchSettings, MATCH_TOLERANCE};
 use tbi_exp::serialize::{json_number, json_string, search_records_to_json, write_search_csv};
 use tbi_interleaver::InterleaverSpec;
@@ -47,8 +52,13 @@ fn usage() -> String {
         "{shared}\n\nsearch options:\n  \
          --seed <n>       RNG seed; fixed seeds reproduce bit-identical searches (default 0)\n  \
          --restarts <n>   hill-climb starting points per preset (default 4)\n  \
-         --budget <n>     candidate evaluations per preset (default 400)\n  \
-         --neighbors <n>  bit-swap candidates per climb step (default 8)"
+         --budget <n>     full-size candidate evaluations per preset (default 400)\n  \
+         --neighbors <n>  candidates per climb step (default 8)\n  \
+         --strategy <s>   greedy | portfolio (default greedy)\n  \
+         --surrogate <n>  portfolio: pre-screen at bursts/n; 0 disables (default 0)\n  \
+         --promote <k>    portfolio: candidates promoted per surrogate batch (default 2)\n  \
+         --sa-temp <n>    portfolio: initial annealing temperature in 1e-6 units (default 150)\n  \
+         --transfer       portfolio: seed each preset with earlier presets' winners"
     )
 }
 
@@ -57,6 +67,7 @@ fn usage() -> String {
 fn parse_search_flags(
     args: Vec<String>,
     settings: &mut SearchSettings,
+    transfer: &mut bool,
 ) -> Result<Vec<String>, String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut iter = args.into_iter();
@@ -95,6 +106,31 @@ fn parse_search_flags(
                     return Err("--neighbors must be at least 1".to_string());
                 }
             }
+            "--strategy" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| "--strategy requires a value".to_string())?;
+                settings.strategy = value.parse()?;
+            }
+            "--surrogate" => {
+                settings.surrogate_divisor = numeric("--surrogate")?
+                    .try_into()
+                    .map_err(|_| "--surrogate out of range".to_string())?;
+            }
+            "--promote" => {
+                settings.promote = numeric("--promote")?
+                    .try_into()
+                    .map_err(|_| "--promote out of range".to_string())?;
+                if settings.promote == 0 {
+                    return Err("--promote must be at least 1".to_string());
+                }
+            }
+            "--sa-temp" => {
+                settings.sa_temp_micro = numeric("--sa-temp")?
+                    .try_into()
+                    .map_err(|_| "--sa-temp out of range".to_string())?;
+            }
+            "--transfer" => *transfer = true,
             _ => rest.push(arg),
         }
     }
@@ -106,7 +142,12 @@ fn main() {
         seed: 0,
         ..SearchSettings::default()
     };
-    let rest = match parse_search_flags(std::env::args().skip(1).collect(), &mut settings) {
+    let mut transfer = false;
+    let rest = match parse_search_flags(
+        std::env::args().skip(1).collect(),
+        &mut settings,
+        &mut transfer,
+    ) {
         Ok(rest) => rest,
         Err(message) => {
             eprintln!("error: {message}");
@@ -143,20 +184,23 @@ fn main() {
 
     eprintln!(
         "mapping_search: {} presets x {} evaluations at {} bursts \
-         (seed {}, {} restarts, {} neighbors/step)",
+         (seed {}, {} restarts, {} neighbors/step, {} strategy{})",
         ALL_CONFIGS.len(),
         settings.budget,
         options.bursts,
         settings.seed,
         settings.restarts,
         settings.neighbors,
+        settings.strategy,
+        if transfer { ", transfer on" } else { "" },
     );
 
     println!(
-        "{:<14} {:>6} {:>6} {:>10} {:>10} {:>7} {:>10} {:>10}",
-        "config", "evals", "moves", "dse hit", "paper hit", "gain", "dse util", "paper util"
+        "{:<14} {:>6} {:>6} {:>10} {:>10} {:>7} {:>10} {:>10}  fold",
+        "config", "evals", "moves", "dse hit", "paper hit", "gain", "dse util", "paper util",
     );
     let mut records: Vec<SearchRecord> = Vec::with_capacity(ALL_CONFIGS.len());
+    let mut seeds: Vec<(BitPermutation, XorFold)> = Vec::new();
     for (standard, rate) in ALL_CONFIGS {
         let dram = match DramConfig::preset(*standard, *rate) {
             Ok(dram) => dram,
@@ -165,7 +209,11 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let search = MappingSearch::new(dram, spec, settings).with_controller(options.controller());
+        let mut search =
+            MappingSearch::new(dram, spec, settings).with_controller(options.controller());
+        if transfer {
+            search = search.with_transfer_seeds(&seeds);
+        }
         let record = match search.run() {
             Ok(record) => record,
             Err(error) => {
@@ -174,7 +222,7 @@ fn main() {
             }
         };
         println!(
-            "{:<14} {:>6} {:>6} {:>9.2} % {:>9.2} % {:>6.3}x {:>9.2} % {:>9.2} %",
+            "{:<14} {:>6} {:>6} {:>9.2} % {:>9.2} % {:>6.3}x {:>9.2} % {:>9.2} %  {}",
             record.dram_label,
             record.evaluations,
             record.accepted_moves,
@@ -183,23 +231,39 @@ fn main() {
             record.row_hit_gain(),
             record.best.min_utilization * 100.0,
             record.optimized.min_utilization * 100.0,
+            if record.fold.is_empty() {
+                "-"
+            } else {
+                &record.fold
+            },
         );
+        if transfer {
+            // Carry this preset's winner forward; incompatible geometries
+            // are filtered at the receiving search's start time.
+            if let (Ok(permutation), Ok(fold)) = (
+                record.permutation.parse::<BitPermutation>(),
+                record.fold.parse::<XorFold>(),
+            ) {
+                if !seeds.contains(&(permutation, fold)) {
+                    seeds.push((permutation, fold));
+                }
+            }
+        }
         records.push(record);
     }
 
     let all_match = records.iter().all(SearchRecord::matches_or_beats_optimized);
+    let all_beat = records.iter().all(SearchRecord::beats_optimized);
     let min_gain = records
         .iter()
         .map(SearchRecord::row_hit_gain)
         .fold(f64::INFINITY, f64::min);
     println!(
-        "discovered mappings {} the paper's optimized row-hit rate on {}/{} presets \
-         (min gain {min_gain:.6}x; matches = within {MATCH_TOLERANCE:e} relative)",
-        if all_match {
-            "match or beat"
-        } else {
-            "beat only"
-        },
+        "discovered mappings strictly beat the paper's optimized row-hit rate on {}/{} presets, \
+         match-or-beat on {}/{} (min gain {min_gain:.6}x; matches = within \
+         {MATCH_TOLERANCE:e} relative)",
+        records.iter().filter(|r| r.beats_optimized()).count(),
+        records.len(),
         records
             .iter()
             .filter(|r| r.matches_or_beats_optimized())
@@ -209,9 +273,12 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": {},\n  \"bursts\": {},\n  \"seed\": {},\n  \"restarts\": {},\n  \
-         \"budget\": {},\n  \"neighbors\": {},\n  \"presets\": {},\n  \
+         \"budget\": {},\n  \"neighbors\": {},\n  \"strategy\": {},\n  \
+         \"surrogate_divisor\": {},\n  \"promote\": {},\n  \"sa_temp_micro\": {},\n  \
+         \"transfer\": {},\n  \"presets\": {},\n  \
          \"refresh_disabled\": {},\n  \"match_tolerance\": {},\n  \
-         \"all_match_or_beat_optimized\": {},\n  \"min_row_hit_gain\": {},\n  \
+         \"all_match_or_beat_optimized\": {},\n  \"all_beat_optimized\": {},\n  \
+         \"min_row_hit_gain\": {},\n  \
          \"search\": {}}}\n",
         json_string("mapping_search"),
         options.bursts,
@@ -219,10 +286,16 @@ fn main() {
         settings.restarts,
         settings.budget,
         settings.neighbors,
+        json_string(&settings.strategy.to_string()),
+        settings.surrogate_divisor,
+        settings.promote,
+        settings.sa_temp_micro,
+        transfer,
         records.len(),
         options.no_refresh,
         json_number(MATCH_TOLERANCE),
         all_match,
+        all_beat,
         json_number(min_gain),
         search_records_to_json(&records),
     );

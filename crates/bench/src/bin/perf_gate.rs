@@ -27,7 +27,8 @@ use tbi_dram::{
     AddressBatch, BitPermutation, ChannelTopology, DramConfig, DramStandard, TimingEngine,
 };
 use tbi_exp::json::{parse, JsonValue};
-use tbi_exp::search::{MappingSearch, SearchSettings};
+use tbi_exp::search::{MappingSearch, SearchSettings, SearchStrategy};
+use tbi_exp::serialize::json_number;
 use tbi_exp::{Experiment, Record, Scenario, SweepGrid, TenantStage};
 use tbi_interleaver::mapping::PermutedMapping;
 use tbi_interleaver::{InterleaverSpec, MappingKind};
@@ -156,7 +157,8 @@ fn rerun_engine_speed(options: &GateOptions) -> Result<(JsonValue, Vec<Check>), 
     let identical = cycle_records == event_records;
     let speedup = cycle_wall_s / event_wall_s.max(f64::MIN_POSITIVE);
     let doc = current_doc(&format!(
-        "{{\"speedup\":{speedup},\"records_identical\":{identical}}}"
+        "{{\"speedup\":{},\"records_identical\":{identical}}}",
+        json_number(speedup)
     ));
     Ok((
         doc,
@@ -193,7 +195,8 @@ fn rerun_channel_sweep(options: &GateOptions) -> Result<(JsonValue, Vec<Check>),
         min_scaling = min_scaling.min(at(2)? / at(1)?.max(f64::MIN_POSITIVE));
     }
     let doc = current_doc(&format!(
-        "{{\"min_scaling_1_to_2_optimized\":{min_scaling}}}"
+        "{{\"min_scaling_1_to_2_optimized\":{}}}",
+        json_number(min_scaling)
     ));
     Ok((
         doc,
@@ -213,11 +216,20 @@ fn committed_u64(committed: &JsonValue, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("committed artifact has no numeric `{key}`"))
 }
 
-/// `mapping_search`: replays the committed hill-climb — same seed, restart
-/// count, budget, neighbor count and refresh condition — on a reduced index
-/// space.  The committed permutations themselves are tuned to the full-size
-/// triangle, so the scaled-down gate re-runs the *search* and checks it
-/// still rediscovers mappings near the optimized row-hit rate.
+/// Replay budget cap for the mapping-search gate: the committed artifact
+/// may spend hundreds of full-size evaluations per preset, but the gate
+/// re-runs on a reduced index space where a slice of that budget already
+/// rediscovers competitive mappings.
+const GATE_SEARCH_BUDGET: u32 = 96;
+
+/// `mapping_search`: replays the committed search — same seed, restart
+/// count, neighbor count, strategy (greedy or portfolio, including the
+/// surrogate/annealing knobs) and refresh condition — on a reduced index
+/// space with a capped budget.  The committed permutations themselves are
+/// tuned to the full-size triangle, so the scaled-down gate re-runs the
+/// *search* and checks it still rediscovers mappings near the optimized
+/// row-hit rate.  Cross-preset transfer seeding is not replayed: the gate
+/// checks each preset's search in isolation.
 fn rerun_mapping_search(
     options: &GateOptions,
     committed: &JsonValue,
@@ -226,15 +238,39 @@ fn rerun_mapping_search(
         committed.get("refresh_disabled"),
         Some(JsonValue::Bool(true))
     );
+    // Portfolio keys default to the greedy artifact's implied values so the
+    // gate accepts both artifact generations.
+    let committed_u64_or = |key: &str, default: u64| -> Result<u64, String> {
+        match committed.get(key) {
+            None => Ok(default),
+            Some(value) => value
+                .as_f64()
+                .map(|n| n as u64)
+                .ok_or_else(|| format!("committed `{key}` is not numeric")),
+        }
+    };
+    let strategy = match committed.get("strategy") {
+        None => SearchStrategy::Greedy,
+        Some(JsonValue::String(s)) => s.parse::<SearchStrategy>()?,
+        Some(_) => return Err("committed `strategy` is not a string".to_string()),
+    };
     let settings = SearchSettings {
         seed: committed_u64(committed, "seed")?,
         restarts: u32::try_from(committed_u64(committed, "restarts")?)
             .map_err(|_| "committed `restarts` out of range".to_string())?,
         budget: u32::try_from(committed_u64(committed, "budget")?)
-            .map_err(|_| "committed `budget` out of range".to_string())?,
+            .map_err(|_| "committed `budget` out of range".to_string())?
+            .min(GATE_SEARCH_BUDGET),
         neighbors: u32::try_from(committed_u64(committed, "neighbors")?)
             .map_err(|_| "committed `neighbors` out of range".to_string())?,
         workers: options.workers,
+        strategy,
+        surrogate_divisor: u32::try_from(committed_u64_or("surrogate_divisor", 0)?)
+            .map_err(|_| "committed `surrogate_divisor` out of range".to_string())?,
+        promote: u32::try_from(committed_u64_or("promote", 2)?)
+            .map_err(|_| "committed `promote` out of range".to_string())?,
+        sa_temp_micro: u32::try_from(committed_u64_or("sa_temp_micro", 150)?)
+            .map_err(|_| "committed `sa_temp_micro` out of range".to_string())?,
     };
     let spec = InterleaverSpec::from_burst_count(options.bursts);
     let controller = HarnessOptions {
@@ -254,7 +290,10 @@ fn rerun_mapping_search(
         eprintln!("  {label}: rediscovered row-hit gain {gain:.6}x");
         min_gain = min_gain.min(gain);
     }
-    let doc = current_doc(&format!("{{\"min_row_hit_gain\":{min_gain}}}"));
+    let doc = current_doc(&format!(
+        "{{\"min_row_hit_gain\":{}}}",
+        json_number(min_gain)
+    ));
     Ok((
         doc,
         vec![Check::new("min_row_hit_gain", CheckKind::MinRatio(0.95))],
@@ -337,7 +376,8 @@ fn rerun_mapgen_speed(options: &GateOptions) -> Result<(JsonValue, Vec<Check>), 
     }
     let doc = current_doc(&format!(
         "{{\"all_identical\":{all_identical},\
-         \"min_permutation_gather_speedup\":{min_speedup}}}"
+         \"min_permutation_gather_speedup\":{}}}",
+        json_number(min_speedup)
     ));
     Ok((
         doc,
@@ -410,7 +450,10 @@ fn rerun_tenant_sweep(
         eprintln!("  {label}: premium-p99 policy spread x{ratio:.3} at {streams} streams");
         max_ratio = max_ratio.max(ratio);
     }
-    let doc = current_doc(&format!("{{\"max_premium_p99_ratio\":{max_ratio}}}"));
+    let doc = current_doc(&format!(
+        "{{\"max_premium_p99_ratio\":{}}}",
+        json_number(max_ratio)
+    ));
     Ok((
         doc,
         vec![Check::new(

@@ -25,6 +25,7 @@ use tbi_exp::json::{parse, JsonValue};
 
 const REGRESSED_REPORT: &str = include_str!("fixtures/gate_report_regressed.txt");
 const BOUNDARY_REPORT: &str = include_str!("fixtures/gate_report_boundary.txt");
+const DEGENERATE_REPORT: &str = include_str!("fixtures/gate_report_degenerate.txt");
 
 fn doc(text: &str) -> JsonValue {
     parse(text).expect("test document parses")
@@ -96,6 +97,42 @@ fn tolerance_boundary_artifact_passes_and_matches_the_golden_report() {
     assert_eq!(
         text, BOUNDARY_REPORT,
         "gate report format drifted from tests/fixtures/gate_report_boundary.txt — if \
+         intentional, regenerate with TBI_BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn degenerate_min_ratio_baselines_fail_cleanly_and_match_the_golden_report() {
+    // A corrupt committed artifact must fail its `MinRatio` checks with a
+    // diagnostic — never divide by zero, never pass against a meaningless
+    // baseline, never panic on a non-numeric stand-in (non-finite floats
+    // serialize as `null` under the artifact discipline, so `null` is the
+    // on-disk face of a NaN/inf baseline).
+    let current = doc(
+        r#"{"zero_base": 1.0, "negative_base": 1.0, "null_base": 1.0,
+            "missing_base": 1.0, "null_current": null}"#,
+    );
+    let committed = doc(
+        r#"{"zero_base": 0.0, "negative_base": -13.5, "null_base": null,
+            "null_current": 2.0}"#,
+    );
+    let checks = [
+        Check::new("zero_base", CheckKind::MinRatio(0.5)),
+        Check::new("negative_base", CheckKind::MinRatio(0.5)),
+        Check::new("null_base", CheckKind::MinRatio(0.5)),
+        Check::new("missing_base", CheckKind::MinRatio(0.5)),
+        Check::new("null_current", CheckKind::MinRatio(0.5)),
+    ];
+    let report = evaluate("degenerate", &current, &committed, &checks);
+    assert!(!report.passed(), "every degenerate baseline must fail");
+    assert!(report.results.iter().all(|r| !r.passed));
+    let text = report.render();
+    if bless("gate_report_degenerate.txt", &text) {
+        return;
+    }
+    assert_eq!(
+        text, DEGENERATE_REPORT,
+        "gate report format drifted from tests/fixtures/gate_report_degenerate.txt — if \
          intentional, regenerate with TBI_BLESS_GOLDEN=1"
     );
 }

@@ -102,7 +102,9 @@ pub use controller::{
 pub use energy::{EnergyParams, EnergyReport};
 pub use error::ConfigError;
 pub use geometry::{ChannelTopology, DeviceGeometry};
-pub use permutation::{AddressField, BitPermutation, PermutationMapping};
+pub use permutation::{
+    AddressField, BitPermutation, FoldOp, FoldStep, PermutationMapping, XorFold,
+};
 pub use request::{BufferedRequests, IteratorSource, Request, RequestKind, RequestSource};
 pub use sim::MemorySystem;
 pub use standards::{DramConfig, DramStandard};

@@ -302,6 +302,289 @@ impl std::str::FromStr for BitPermutation {
     }
 }
 
+/// Maximum number of [`FoldStep`]s an [`XorFold`] can hold.
+///
+/// Two steps already express the paper's optimized diagonal (bank folded
+/// with the row-tile bits on each phase side); four leaves room for the
+/// portfolio search to stack boundary corrections while keeping the fold
+/// `Copy`.
+pub const MAX_FOLD_STEPS: usize = 4;
+
+/// The combining operator of one [`FoldStep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FoldOp {
+    /// `target ^= value` — the classic bank-XOR trick; self-inverse.
+    Xor,
+    /// `target = (target + value) mod 2^width` — the additive diagonal of
+    /// the paper's optimized scheme (`bank = (tile_i + tile_j) mod banks`);
+    /// inverted by modular subtraction.
+    Add,
+}
+
+impl FoldOp {
+    /// The operator code used in the textual fold form (`^` or `+`).
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            FoldOp::Xor => '^',
+            FoldOp::Add => '+',
+        }
+    }
+
+    /// Parses an operator code.
+    #[must_use]
+    pub fn from_code(code: char) -> Option<Self> {
+        match code {
+            '^' => Some(FoldOp::Xor),
+            '+' => Some(FoldOp::Add),
+            _ => None,
+        }
+    }
+}
+
+/// One fold: `target op= (source >> shift) & (2^width(target) - 1)`,
+/// applied to the decoded field values after the bit permutation.
+///
+/// Because the step only rewrites `target` (and `target != source`, enforced
+/// by [`XorFold::new`]), it is a bijection on the six-field state for either
+/// operator: XOR is self-inverse and ADD inverts by modular subtraction.
+///
+/// The textual form is `<target><op><source><shift>`, e.g. `B^R7` (bank
+/// XOR-folded with row bits 7..) or `B+R2` (bank plus row bits 2..,
+/// mod the bank width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FoldStep {
+    /// Field being rewritten.
+    pub target: AddressField,
+    /// Field supplying the folded value (left unchanged).
+    pub source: AddressField,
+    /// Right-shift applied to the source value before masking.
+    pub shift: u8,
+    /// Combining operator.
+    pub op: FoldOp,
+}
+
+impl FoldStep {
+    /// Canonical padding entry for unused slots (never applied; `target ==
+    /// source` is rejected for real steps, so padding is unambiguous).
+    const PAD: FoldStep = FoldStep {
+        target: AddressField::Row,
+        source: AddressField::Row,
+        shift: 0,
+        op: FoldOp::Xor,
+    };
+}
+
+impl std::fmt::Display for FoldStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}{}",
+            self.target.code(),
+            self.op.code(),
+            self.source.code(),
+            self.shift
+        )
+    }
+}
+
+/// A short sequence of [`FoldStep`]s layered on top of a [`BitPermutation`]
+/// — the "hybrid" half of the searchable mapping family.
+///
+/// Pure bit permutations cannot express the paper's optimized diagonal
+/// (`bank = (tile_i + tile_j) mod banks`) on standards without bank-group
+/// bits (DDR3, LPDDR4); a fold of the bank field with shifted row/column
+/// bits can.  Each step is a bijection on the decoded field values, so the
+/// composite `permutation ∘ folds` mapping stays a bijection and keeps an
+/// exact inverse (steps inverted in reverse order).
+///
+/// The type is `Copy` (fixed array + length), so it rides inside mapping
+/// enums and hash maps exactly like [`BitPermutation`].  The textual form
+/// joins step forms with `,` (`"B^R7,G+C2"`); the identity fold is the
+/// empty string.
+///
+/// # Examples
+///
+/// ```
+/// use tbi_dram::{AddressField, FoldOp, FoldStep, XorFold};
+///
+/// let fold = XorFold::new(&[FoldStep {
+///     target: AddressField::Bank,
+///     source: AddressField::Row,
+///     shift: 7,
+///     op: FoldOp::Xor,
+/// }])?;
+/// assert_eq!(fold.to_string(), "B^R7");
+/// assert_eq!(fold.to_string().parse::<XorFold>()?, fold);
+/// assert!(XorFold::identity().is_identity());
+/// # Ok::<(), tbi_dram::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct XorFold {
+    /// Steps applied in order after decode; entries at `len..` are padding.
+    steps: [FoldStep; MAX_FOLD_STEPS],
+    len: u8,
+}
+
+impl XorFold {
+    /// The identity fold (no steps) — plain bit-permutation behaviour.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self {
+            steps: [FoldStep::PAD; MAX_FOLD_STEPS],
+            len: 0,
+        }
+    }
+
+    /// Creates a fold from `steps`, applied in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] if there are more than
+    /// [`MAX_FOLD_STEPS`] steps or any step folds a field with itself
+    /// (which would not be a bijection).
+    pub fn new(steps: &[FoldStep]) -> Result<Self, ConfigError> {
+        if steps.len() > MAX_FOLD_STEPS {
+            return Err(ConfigError::InvalidGeometry {
+                field: "fold",
+                reason: format!("at most {MAX_FOLD_STEPS} fold steps, got {}", steps.len()),
+            });
+        }
+        for step in steps {
+            if step.target == step.source {
+                return Err(ConfigError::InvalidGeometry {
+                    field: "fold",
+                    reason: format!("step {step} folds a field with itself"),
+                });
+            }
+        }
+        let mut array = [FoldStep::PAD; MAX_FOLD_STEPS];
+        array[..steps.len()].copy_from_slice(steps);
+        Ok(Self {
+            steps: array,
+            len: steps.len() as u8,
+        })
+    }
+
+    /// The steps, in application order.
+    #[must_use]
+    pub fn steps(&self) -> &[FoldStep] {
+        &self.steps[..self.len as usize]
+    }
+
+    /// Whether this is the identity fold.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a copy with `step` appended — a neighbourhood move of the
+    /// portfolio search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] when full or when the step
+    /// is degenerate (see [`XorFold::new`]).
+    pub fn with_step(&self, step: FoldStep) -> Result<Self, ConfigError> {
+        let mut steps: Vec<FoldStep> = self.steps().to_vec();
+        steps.push(step);
+        Self::new(&steps)
+    }
+
+    /// Returns a copy with the last step removed (identity stays identity).
+    #[must_use]
+    pub fn without_last(&self) -> Self {
+        let mut copy = *self;
+        if copy.len > 0 {
+            copy.len -= 1;
+            copy.steps[copy.len as usize] = FoldStep::PAD;
+        }
+        copy
+    }
+
+    /// Checks the fold against `permutation`: every step's target and
+    /// source must have at least one bit, and the shift must leave at
+    /// least one source bit in range (otherwise the step is dead weight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] naming the offending step.
+    pub fn validate_for(&self, permutation: &BitPermutation) -> Result<(), ConfigError> {
+        for step in self.steps() {
+            let target_width = permutation.width_of(step.target);
+            let source_width = permutation.width_of(step.source);
+            if target_width == 0 || source_width == 0 {
+                return Err(ConfigError::InvalidGeometry {
+                    field: "fold",
+                    reason: format!("step {step} touches a zero-width field"),
+                });
+            }
+            if u32::from(step.shift) >= source_width {
+                return Err(ConfigError::InvalidGeometry {
+                    field: "fold",
+                    reason: format!("step {step} shifts past the {source_width}-bit source field"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Textual form: step forms joined by `,`; identity is empty.
+impl std::fmt::Display for XorFold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (index, step) in self.steps().iter().enumerate() {
+            if index > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for XorFold {
+    type Err = ConfigError;
+
+    /// Parses the comma-joined step string emitted by `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(Self::identity());
+        }
+        let invalid = |reason: String| ConfigError::InvalidGeometry {
+            field: "fold",
+            reason,
+        };
+        let mut steps = Vec::new();
+        for part in s.split(',') {
+            let mut chars = part.chars();
+            let target = chars
+                .next()
+                .and_then(AddressField::from_code)
+                .ok_or_else(|| invalid(format!("bad fold target in `{part}`")))?;
+            let op = chars
+                .next()
+                .and_then(FoldOp::from_code)
+                .ok_or_else(|| invalid(format!("bad fold operator in `{part}`")))?;
+            let source = chars
+                .next()
+                .and_then(AddressField::from_code)
+                .ok_or_else(|| invalid(format!("bad fold source in `{part}`")))?;
+            let shift: u8 = chars
+                .as_str()
+                .parse()
+                .map_err(|_| invalid(format!("bad fold shift in `{part}`")))?;
+            steps.push(FoldStep {
+                target,
+                source,
+                shift,
+                op,
+            });
+        }
+        Self::new(&steps)
+    }
+}
+
 /// log2 widths of the six fields for a subsystem.
 #[derive(Debug, Clone, Copy)]
 struct FieldWidths {
@@ -463,6 +746,10 @@ pub struct PermutationMapping {
     permutation: BitPermutation,
     plan: DecodePlan,
     scatter: ScatterPlan,
+    /// Field folds applied after decode (identity for plain permutations).
+    fold: XorFold,
+    /// Precomputed `2^width(target) - 1` per fold step.
+    fold_masks: [u32; MAX_FOLD_STEPS],
 }
 
 impl PermutationMapping {
@@ -479,10 +766,33 @@ impl PermutationMapping {
         topology: ChannelTopology,
         permutation: BitPermutation,
     ) -> Result<Self, ConfigError> {
+        Self::with_fold(geometry, topology, permutation, XorFold::identity())
+    }
+
+    /// Creates a mapping that applies `fold` to the decoded field values of
+    /// `permutation` — the hybrid permutation+fold family.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidGeometry`] if the permutation does not
+    /// fit the subsystem (see [`PermutationMapping::new`]) or the fold
+    /// touches a zero-width field / shifts past its source (see
+    /// [`XorFold::validate_for`]).
+    pub fn with_fold(
+        geometry: DeviceGeometry,
+        topology: ChannelTopology,
+        permutation: BitPermutation,
+        fold: XorFold,
+    ) -> Result<Self, ConfigError> {
         permutation.validate_for(&geometry, topology)?;
+        fold.validate_for(&permutation)?;
         let mut masks = [0u64; 6];
         for (bit, field) in permutation.fields().iter().enumerate() {
             masks[field.index()] |= 1u64 << bit;
+        }
+        let mut fold_masks = [0u32; MAX_FOLD_STEPS];
+        for (index, step) in fold.steps().iter().enumerate() {
+            fold_masks[index] = (1u32 << permutation.width_of(step.target)) - 1;
         }
         Ok(Self {
             geometry,
@@ -490,6 +800,8 @@ impl PermutationMapping {
             permutation,
             plan: Self::plan(&permutation),
             scatter: ScatterPlan::build(&masks),
+            fold,
+            fold_masks,
         })
     }
 
@@ -529,6 +841,12 @@ impl PermutationMapping {
         &self.permutation
     }
 
+    /// The fold applied after decode (identity for plain permutations).
+    #[must_use]
+    pub fn fold(&self) -> &XorFold {
+        &self.fold
+    }
+
     /// The device geometry of one rank of one channel.
     #[must_use]
     pub fn geometry(&self) -> &DeviceGeometry {
@@ -554,7 +872,7 @@ impl PermutationMapping {
     /// wraps, mirroring [`AddressDecoder::decode`](crate::AddressDecoder::decode)).
     #[must_use]
     pub fn decode(&self, linear: u64) -> (u32, PhysicalAddress) {
-        let fields = match self.plan {
+        let mut fields = match self.plan {
             DecodePlan::ShiftMask { shift, width } => {
                 let mut out = [0u32; 6];
                 for index in 0..6 {
@@ -579,6 +897,15 @@ impl PermutationMapping {
                 out
             }
         };
+        for (index, step) in self.fold.steps().iter().enumerate() {
+            let mask = self.fold_masks[index];
+            let value = (fields[step.source.index()] >> step.shift) & mask;
+            let target = &mut fields[step.target.index()];
+            *target = match step.op {
+                FoldOp::Xor => *target ^ value,
+                FoldOp::Add => target.wrapping_add(value) & mask,
+            };
+        }
         (
             fields[AddressField::Channel.index()],
             PhysicalAddress {
@@ -623,8 +950,8 @@ impl PermutationMapping {
             row,
             column,
         } = lanes;
-        let out = [channel, rank, bank_group, bank, row, column];
-        for (field, lane) in out.into_iter().enumerate() {
+        let mut out = [channel, rank, bank_group, bank, row, column];
+        for (field, lane) in out.iter_mut().enumerate() {
             assert_eq!(lane.len(), linear.len(), "lane length mismatch");
             let mut steps = self.scatter.field_steps(field).iter();
             match steps.next() {
@@ -642,6 +969,32 @@ impl PermutationMapping {
                         for (value, &l) in lane.iter_mut().zip(linear) {
                             *value |= (((l >> step.src) & mask) as u32) << step.dst;
                         }
+                    }
+                }
+            }
+        }
+        // Fold passes: one straight-line loop per step over the target
+        // lane, reading the (distinct) source lane — still vectorizable.
+        for (index, step) in self.fold.steps().iter().enumerate() {
+            let mask = self.fold_masks[index];
+            let shift = u32::from(step.shift);
+            let (ti, si) = (step.target.index(), step.source.index());
+            let (target_lane, source_lane): (&mut [u32], &[u32]) = if ti < si {
+                let (low, high) = out.split_at_mut(si);
+                (&mut *low[ti], &*high[0])
+            } else {
+                let (low, high) = out.split_at_mut(ti);
+                (&mut *high[0], &*low[si])
+            };
+            match step.op {
+                FoldOp::Xor => {
+                    for (target, &source) in target_lane.iter_mut().zip(source_lane) {
+                        *target ^= (source >> shift) & mask;
+                    }
+                }
+                FoldOp::Add => {
+                    for (target, &source) in target_lane.iter_mut().zip(source_lane) {
+                        *target = target.wrapping_add((source >> shift) & mask) & mask;
                     }
                 }
             }
@@ -697,7 +1050,7 @@ impl PermutationMapping {
     /// components.
     #[must_use]
     pub fn encode(&self, channel: u32, address: PhysicalAddress) -> u64 {
-        let values = [
+        let mut values = [
             u64::from(channel),
             u64::from(address.rank),
             u64::from(address.bank_group),
@@ -705,6 +1058,18 @@ impl PermutationMapping {
             u64::from(address.row),
             u64::from(address.column),
         ];
+        // Undo the folds in reverse order: XOR is self-inverse, ADD inverts
+        // by modular subtraction.  Each step's source field is unchanged by
+        // that step, so its decoded value is already available.
+        for (index, step) in self.fold.steps().iter().enumerate().rev() {
+            let mask = u64::from(self.fold_masks[index]);
+            let value = (values[step.source.index()] >> step.shift) & mask;
+            let target = &mut values[step.target.index()];
+            *target = match step.op {
+                FoldOp::Xor => *target ^ value,
+                FoldOp::Add => target.wrapping_add(mask + 1 - value) & mask,
+            };
+        }
         let mut taken = [0u32; 6];
         let mut linear = 0u64;
         for (bit, field) in self.permutation.fields().iter().enumerate() {
@@ -935,6 +1300,196 @@ mod tests {
         assert_eq!(batch.get(0), (9, sentinel));
         assert_eq!(batch.get(1), mapping.decode(5));
         assert_eq!(batch.get(2), mapping.decode(6));
+    }
+
+    #[test]
+    fn fold_display_round_trips_and_rejects_degenerates() {
+        let fold = XorFold::new(&[
+            FoldStep {
+                target: AddressField::Bank,
+                source: AddressField::Row,
+                shift: 7,
+                op: FoldOp::Xor,
+            },
+            FoldStep {
+                target: AddressField::BankGroup,
+                source: AddressField::Column,
+                shift: 2,
+                op: FoldOp::Add,
+            },
+        ])
+        .unwrap();
+        assert_eq!(fold.to_string(), "B^R7,G+C2");
+        assert_eq!(fold.to_string().parse::<XorFold>().unwrap(), fold);
+        assert_eq!("".parse::<XorFold>().unwrap(), XorFold::identity());
+        assert_eq!(fold.without_last().to_string(), "B^R7");
+        assert_eq!(
+            XorFold::identity().without_last(),
+            XorFold::identity(),
+            "identity stays identity"
+        );
+        // Self-fold is rejected, as is overflowing the step budget.
+        let degenerate = FoldStep {
+            target: AddressField::Row,
+            source: AddressField::Row,
+            shift: 0,
+            op: FoldOp::Xor,
+        };
+        assert!(XorFold::new(&[degenerate]).is_err());
+        let step = fold.steps()[0];
+        assert!(XorFold::new(&[step; MAX_FOLD_STEPS + 1]).is_err());
+        assert!("B?R7".parse::<XorFold>().is_err());
+        assert!("B^Rx".parse::<XorFold>().is_err());
+    }
+
+    #[test]
+    fn fold_validation_rejects_zero_width_fields_and_long_shifts() {
+        let permutation = BitPermutation::for_scheme(
+            DecodeScheme::RowColumnBankBankGroup,
+            &geometry(),
+            ChannelTopology::default(),
+        )
+        .unwrap();
+        // No rank bits in a single-rank subsystem.
+        let rank_fold = XorFold::new(&[FoldStep {
+            target: AddressField::Rank,
+            source: AddressField::Row,
+            shift: 0,
+            op: FoldOp::Xor,
+        }])
+        .unwrap();
+        assert!(rank_fold.validate_for(&permutation).is_err());
+        // Shift past the 10-bit row field.
+        let long_shift = XorFold::new(&[FoldStep {
+            target: AddressField::Bank,
+            source: AddressField::Row,
+            shift: 10,
+            op: FoldOp::Xor,
+        }])
+        .unwrap();
+        assert!(long_shift.validate_for(&permutation).is_err());
+        assert!(PermutationMapping::with_fold(
+            geometry(),
+            ChannelTopology::default(),
+            permutation,
+            long_shift
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn folded_mappings_are_bijective_with_exact_inverse_for_both_ops() {
+        let permutation = BitPermutation::for_scheme(
+            DecodeScheme::RowColumnBankBankGroup,
+            &geometry(),
+            ChannelTopology::default(),
+        )
+        .unwrap();
+        for op in [FoldOp::Xor, FoldOp::Add] {
+            let fold = XorFold::new(&[
+                FoldStep {
+                    target: AddressField::Bank,
+                    source: AddressField::Row,
+                    shift: 1,
+                    op,
+                },
+                FoldStep {
+                    target: AddressField::BankGroup,
+                    source: AddressField::Column,
+                    shift: 3,
+                    op,
+                },
+            ])
+            .unwrap();
+            let mapping = PermutationMapping::with_fold(
+                geometry(),
+                ChannelTopology::default(),
+                permutation,
+                fold,
+            )
+            .unwrap();
+            let plain =
+                PermutationMapping::new(geometry(), ChannelTopology::default(), permutation)
+                    .unwrap();
+            let mut seen = std::collections::HashSet::new();
+            let mut diverged = false;
+            for linear in 0..8_192u64 {
+                let (channel, address) = mapping.decode(linear);
+                assert!(
+                    address.is_valid_for_ranks(mapping.geometry(), 1),
+                    "{op:?} out of range at {linear}"
+                );
+                assert!(
+                    seen.insert((channel, address)),
+                    "{op:?} collision at {linear}"
+                );
+                assert_eq!(mapping.encode(channel, address), linear, "{op:?} inverse");
+                diverged |= mapping.decode(linear) != plain.decode(linear);
+            }
+            assert!(diverged, "{op:?} fold must actually change the mapping");
+        }
+    }
+
+    #[test]
+    fn add_fold_expresses_the_additive_diagonal() {
+        // bank' = (bank + row) mod banks: the optimized scheme's diagonal
+        // term, inexpressible as a pure bit permutation.
+        let permutation = BitPermutation::for_scheme(
+            DecodeScheme::RowColumnBankBankGroup,
+            &geometry(),
+            ChannelTopology::default(),
+        )
+        .unwrap();
+        let fold = XorFold::new(&[FoldStep {
+            target: AddressField::Bank,
+            source: AddressField::Row,
+            shift: 0,
+            op: FoldOp::Add,
+        }])
+        .unwrap();
+        let mapping = PermutationMapping::with_fold(
+            geometry(),
+            ChannelTopology::default(),
+            permutation,
+            fold,
+        )
+        .unwrap();
+        let plain =
+            PermutationMapping::new(geometry(), ChannelTopology::default(), permutation).unwrap();
+        for linear in 0..50_000u64 {
+            let (_, folded) = mapping.decode(linear);
+            let (_, base) = plain.decode(linear);
+            assert_eq!(folded.bank, (base.bank + base.row) % 4, "at {linear}");
+            assert_eq!(folded.row, base.row);
+            assert_eq!(folded.column, base.column);
+        }
+    }
+
+    #[test]
+    fn folded_decode_batch_matches_scalar_decode() {
+        let topology = ChannelTopology::new(2, 2);
+        let base =
+            BitPermutation::for_scheme(DecodeScheme::RowColumnBankBankGroup, &geometry(), topology)
+                .unwrap();
+        let bits = base.total_bits() as usize;
+        let fold: XorFold = "B+R2,G^C1,K^R0,H+C0".parse().unwrap();
+        for permutation in [base, base.with_swap(0, bits - 1)] {
+            let mapping =
+                PermutationMapping::with_fold(geometry(), topology, permutation, fold).unwrap();
+            let linear: Vec<u64> = (0..4_096u64)
+                .chain([u64::MAX, (1 << bits) - 1, 1 << (bits - 1)])
+                .collect();
+            let mut batch = crate::batch::AddressBatch::new();
+            mapping.decode_batch(&linear, &mut batch);
+            assert_eq!(batch.len(), linear.len());
+            for (k, &l) in linear.iter().enumerate() {
+                assert_eq!(
+                    batch.get(k),
+                    mapping.decode(l),
+                    "{permutation}|{fold} diverged at linear={l}"
+                );
+            }
+        }
     }
 
     proptest! {

@@ -66,7 +66,7 @@ pub use grid::{RefreshSetting, SweepGrid};
 pub use record::{LinkRecord, Record, TenantLatency, TenantSummary};
 pub use runner::Experiment;
 pub use scenario::{LinkStage, Scenario, TenantStage};
-pub use search::{MappingSearch, SearchRecord, SearchSettings};
+pub use search::{MappingSearch, SearchRecord, SearchSettings, SearchStrategy};
 
 use tbi_dram::ConfigError;
 use tbi_interleaver::InterleaverError;

@@ -20,8 +20,14 @@ pub struct TenantLatency {
     pub qos: String,
     /// Completed requests of this tenant.
     pub requests: u64,
-    /// Mean request latency in device cycles.
+    /// Mean request latency in device cycles.  A lower bound when
+    /// `latency_saturated` is set.
     pub mean_latency_cycles: f64,
+    /// Whether the latency sum overflowed `u64` during accumulation — the
+    /// scheduler's sticky saturation flag
+    /// (`TenantReport::latency_saturated`); when `true` the mean above
+    /// understates the truth and must not be trusted.
+    pub latency_saturated: bool,
     /// Median request latency (conservative log2-bucket bound), cycles.
     pub p50_latency_cycles: u64,
     /// 99th-percentile request latency (conservative bound), cycles.

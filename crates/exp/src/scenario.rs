@@ -565,6 +565,7 @@ impl Scenario {
                 qos: tenant.qos.label().to_string(),
                 requests: tenant.requests,
                 mean_latency_cycles: tenant.latency.mean(),
+                latency_saturated: tenant.latency_saturated(),
                 p50_latency_cycles: tenant.latency.p50(),
                 p99_latency_cycles: tenant.latency.p99(),
                 deadline_misses: tenant.deadline_misses,

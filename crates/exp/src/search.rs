@@ -3,25 +3,62 @@
 //! The paper hand-picks one optimized mapping; this module treats the
 //! mapping as a **searchable space** instead, in the spirit of the
 //! interleaver-DSE literature (Chavet et al.; SAGE): a [`MappingSearch`]
-//! explores the space of [`BitPermutation`]s for one DRAM configuration
-//! with a *seeded greedy bit-swap hill-climb with random restarts*:
+//! explores the design space for one DRAM configuration with one of two
+//! [`SearchStrategy`]s:
 //!
-//! 1. every restart starts from a deterministic point — a balanced
-//!    tiling heuristic, the controller's default decode chain, or a seeded
-//!    random shuffle of the address bits;
-//! 2. each step proposes a batch of bit-swap neighbours (two linear-address
-//!    bits exchange their fields), evaluates them in parallel through the
-//!    existing [`Experiment`] worker pool, and greedily moves to the best
-//!    strictly-improving neighbour;
-//! 3. when no neighbour improves, the climb restarts from the next start
-//!    until the evaluation [`budget`](SearchSettings::budget) is exhausted.
+//! - [`SearchStrategy::Greedy`] — the original *seeded greedy bit-swap
+//!   hill-climb with random restarts* over pure [`BitPermutation`]s:
+//!
+//!   1. every restart starts from a deterministic point — a balanced
+//!      tiling heuristic, the controller's default decode chain, or a
+//!      seeded random shuffle of the address bits;
+//!   2. each step proposes a batch of bit-swap neighbours (two
+//!      linear-address bits exchange their fields), evaluates them in
+//!      parallel through the existing [`Experiment`] worker pool, and
+//!      greedily moves to the best strictly-improving neighbour;
+//!   3. when no neighbour improves, the climb restarts from the next start
+//!      until the evaluation [`budget`](SearchSettings::budget) is
+//!      exhausted.
+//!
+//! - [`SearchStrategy::Portfolio`] — a wider search over **hybrid
+//!   candidates** `(BitPermutation, XorFold)`, reaching the XOR/ADD-folded
+//!   diagonal forms pure permutations cannot express (the paper's
+//!   `bank = (tile_i + tile_j) mod banks` term):
+//!
+//!   1. the deterministic start portfolio adds two *diagonal-fold* starts
+//!      (the balanced tiling with a `bank ^= row` / `bank += row` step) and
+//!      any [transfer seeds](MappingSearch::with_transfer_seeds) carried
+//!      over from sibling presets, then alternates evolutionary restarts
+//!      (mutated elite members) with seeded random shuffles;
+//!   2. neighbourhood moves mix bit swaps with fold mutations (append,
+//!      drop, or replace one [`FoldStep`]);
+//!   3. a non-improving batch winner can still be **accepted** with
+//!      simulated-annealing probability `exp(Δ/T)` (temperature
+//!      [`sa_temp_micro`](SearchSettings::sa_temp_micro) × 10⁻⁶, cooled
+//!      geometrically), so climbs tunnel through boundary-loss plateaus;
+//!   4. with a [`surrogate_divisor`](SearchSettings::surrogate_divisor),
+//!      every batch is pre-screened at `bursts / divisor` and only the top
+//!      [`promote`](SearchSettings::promote) candidates graduate to a
+//!      full-size evaluation — surrogate runs are reported separately and
+//!      do not consume the budget;
+//!   5. before the annealed climbs, a deterministic **free-shape tile
+//!      sweep** evaluates the best `tile_h × tile_w ≤ page`
+//!      [`MappingKind::GeneralTiled`] layouts (edges need not be powers of
+//!      two — the family beyond every bit-sliced layout, and the only one
+//!      that strictly beats the paper's optimized scheme on odd-`log₂(page)`
+//!      devices such as DDR3); the best tiling competes with the hybrid
+//!      winner for the reported record.
 //!
 //! Candidates are scored by **round-trip row-hit rate** (mean of the write-
 //! and read-phase hit rates) with the throughput-limiting minimum
 //! utilization as tie-breaker — the two quantities the paper's Table I
 //! optimizes by hand.  All decisions depend only on deterministic
 //! [`Record`]s and a [`StdRng`] derived from the seed, so a search is
-//! **bit-reproducible for a fixed seed at any worker count**.
+//! **bit-reproducible for a fixed seed at any worker count** under either
+//! strategy.  The evaluation cache is keyed on the **full scenario
+//! fingerprint** (standard, topology, engine, refresh, burst count, …), not
+//! the candidate alone, so surrogate- and full-size evaluations of the same
+//! candidate never alias.
 //!
 //! ```
 //! use tbi_dram::{DramConfig, DramStandard};
@@ -48,13 +85,50 @@ use rand::{Rng, SeedableRng};
 
 use tbi_dram::{
     AddressField, BitPermutation, ChannelTopology, ControllerConfig, DecodeScheme, DramConfig,
+    FoldOp, FoldStep, XorFold,
 };
+use tbi_interleaver::mapping::GeneralTiledMapping;
 use tbi_interleaver::{InterleaverSpec, MappingKind};
 
 use crate::record::Record;
 use crate::runner::Experiment;
 use crate::scenario::Scenario;
 use crate::ExpError;
+
+/// Which search algorithm a [`MappingSearch`] runs (see the [module
+/// documentation](self) for both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchStrategy {
+    /// Greedy bit-swap hill-climb over pure permutations (the original
+    /// algorithm; restarts on the first non-improving batch).
+    #[default]
+    Greedy,
+    /// Hybrid `(permutation, fold)` search with simulated annealing,
+    /// evolutionary restarts, transfer seeds and optional surrogate
+    /// pre-screening.
+    Portfolio,
+}
+
+impl std::fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Greedy => "greedy",
+            Self::Portfolio => "portfolio",
+        })
+    }
+}
+
+impl std::str::FromStr for SearchStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "greedy" => Ok(Self::Greedy),
+            "portfolio" => Ok(Self::Portfolio),
+            other => Err(format!("unknown search strategy `{other}`")),
+        }
+    }
+}
 
 /// Tuning knobs of a [`MappingSearch`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,17 +138,36 @@ pub struct SearchSettings {
     pub seed: u64,
     /// Number of hill-climb starting points (clamped to ≥ 1).  Start 0 is
     /// the balanced-tiling heuristic, start 1 the controller's default
-    /// decode chain, further starts are seeded random shuffles.
+    /// decode chain, further starts are seeded random shuffles (the
+    /// portfolio strategy inserts diagonal-fold, transfer-seed and
+    /// evolutionary starts — see the [module documentation](self)).
     pub restarts: u32,
-    /// Maximum number of candidate evaluations across all restarts (clamped
-    /// to ≥ 1).  The row-major/optimized reference evaluations are not
-    /// counted against the budget.
+    /// Maximum number of full-size candidate evaluations across all
+    /// restarts (clamped to ≥ 1).  The row-major/optimized reference
+    /// evaluations and surrogate pre-screens are not counted against the
+    /// budget.
     pub budget: u32,
-    /// Bit-swap neighbours proposed per climb step (clamped to ≥ 1).
+    /// Neighbours proposed per climb step (clamped to ≥ 1).
     pub neighbors: u32,
     /// Worker threads for candidate batches (0 = all cores).  Does not
     /// affect results, only wall-clock time.
     pub workers: usize,
+    /// Search algorithm; [`SearchStrategy::Greedy`] preserves the original
+    /// behaviour exactly.
+    pub strategy: SearchStrategy,
+    /// Portfolio only: when ≥ 2, candidates are pre-screened at
+    /// `bursts / surrogate_divisor` bursts and only the best
+    /// [`promote`](Self::promote) graduate to full evaluation.  0 or 1
+    /// disables the surrogate.
+    pub surrogate_divisor: u32,
+    /// Portfolio only: candidates promoted from each surrogate batch to
+    /// full-size evaluation (clamped to ≥ 1).
+    pub promote: u32,
+    /// Portfolio only: initial simulated-annealing temperature in
+    /// **millionths** of round-trip row-hit rate (an integer so the
+    /// settings stay `Copy + Eq`).  0 rejects every non-improving move,
+    /// recovering greedy acceptance.
+    pub sa_temp_micro: u32,
 }
 
 impl Default for SearchSettings {
@@ -85,6 +178,10 @@ impl Default for SearchSettings {
             budget: 400,
             neighbors: 8,
             workers: 0,
+            strategy: SearchStrategy::Greedy,
+            surrogate_divisor: 0,
+            promote: 2,
+            sa_temp_micro: 150,
         }
     }
 }
@@ -111,9 +208,18 @@ pub struct SearchRecord {
     pub accepted_moves: u32,
     /// Interleaver size (bursts) the candidates were evaluated at.
     pub bursts: u64,
+    /// Surrogate (short-burst) evaluations spent pre-screening candidates;
+    /// 0 for the greedy strategy or a disabled surrogate.
+    pub surrogate_evaluations: u32,
     /// MSB-first bit codes of the best discovered permutation (parseable by
-    /// [`BitPermutation`]'s `FromStr`).
+    /// [`BitPermutation`]'s `FromStr`).  Empty when the winner has no
+    /// bit-sliced form (a `tiled:HxW` layout from the free-shape tile
+    /// sweep); `best.mapping` is then the authoritative label.
     pub permutation: String,
+    /// Fold steps of the best discovered mapping (parseable by
+    /// [`XorFold`]'s `FromStr`); empty for a pure permutation or a tiled
+    /// winner.
+    pub fold: String,
     /// Record of the best discovered permutation mapping.
     pub best: Record,
     /// Record of the row-major baseline under identical conditions.
@@ -164,6 +270,14 @@ impl SearchRecord {
         self.row_hit_gain() >= 1.0 - MATCH_TOLERANCE
     }
 
+    /// Whether the discovered mapping **strictly beats** the paper's
+    /// optimized scheme on round-trip row-hit rate — no tolerance, no
+    /// ties.  The headline claim of the hybrid (folded) mapping family.
+    #[must_use]
+    pub fn beats_optimized(&self) -> bool {
+        self.discovered_row_hit_rate() > self.optimized_row_hit_rate()
+    }
+
     /// Ratio of discovered to optimized round-trip row-hit rate.
     #[must_use]
     pub fn row_hit_gain(&self) -> f64 {
@@ -177,10 +291,11 @@ impl SearchRecord {
     }
 }
 
-/// Greedy bit-swap hill-climb with random restarts over the
-/// [`BitPermutation`] design space of one DRAM configuration.
+/// Seeded search over the address-mapping design space of one DRAM
+/// configuration — greedy bit-swap hill-climbing or the hybrid
+/// permutation+fold portfolio, per [`SearchSettings::strategy`].
 ///
-/// See the [module documentation](self) for the algorithm and the
+/// See the [module documentation](self) for the algorithms and the
 /// determinism contract.
 #[derive(Debug, Clone)]
 pub struct MappingSearch {
@@ -188,6 +303,23 @@ pub struct MappingSearch {
     spec: InterleaverSpec,
     controller: ControllerConfig,
     settings: SearchSettings,
+    transfer: Vec<(BitPermutation, XorFold)>,
+}
+
+/// One point of the hybrid design space: a bit permutation plus a
+/// (possibly identity) fold applied after decode.
+type Candidate = (BitPermutation, XorFold);
+
+/// The [`MappingKind`] a candidate evaluates as: plain `Permutation` when
+/// the fold is identity (keeping greedy labels unchanged), `XorFolded`
+/// otherwise.
+fn candidate_kind(candidate: &Candidate) -> MappingKind {
+    let (permutation, fold) = *candidate;
+    if fold.is_identity() {
+        MappingKind::Permutation(permutation)
+    } else {
+        MappingKind::XorFolded(permutation, fold)
+    }
 }
 
 /// Lexicographic candidate score: round-trip row-hit rate first, minimum
@@ -209,6 +341,7 @@ impl MappingSearch {
             spec,
             controller: ControllerConfig::default(),
             settings,
+            transfer: Vec::new(),
         }
     }
 
@@ -219,38 +352,111 @@ impl MappingSearch {
         self
     }
 
+    /// Seeds the portfolio start list with candidates won on *other*
+    /// presets (cross-preset transfer).  Seeds that do not validate for
+    /// this configuration's geometry/topology are skipped at start time,
+    /// so callers can pass one winner list to every preset.  Ignored by
+    /// the greedy strategy.
+    #[must_use]
+    pub fn with_transfer_seeds(mut self, seeds: &[(BitPermutation, XorFold)]) -> Self {
+        self.transfer = seeds.to_vec();
+        self
+    }
+
     /// The settings the search runs with.
     #[must_use]
     pub fn settings(&self) -> &SearchSettings {
         &self.settings
     }
 
-    fn scenario(&self, kind: MappingKind) -> Scenario {
-        Scenario::custom(self.dram.clone(), kind, self.spec).with_controller(self.controller)
+    /// Scores one explicit candidate under this search's scenario,
+    /// returning `(candidate, row_major, optimized)` records — the
+    /// search's own evaluation path exposed for probing tools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError`] when the candidate does not validate for the
+    /// configuration or a simulation fails.
+    pub fn score_candidate(
+        &self,
+        permutation: BitPermutation,
+        fold: XorFold,
+    ) -> Result<(Record, Record, Record), ExpError> {
+        self.score_kind(candidate_kind(&(permutation, fold)))
     }
 
-    /// Evaluates a batch of candidate permutations through the shared
+    /// Scores one explicit [`MappingKind`] design point (any family,
+    /// including the free-shape `tiled:<h>x<w>` layouts) under this
+    /// search's scenario — see [`MappingSearch::score_candidate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError`] when the mapping does not build for the
+    /// configuration or a simulation fails.
+    pub fn score_kind(&self, kind: MappingKind) -> Result<(Record, Record, Record), ExpError> {
+        let mut cache = HashMap::new();
+        let mut evaluations = 0;
+        let record = self
+            .evaluate_kinds(&[kind], self.spec, &mut cache, &mut evaluations)?
+            .pop()
+            .expect("one kind in, one record out");
+        let (row_major, optimized) = self.reference_records()?;
+        Ok((record, row_major, optimized))
+    }
+
+    fn scenario_at(&self, kind: MappingKind, spec: InterleaverSpec) -> Scenario {
+        Scenario::custom(self.dram.clone(), kind, spec).with_controller(self.controller)
+    }
+
+    /// Evaluates a batch of candidates at `spec` bursts through the shared
     /// [`Experiment`] worker pool, consulting and filling `cache`.
-    fn evaluate(
+    ///
+    /// The cache is keyed on the full scenario fingerprint (its `Display`
+    /// string: standard, topology, mapping, burst count, refresh,
+    /// scheduling, engine, …), **not** the candidate alone — the same
+    /// candidate evaluated under a surrogate spec and at full size are
+    /// different measurements and must never alias (the pre-fix cache
+    /// keyed on the permutation and silently returned whichever landed
+    /// first).
+    fn evaluate_at(
         &self,
-        candidates: &[BitPermutation],
-        cache: &mut HashMap<BitPermutation, Record>,
+        candidates: &[Candidate],
+        spec: InterleaverSpec,
+        cache: &mut HashMap<String, Record>,
         evaluations: &mut u32,
     ) -> Result<Vec<Record>, ExpError> {
-        let fresh: Vec<BitPermutation> = {
-            let mut unique = Vec::new();
-            for &candidate in candidates {
-                if !cache.contains_key(&candidate) && !unique.contains(&candidate) {
-                    unique.push(candidate);
+        let kinds: Vec<MappingKind> = candidates.iter().map(candidate_kind).collect();
+        self.evaluate_kinds(&kinds, spec, cache, evaluations)
+    }
+
+    /// [`Self::evaluate_at`] over arbitrary [`MappingKind`] design points
+    /// (the hybrid candidates map through [`candidate_kind`]; the tiled
+    /// family evaluates its kinds directly).
+    fn evaluate_kinds(
+        &self,
+        kinds: &[MappingKind],
+        spec: InterleaverSpec,
+        cache: &mut HashMap<String, Record>,
+        evaluations: &mut u32,
+    ) -> Result<Vec<Record>, ExpError> {
+        let keyed: Vec<(String, Scenario)> = kinds
+            .iter()
+            .map(|kind| {
+                let scenario = self.scenario_at(*kind, spec);
+                (scenario.to_string(), scenario)
+            })
+            .collect();
+        let fresh: Vec<(String, Scenario)> = {
+            let mut unique: Vec<(String, Scenario)> = Vec::new();
+            for (key, scenario) in &keyed {
+                if !cache.contains_key(key) && !unique.iter().any(|(seen, _)| seen == key) {
+                    unique.push((key.clone(), scenario.clone()));
                 }
             }
             unique
         };
         if !fresh.is_empty() {
-            let scenarios: Vec<Scenario> = fresh
-                .iter()
-                .map(|&p| self.scenario(MappingKind::Permutation(p)))
-                .collect();
+            let scenarios: Vec<Scenario> = fresh.iter().map(|(_, s)| s.clone()).collect();
             let experiment = Experiment::new(scenarios);
             let experiment = if self.settings.workers == 0 {
                 experiment.with_auto_workers()
@@ -259,14 +465,81 @@ impl MappingSearch {
             };
             let records = experiment.run()?;
             *evaluations += fresh.len() as u32;
-            for (permutation, record) in fresh.into_iter().zip(records) {
-                cache.insert(permutation, record);
+            for ((key, _), record) in fresh.into_iter().zip(records) {
+                cache.insert(key, record);
             }
         }
-        Ok(candidates
-            .iter()
-            .map(|candidate| cache[candidate].clone())
-            .collect())
+        Ok(keyed.iter().map(|(key, _)| cache[key].clone()).collect())
+    }
+
+    /// Evaluates the row-major and optimized references (not counted
+    /// against the candidate budget).
+    fn reference_records(&self) -> Result<(Record, Record), ExpError> {
+        let scenarios = vec![
+            self.scenario_at(MappingKind::RowMajor, self.spec),
+            self.scenario_at(MappingKind::Optimized, self.spec),
+        ];
+        let experiment = Experiment::new(scenarios);
+        let experiment = if self.settings.workers == 0 {
+            experiment.with_auto_workers()
+        } else {
+            experiment.with_workers(self.settings.workers)
+        };
+        let mut records = experiment.run()?;
+        let optimized = records.pop().expect("two references");
+        let row_major = records.pop().expect("two references");
+        Ok((row_major, optimized))
+    }
+
+    /// The reduced-size spec used for surrogate pre-screens, or `None`
+    /// when the surrogate is disabled or would not actually be smaller.
+    fn surrogate_spec(&self) -> Option<InterleaverSpec> {
+        let divisor = self.settings.surrogate_divisor;
+        if divisor < 2 {
+            return None;
+        }
+        let bursts = (self.spec.burst_count() / u64::from(divisor)).max(1_000);
+        if bursts >= self.spec.burst_count() {
+            return None;
+        }
+        Some(InterleaverSpec::from_burst_count(bursts))
+    }
+
+    /// The deterministic free-shape tile shortlist of the portfolio: the
+    /// maximal `tile_h × tile_w ≤ page` shapes with the highest interior
+    /// round-trip hit rate `1 − (1/tile_w + 1/tile_h)/2`, best first.
+    /// Shapes that do not fit the device at this index-space dimension are
+    /// dropped.  Depends only on the geometry, so the sweep is
+    /// bit-reproducible at any worker count.
+    fn tiled_kinds(&self) -> Vec<MappingKind> {
+        const SHORTLIST: usize = 6;
+        let geometry = self.dram.geometry;
+        let page = geometry.columns_per_row;
+        let dimension = self.spec.dimension();
+        let mut shapes: Vec<(u32, u32)> = (2..=page / 2)
+            .filter_map(|tile_h| {
+                let tile_w = page / tile_h;
+                (tile_w >= 2).then_some((tile_h, tile_w))
+            })
+            .collect();
+        shapes.dedup();
+        // Interior miss rate (1/w + 1/h)/2, ascending; ties break on the
+        // shape itself so the order is fully deterministic.
+        shapes.sort_by(|&(ah, aw), &(bh, bw)| {
+            let miss = |h: u32, w: u32| 1.0 / f64::from(w) + 1.0 / f64::from(h);
+            miss(ah, aw)
+                .partial_cmp(&miss(bh, bw))
+                .expect("tile miss rates are finite")
+                .then((ah, aw).cmp(&(bh, bw)))
+        });
+        shapes
+            .into_iter()
+            .filter(|&(tile_h, tile_w)| {
+                GeneralTiledMapping::new(geometry, dimension, tile_h, tile_w).is_ok()
+            })
+            .take(SHORTLIST)
+            .map(|(tile_h, tile_w)| MappingKind::GeneralTiled { tile_h, tile_w })
+            .collect()
     }
 
     /// The deterministic starting permutation of `restart`.
@@ -301,38 +574,30 @@ impl MappingSearch {
     }
 
     /// Runs the search and returns the [`SearchRecord`] of the best
-    /// discovered permutation.
+    /// discovered mapping.
     ///
     /// # Errors
     ///
     /// Returns [`ExpError`] if the interleaver does not fit the padded
     /// permutation space of the device, or any evaluation fails.
     pub fn run(&self) -> Result<SearchRecord, ExpError> {
+        match self.settings.strategy {
+            SearchStrategy::Greedy => self.run_greedy(),
+            SearchStrategy::Portfolio => self.run_portfolio(),
+        }
+    }
+
+    /// The original greedy bit-swap hill-climb over pure permutations.
+    fn run_greedy(&self) -> Result<SearchRecord, ExpError> {
         let restarts = self.settings.restarts.max(1);
         let budget = self.settings.budget.max(1);
         let neighbors = self.settings.neighbors.max(1);
+        let (row_major, optimized) = self.reference_records()?;
 
-        // References (not counted against the candidate budget).
-        let references = {
-            let scenarios = vec![
-                self.scenario(MappingKind::RowMajor),
-                self.scenario(MappingKind::Optimized),
-            ];
-            let experiment = Experiment::new(scenarios);
-            let experiment = if self.settings.workers == 0 {
-                experiment.with_auto_workers()
-            } else {
-                experiment.with_workers(self.settings.workers)
-            };
-            experiment.run()?
-        };
-        let row_major = references[0].clone();
-        let optimized = references[1].clone();
-
-        let mut cache: HashMap<BitPermutation, Record> = HashMap::new();
+        let mut cache: HashMap<String, Record> = HashMap::new();
         let mut evaluations = 0u32;
         let mut accepted_moves = 0u32;
-        let mut best: Option<(BitPermutation, Record)> = None;
+        let mut best: Option<(Candidate, Record)> = None;
 
         'restarts: for restart in 0..restarts {
             if evaluations >= budget {
@@ -343,9 +608,10 @@ impl MappingSearch {
             let mut rng = StdRng::seed_from_u64(
                 self.settings.seed ^ u64::from(restart).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             );
-            let mut current = self.starting_point(restart, &mut rng)?;
+            let mut current: Candidate =
+                (self.starting_point(restart, &mut rng)?, XorFold::identity());
             let mut current_record = self
-                .evaluate(&[current], &mut cache, &mut evaluations)?
+                .evaluate_at(&[current], self.spec, &mut cache, &mut evaluations)?
                 .pop()
                 .expect("one candidate in, one record out");
             let improves_best = match &best {
@@ -356,19 +622,19 @@ impl MappingSearch {
                 best = Some((current, current_record.clone()));
             }
             while evaluations < budget {
-                let bits = current.total_bits() as usize;
+                let bits = current.0.total_bits() as usize;
                 let batch = (neighbors as usize).min((budget - evaluations) as usize);
-                let mut candidates = Vec::with_capacity(batch);
+                let mut candidates: Vec<Candidate> = Vec::with_capacity(batch);
                 let mut guard = 0;
                 while candidates.len() < batch && guard < 64 * batch {
                     guard += 1;
                     let a = rng.gen_range(0..bits);
                     let b = rng.gen_range(0..bits);
-                    let fields = current.fields();
+                    let fields = current.0.fields();
                     if fields[a] == fields[b] {
                         continue;
                     }
-                    let swapped = current.with_swap(a, b);
+                    let swapped = (current.0.with_swap(a, b), current.1);
                     if !candidates.contains(&swapped) {
                         candidates.push(swapped);
                     }
@@ -376,7 +642,8 @@ impl MappingSearch {
                 if candidates.is_empty() {
                     continue 'restarts;
                 }
-                let records = self.evaluate(&candidates, &mut cache, &mut evaluations)?;
+                let records =
+                    self.evaluate_at(&candidates, self.spec, &mut cache, &mut evaluations)?;
                 let winner = candidates
                     .iter()
                     .zip(&records)
@@ -399,8 +666,215 @@ impl MappingSearch {
             break;
         }
 
-        let (permutation, best_record) = best.expect("at least one restart evaluated");
-        Ok(SearchRecord {
+        let (candidate, best_record) = best.expect("at least one restart evaluated");
+        Ok(self.finish(
+            candidate.0.to_string(),
+            candidate.1.to_string(),
+            best_record,
+            restarts,
+            budget,
+            evaluations,
+            0,
+            accepted_moves,
+            row_major,
+            optimized,
+        ))
+    }
+
+    /// The hybrid portfolio search: annealed acceptance, fold moves,
+    /// evolutionary restarts, transfer seeds and surrogate pre-screens.
+    fn run_portfolio(&self) -> Result<SearchRecord, ExpError> {
+        let restarts = self.settings.restarts.max(1);
+        let budget = self.settings.budget.max(1);
+        let neighbors = self.settings.neighbors.max(1);
+        let promote = self.settings.promote.max(1) as usize;
+        let temperature0 = f64::from(self.settings.sa_temp_micro) * 1e-6;
+        let surrogate = self.surrogate_spec();
+        let (row_major, optimized) = self.reference_records()?;
+
+        let mut cache: HashMap<String, Record> = HashMap::new();
+        let mut evaluations = 0u32;
+        let mut surrogate_evaluations = 0u32;
+        let mut accepted_moves = 0u32;
+        let mut best: Option<(Candidate, Record)> = None;
+        // Top fully-evaluated candidates, feeding evolutionary restarts.
+        let mut elite: Vec<(Candidate, Record)> = Vec::new();
+
+        // Deterministic free-shape tile sweep before the annealed climbs.
+        // Capped one evaluation below the budget so the hybrid family is
+        // always evaluated at least once (the restart loop below needs it).
+        let mut best_tiled: Option<(MappingKind, Record)> = None;
+        let tiled: Vec<MappingKind> = self
+            .tiled_kinds()
+            .into_iter()
+            .take(budget.saturating_sub(1) as usize)
+            .collect();
+        if !tiled.is_empty() {
+            let records = self.evaluate_kinds(&tiled, self.spec, &mut cache, &mut evaluations)?;
+            for (kind, record) in tiled.into_iter().zip(records) {
+                let improves = match &best_tiled {
+                    None => true,
+                    Some((_, incumbent)) => better(&record, incumbent),
+                };
+                if improves {
+                    best_tiled = Some((kind, record));
+                }
+            }
+        }
+
+        'restarts: for restart in 0..restarts {
+            if evaluations >= budget {
+                break;
+            }
+            // Budget slicing: restart `r` may climb until the run has spent
+            // `ceil(budget * (r + 1) / restarts)` full evaluations, so an
+            // early climb that anneals for a long time cannot starve the
+            // later deterministic starts (mimic tilings, transfer seeds);
+            // unspent slices roll forward.
+            let ceiling = (u64::from(budget) * u64::from(restart + 1)).div_ceil(restarts.into());
+            let ceiling = u32::try_from(ceiling).unwrap_or(budget).min(budget);
+            let mut rng = StdRng::seed_from_u64(
+                self.settings.seed ^ u64::from(restart).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut current = self.portfolio_start(restart, &elite, &mut rng)?;
+            let mut current_record = self
+                .evaluate_at(&[current], self.spec, &mut cache, &mut evaluations)?
+                .pop()
+                .expect("one candidate in, one record out");
+            update_elite(&mut elite, current, &current_record);
+            let improves_best = match &best {
+                None => true,
+                Some((_, record)) => better(&current_record, record),
+            };
+            if improves_best {
+                best = Some((current, current_record.clone()));
+            }
+            let mut temperature = temperature0;
+            let mut rejections = 0u32;
+            // Each step spends ≥ 1 fresh full evaluation in the common
+            // case; the step cap bounds pathological all-cache-hit climbs.
+            let mut steps = 0u32;
+            while evaluations < ceiling && steps < budget {
+                steps += 1;
+                let batch = self.propose_moves(current, neighbors as usize, &mut rng);
+                if batch.is_empty() {
+                    continue 'restarts;
+                }
+                // Surrogate pre-screen: rank the batch at reduced size and
+                // promote only the top-k to a full evaluation.  Ties break
+                // on batch order, which is itself deterministic.
+                let finalists: Vec<Candidate> = match surrogate {
+                    Some(spec) if batch.len() > promote => {
+                        let screened =
+                            self.evaluate_at(&batch, spec, &mut cache, &mut surrogate_evaluations)?;
+                        let mut order: Vec<usize> = (0..batch.len()).collect();
+                        order.sort_by(|&a, &b| {
+                            score(&screened[b])
+                                .partial_cmp(&score(&screened[a]))
+                                .expect("scores are finite")
+                                .then(a.cmp(&b))
+                        });
+                        order.truncate(promote);
+                        order.into_iter().map(|index| batch[index]).collect()
+                    }
+                    _ => batch,
+                };
+                let finalists: Vec<Candidate> = finalists
+                    .into_iter()
+                    .take((budget - evaluations) as usize)
+                    .collect();
+                if finalists.is_empty() {
+                    break 'restarts;
+                }
+                let records =
+                    self.evaluate_at(&finalists, self.spec, &mut cache, &mut evaluations)?;
+                let (winner, winner_record) = finalists
+                    .iter()
+                    .zip(&records)
+                    .max_by(|(_, x), (_, y)| {
+                        score(x).partial_cmp(&score(y)).expect("scores are finite")
+                    })
+                    .expect("non-empty batch");
+                for (candidate, record) in finalists.iter().zip(&records) {
+                    update_elite(&mut elite, *candidate, record);
+                }
+                if better(winner_record, &current_record) {
+                    current = *winner;
+                    current_record = winner_record.clone();
+                    accepted_moves += 1;
+                    rejections = 0;
+                    if better(&current_record, &best.as_ref().expect("seeded above").1) {
+                        best = Some((current, current_record.clone()));
+                    }
+                } else {
+                    // Simulated annealing: walk downhill with probability
+                    // exp(Δ/T) to tunnel through boundary-loss plateaus.
+                    let delta = round_trip_row_hit_rate(winner_record)
+                        - round_trip_row_hit_rate(&current_record);
+                    let accept =
+                        temperature > 0.0 && rng.gen::<f64>() < (delta / temperature).exp();
+                    if accept {
+                        current = *winner;
+                        current_record = winner_record.clone();
+                        accepted_moves += 1;
+                        rejections = 0;
+                    } else {
+                        rejections += 1;
+                        if rejections >= 3 {
+                            // Frozen: spend the rest of the budget elsewhere.
+                            continue 'restarts;
+                        }
+                    }
+                }
+                temperature *= 0.85;
+            }
+        }
+
+        let (candidate, best_record) = best.expect("at least one restart evaluated");
+        // The best free-shape tiling competes with the hybrid winner for
+        // the reported record.  A tiled winner has no bit-sliced form, so
+        // `permutation`/`fold` stay empty and `best.mapping` (the
+        // `tiled:HxW` label) is the authoritative description.
+        let (permutation, fold, best_record) = match best_tiled {
+            Some((_, tiled_record)) if better(&tiled_record, &best_record) => {
+                (String::new(), String::new(), tiled_record)
+            }
+            _ => (
+                candidate.0.to_string(),
+                candidate.1.to_string(),
+                best_record,
+            ),
+        };
+        Ok(self.finish(
+            permutation,
+            fold,
+            best_record,
+            restarts,
+            budget,
+            evaluations,
+            surrogate_evaluations,
+            accepted_moves,
+            row_major,
+            optimized,
+        ))
+    }
+
+    /// Assembles the [`SearchRecord`] shared by both strategies.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        permutation: String,
+        fold: String,
+        best: Record,
+        restarts: u32,
+        budget: u32,
+        evaluations: u32,
+        surrogate_evaluations: u32,
+        accepted_moves: u32,
+        row_major: Record,
+        optimized: Record,
+    ) -> SearchRecord {
+        SearchRecord {
             dram_label: self.dram.label(),
             seed: self.settings.seed,
             restarts,
@@ -408,11 +882,338 @@ impl MappingSearch {
             evaluations,
             accepted_moves,
             bursts: self.spec.burst_count(),
-            permutation: permutation.to_string(),
-            best: best_record,
+            surrogate_evaluations,
+            permutation,
+            fold,
+            best,
             row_major,
             optimized,
-        })
+        }
+    }
+
+    /// The deterministic starting candidate of a portfolio `restart`:
+    /// balanced/mirrored/scheme starts, the two diagonal-fold starts, the
+    /// three [optimized-mimic](Self::optimized_mimic_start) tilings,
+    /// transfer seeds valid for this geometry, then alternating
+    /// elite-mutation and random-shuffle starts.
+    fn portfolio_start(
+        &self,
+        restart: u32,
+        elite: &[(Candidate, Record)],
+        rng: &mut StdRng,
+    ) -> Result<Candidate, ExpError> {
+        let topology = self.dram.topology;
+        let identity = XorFold::identity();
+        match restart {
+            0 => Ok((
+                balanced_start(&self.dram, topology, self.spec.dimension(), false)?,
+                identity,
+            )),
+            1 => Ok((
+                balanced_start(&self.dram, topology, self.spec.dimension(), true)?,
+                identity,
+            )),
+            2 => Ok((
+                BitPermutation::for_scheme(self.dram.decode_scheme, &self.dram.geometry, topology)?,
+                identity,
+            )),
+            3 | 4 => {
+                // The diagonal-fold starts: express the optimized scheme's
+                // `bank = (tile_i + tile_j) mod banks` term directly — the
+                // form closing the DDR3/LPDDR4 (no-bank-group) gap.
+                let permutation =
+                    balanced_start(&self.dram, topology, self.spec.dimension(), false)?;
+                let step = FoldStep {
+                    target: AddressField::Bank,
+                    source: AddressField::Row,
+                    shift: 0,
+                    op: if restart == 3 {
+                        FoldOp::Xor
+                    } else {
+                        FoldOp::Add
+                    },
+                };
+                let fold = XorFold::new(&[step]).expect("one in-range step");
+                if fold.validate_for(&permutation).is_ok() {
+                    Ok((permutation, fold))
+                } else {
+                    Ok((permutation, identity))
+                }
+            }
+            5..=7 => {
+                // Optimized-mimic starts: the paper's tiling reconstructed
+                // inside the `(permutation, fold)` family at the exact tile
+                // aspect and one step wider/taller.  SA then climbs from a
+                // tie with the paper's scheme instead of hunting for it.
+                let widen = [0i32, 1, -1][(restart - 5) as usize];
+                if let Some(candidate) = self.optimized_mimic_start(widen) {
+                    return Ok(candidate);
+                }
+                self.exploration_start(restart, elite, rng)
+            }
+            _ => self.exploration_start(restart, elite, rng),
+        }
+    }
+
+    /// Late-restart starts: transfer seeds by slot, then alternating
+    /// elite-mutation and seeded random-shuffle starts.
+    fn exploration_start(
+        &self,
+        restart: u32,
+        elite: &[(Candidate, Record)],
+        rng: &mut StdRng,
+    ) -> Result<Candidate, ExpError> {
+        let topology = self.dram.topology;
+        let identity = XorFold::identity();
+        let slot = restart.saturating_sub(8) as usize;
+        let transfer: Vec<Candidate> = self
+            .transfer
+            .iter()
+            .copied()
+            .filter(|(permutation, fold)| {
+                permutation
+                    .validate_for(&self.dram.geometry, topology)
+                    .is_ok()
+                    && fold.validate_for(permutation).is_ok()
+            })
+            .collect();
+        if slot < transfer.len() {
+            return Ok(transfer[slot]);
+        }
+        if restart % 2 == 1 && !elite.is_empty() {
+            // Evolutionary restart: perturb an elite member.
+            let (mut candidate, _) = elite[rng.gen_range(0..elite.len())];
+            for _ in 0..2 {
+                if let Some(moved) = self.random_move(candidate, rng) {
+                    candidate = moved;
+                }
+            }
+            return Ok(candidate);
+        }
+        // Seeded random shuffle (as in greedy), occasionally with a
+        // random fold bolted on for extra start diversity.
+        let mut permutation =
+            BitPermutation::for_scheme(self.dram.decode_scheme, &self.dram.geometry, topology)?;
+        let bits = permutation.total_bits() as usize;
+        for a in (1..bits).rev() {
+            let b = rng.gen_range(0..a + 1);
+            if a != b {
+                permutation = permutation.with_swap(a, b);
+            }
+        }
+        let fold = if rng.gen_range(0..2) == 0 {
+            self.mutate_fold((permutation, identity), rng)
+                .map_or(identity, |(_, fold)| fold)
+        } else {
+            identity
+        };
+        Ok((permutation, fold))
+    }
+
+    /// Reconstructs the paper's optimized tiling **inside the hybrid
+    /// family**: tiles of `tile_h x tile_w = groups x page` positions with
+    /// the bank chosen along the tile diagonal — as a bit assignment
+    /// (`column <- [oj | oi]`, `bank <- tj`, `bank_group <- j`) plus Add
+    /// folds for the diagonal terms `bank += tile_i` and `group += i`.
+    ///
+    /// For the no-bank-group standards (DDR3, LPDDR4) the paper's stagger
+    /// is a no-op and the reconstruction's page partition is **exactly**
+    /// the optimized mapping's, so this start ties the paper's scheme and
+    /// every accepted SA move from it is a strict improvement.  `widen`
+    /// shifts one tile-aspect bit between width and height for boundary
+    /// trade-off variants.  Returns `None` when the index space or
+    /// geometry cannot host the layout (the caller falls back to
+    /// exploration starts).
+    fn optimized_mimic_start(&self, widen: i32) -> Option<Candidate> {
+        let scheme = BitPermutation::for_scheme(
+            self.dram.decode_scheme,
+            &self.dram.geometry,
+            self.dram.topology,
+        )
+        .ok()?;
+        let total = scheme.total_bits() as usize;
+        let jbits =
+            tbi_interleaver::mapping::PermutedMapping::index_bits(self.spec.dimension()) as usize;
+        let group_bits = scheme.width_of(AddressField::BankGroup) as usize;
+        let bank_bits = scheme.width_of(AddressField::Bank) as usize;
+        let page_bits = scheme.width_of(AddressField::Column) as usize;
+        // The paper's tile split: tile_w * tile_h = groups * page, as square
+        // as possible, the odd factor on the height, never narrower than the
+        // bank-group rotation.
+        let area = group_bits + page_bits;
+        let mut tile_w = area / 2;
+        if tile_w < group_bits {
+            tile_w = group_bits;
+        }
+        let tile_w = usize::try_from(i64::try_from(tile_w).ok()? + i64::from(widen)).ok()?;
+        if tile_w < group_bits || tile_w > area {
+            return None;
+        }
+        let tile_h = area - tile_w;
+        // Fit: the j side holds [group | oj | bank(tj)], the i side holds
+        // [oi | row(ti)]; both diagonals must leave their fold source bits
+        // inside addressable rows.
+        let side_i = total.checked_sub(jbits)?;
+        if tile_w + bank_bits > jbits || tile_h + bank_bits > side_i || jbits > total {
+            return None;
+        }
+        let mut fields = vec![AddressField::Row; total];
+        let mut pos = 0;
+        for _ in 0..group_bits {
+            fields[pos] = AddressField::BankGroup;
+            pos += 1;
+        }
+        for _ in 0..(tile_w - group_bits) {
+            fields[pos] = AddressField::Column;
+            pos += 1;
+        }
+        for _ in 0..bank_bits {
+            fields[pos] = AddressField::Bank;
+            pos += 1;
+        }
+        // Row bits between here and the i side carry tile_j's high bits;
+        // the diagonal fold below shifts past them to reach tile_i.
+        let tj_high = jbits - pos;
+        pos = jbits;
+        for _ in 0..tile_h {
+            fields[pos] = AddressField::Column;
+            pos += 1;
+        }
+        // Channel and rank rotate the topmost linear bits (whole-device
+        // halves — outside the tiling, as in the paper's single-device
+        // Table I runs).
+        let mut top = total;
+        for field in [AddressField::Channel, AddressField::Rank] {
+            for _ in 0..scheme.width_of(field) {
+                top = top.checked_sub(1)?;
+                if top < pos + bank_bits {
+                    // Would clobber the i-side columns or the tile_i row
+                    // bits the bank diagonal folds in.
+                    return None;
+                }
+                fields[top] = field;
+            }
+        }
+        let permutation = BitPermutation::new(&fields).ok()?;
+        let mut fold = XorFold::identity();
+        if bank_bits > 0 {
+            fold = fold
+                .with_step(FoldStep {
+                    target: AddressField::Bank,
+                    source: AddressField::Row,
+                    shift: u8::try_from(tj_high).ok()?,
+                    op: FoldOp::Add,
+                })
+                .ok()?;
+        }
+        if group_bits > 0 && tile_w > group_bits {
+            fold = fold
+                .with_step(FoldStep {
+                    target: AddressField::BankGroup,
+                    source: AddressField::Column,
+                    shift: u8::try_from(tile_w - group_bits).ok()?,
+                    op: FoldOp::Add,
+                })
+                .ok()?;
+        }
+        fold.validate_for(&permutation).ok()?;
+        Some((permutation, fold))
+    }
+
+    /// Proposes up to `count` distinct neighbourhood moves of `current`,
+    /// mixing bit swaps (3 in 5) with fold mutations (2 in 5).
+    fn propose_moves(&self, current: Candidate, count: usize, rng: &mut StdRng) -> Vec<Candidate> {
+        let mut out: Vec<Candidate> = Vec::with_capacity(count);
+        let mut guard = 0;
+        while out.len() < count && guard < 64 * count {
+            guard += 1;
+            let Some(candidate) = self.random_move(current, rng) else {
+                continue;
+            };
+            if candidate != current && !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+
+    /// One random neighbourhood move, or `None` when the draw was
+    /// degenerate (same-field swap, invalid fold step, …).
+    fn random_move(&self, current: Candidate, rng: &mut StdRng) -> Option<Candidate> {
+        if rng.gen_range(0..5) < 3 {
+            let bits = current.0.total_bits() as usize;
+            let a = rng.gen_range(0..bits);
+            let b = rng.gen_range(0..bits);
+            if current.0.fields()[a] == current.0.fields()[b] {
+                return None;
+            }
+            Some((current.0.with_swap(a, b), current.1))
+        } else {
+            self.mutate_fold(current, rng)
+        }
+    }
+
+    /// One fold mutation: drop the last step, or append a random valid
+    /// step (replacing the last when the fold is full).
+    fn mutate_fold(&self, current: Candidate, rng: &mut StdRng) -> Option<Candidate> {
+        let (permutation, fold) = current;
+        if rng.gen_range(0..3) == 0 && !fold.is_identity() {
+            return Some((permutation, fold.without_last()));
+        }
+        const FIELDS: [AddressField; 6] = [
+            AddressField::Channel,
+            AddressField::Rank,
+            AddressField::BankGroup,
+            AddressField::Bank,
+            AddressField::Row,
+            AddressField::Column,
+        ];
+        let target = FIELDS[rng.gen_range(0..FIELDS.len())];
+        let source = FIELDS[rng.gen_range(0..FIELDS.len())];
+        if target == source {
+            return None;
+        }
+        let source_width = permutation.width_of(source);
+        if source_width == 0 || permutation.width_of(target) == 0 {
+            return None;
+        }
+        let shift = rng.gen_range(0..source_width) as u8;
+        let step = FoldStep {
+            target,
+            source,
+            shift,
+            op: if rng.gen_range(0..2) == 0 {
+                FoldOp::Xor
+            } else {
+                FoldOp::Add
+            },
+        };
+        let next = fold
+            .with_step(step)
+            .or_else(|_| fold.without_last().with_step(step))
+            .ok()?;
+        next.validate_for(&permutation).ok()?;
+        Some((permutation, next))
+    }
+}
+
+/// Elite pool size feeding evolutionary restarts.
+const ELITE: usize = 4;
+
+/// Inserts `candidate` into the elite pool, keeping the best [`ELITE`]
+/// distinct candidates sorted best-first (ties keep the earlier arrival,
+/// so the pool is deterministic).
+fn update_elite(elite: &mut Vec<(Candidate, Record)>, candidate: Candidate, record: &Record) {
+    if elite.iter().any(|(seen, _)| *seen == candidate) {
+        return;
+    }
+    let position = elite
+        .iter()
+        .position(|(_, incumbent)| better(record, incumbent))
+        .unwrap_or(elite.len());
+    if position < ELITE {
+        elite.insert(position, (candidate, record.clone()));
+        elite.truncate(ELITE);
     }
 }
 
@@ -520,6 +1321,7 @@ mod tests {
             budget,
             neighbors: 4,
             workers: 1,
+            ..SearchSettings::default()
         }
     }
 
@@ -530,6 +1332,103 @@ mod tests {
             InterleaverSpec::from_burst_count(3_000),
             settings(budget),
         )
+    }
+
+    #[test]
+    fn optimized_mimic_start_ties_the_paper_scheme_without_bank_groups() {
+        // For the no-bank-group standards the stagger is a no-op, so the
+        // mimic's page partition is exactly the optimized mapping's and the
+        // round-trip row-hit rates must agree to double precision (the row
+        // *numbering* differs; open-row behaviour only sees row equality).
+        for (standard, rate) in [(DramStandard::Ddr3, 800), (DramStandard::Lpddr4, 4266)] {
+            let dram = DramConfig::preset(standard, rate).unwrap();
+            let search = MappingSearch::new(
+                dram,
+                InterleaverSpec::from_burst_count(200_000),
+                settings(4),
+            );
+            let (permutation, fold) = search
+                .optimized_mimic_start(0)
+                .expect("mimic start builds for the preset");
+            assert!(!fold.is_identity(), "{standard:?}-{rate}: diagonal fold");
+            let mut cache = HashMap::new();
+            let mut evaluations = 0;
+            let mimic = search
+                .evaluate_at(
+                    &[(permutation, fold)],
+                    search.spec,
+                    &mut cache,
+                    &mut evaluations,
+                )
+                .unwrap()
+                .pop()
+                .unwrap();
+            let (_, optimized) = search.reference_records().unwrap();
+            let mimic_rate = round_trip_row_hit_rate(&mimic);
+            let optimized_rate = round_trip_row_hit_rate(&optimized);
+            assert!(
+                (mimic_rate - optimized_rate).abs() < 1e-12,
+                "{standard:?}-{rate}: mimic {mimic_rate} vs optimized {optimized_rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_shortlist_leads_with_the_most_square_tile() {
+        // Odd log2(page): the free 11x11 square beats every power-of-two
+        // split and must head the shortlist.
+        let ddr3 = DramConfig::preset(DramStandard::Ddr3, 800).unwrap();
+        let search = MappingSearch::new(
+            ddr3,
+            InterleaverSpec::from_burst_count(200_000),
+            settings(4),
+        );
+        let kinds = search.tiled_kinds();
+        assert_eq!(
+            kinds.first(),
+            Some(&MappingKind::GeneralTiled {
+                tile_h: 11,
+                tile_w: 11
+            })
+        );
+        // Even log2(page): the best free tile IS the optimized scheme's
+        // 8x8 square.
+        let lpddr4 = DramConfig::preset(DramStandard::Lpddr4, 4266).unwrap();
+        let search = MappingSearch::new(
+            lpddr4,
+            InterleaverSpec::from_burst_count(200_000),
+            settings(4),
+        );
+        let kinds = search.tiled_kinds();
+        assert_eq!(
+            kinds.first(),
+            Some(&MappingKind::GeneralTiled {
+                tile_h: 8,
+                tile_w: 8
+            })
+        );
+    }
+
+    #[test]
+    fn portfolio_reports_the_free_tile_win_on_ddr3() {
+        // On DDR3-800 the 11x11 tiling strictly beats the paper's optimized
+        // mapping; the portfolio's deterministic tile sweep must find it and
+        // report it with empty permutation/fold fields.
+        let dram = DramConfig::preset(DramStandard::Ddr3, 800).unwrap();
+        let record = MappingSearch::new(
+            dram,
+            InterleaverSpec::from_burst_count(200_000),
+            SearchSettings {
+                strategy: SearchStrategy::Portfolio,
+                ..settings(10)
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(record.best.mapping, "tiled:11x11");
+        assert!(record.permutation.is_empty());
+        assert!(record.fold.is_empty());
+        assert!(record.beats_optimized());
     }
 
     #[test]
@@ -620,6 +1519,132 @@ mod tests {
         let outcome = search(5).run().unwrap();
         assert!(outcome.evaluations <= 5, "spent {}", outcome.evaluations);
         assert_eq!(outcome.budget, 5);
+    }
+
+    /// Regression test for the cache-aliasing bug: the candidate cache
+    /// used to key on the permutation alone, so the *same* candidate
+    /// evaluated under two different scenarios (e.g. a short surrogate run
+    /// vs the full-size run) silently returned whichever record landed
+    /// first.  The key must cover every scenario axis.
+    #[test]
+    fn cache_keys_on_the_full_scenario_not_the_candidate_alone() {
+        let s = search(4);
+        let candidate: Candidate = (
+            balanced_start(
+                &DramConfig::preset(DramStandard::Ddr4, 3200).unwrap(),
+                ChannelTopology::default(),
+                3_000,
+                false,
+            )
+            .unwrap(),
+            XorFold::identity(),
+        );
+        let mut cache = HashMap::new();
+        let mut evaluations = 0;
+        let full = s
+            .evaluate_at(&[candidate], s.spec, &mut cache, &mut evaluations)
+            .unwrap();
+        let short_spec = InterleaverSpec::from_burst_count(1_000);
+        let short = s
+            .evaluate_at(&[candidate], short_spec, &mut cache, &mut evaluations)
+            .unwrap();
+        assert_eq!(evaluations, 2, "two scenarios, two evaluations");
+        assert_eq!(cache.len(), 2, "distinct scenario keys must not alias");
+        assert_ne!(
+            full[0], short[0],
+            "a surrogate record must never masquerade as a full-size one"
+        );
+        // Re-asking for either scenario is now a pure cache hit.
+        s.evaluate_at(&[candidate], s.spec, &mut cache, &mut evaluations)
+            .unwrap();
+        assert_eq!(evaluations, 2);
+    }
+
+    #[test]
+    fn portfolio_search_is_reproducible_and_labels_round_trip() {
+        let portfolio = SearchSettings {
+            strategy: SearchStrategy::Portfolio,
+            restarts: 6,
+            surrogate_divisor: 4,
+            promote: 2,
+            ..settings(14)
+        };
+        let dram = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let spec = InterleaverSpec::from_burst_count(3_000);
+        let a = MappingSearch::new(dram.clone(), spec, portfolio)
+            .run()
+            .unwrap();
+        let b = MappingSearch::new(
+            dram,
+            spec,
+            SearchSettings {
+                workers: 4,
+                ..portfolio
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(a, b, "portfolio must be worker-count independent");
+        assert!(a.evaluations <= a.budget);
+        assert!(
+            a.surrogate_evaluations > 0,
+            "divisor 4 on 3 000 bursts must trigger the surrogate"
+        );
+        // The winner replays through parse_label whichever family won: a
+        // tiled winner has no bit-sliced form and empty permutation/fold.
+        if a.permutation.is_empty() {
+            assert!(a.best.mapping.starts_with("tiled:"), "{}", a.best.mapping);
+            assert!(a.fold.is_empty());
+        } else {
+            let label = if a.fold.is_empty() {
+                format!("permutation:{}", a.permutation)
+            } else {
+                format!("xorfold:{}|{}", a.permutation, a.fold)
+            };
+            assert_eq!(a.best.mapping, label);
+        }
+        let parsed = MappingKind::parse_label(&a.best.mapping).unwrap();
+        assert_eq!(parsed.label(), a.best.mapping);
+        assert!(
+            a.discovered_row_hit_rate() > round_trip_row_hit_rate(&a.row_major),
+            "the portfolio keeps the greedy starts, so it beats row-major too"
+        );
+    }
+
+    #[test]
+    fn transfer_seeds_skip_mismatched_geometries() {
+        // A DDR3 permutation (1 bank-group bit fewer) must not poison a
+        // DDR4 portfolio; an in-geometry seed must be usable as a start.
+        let ddr3 = DramConfig::preset(DramStandard::Ddr3, 1600).unwrap();
+        let ddr4 = DramConfig::preset(DramStandard::Ddr4, 3200).unwrap();
+        let foreign = balanced_start(&ddr3, ChannelTopology::default(), 3_000, false).unwrap();
+        let native = balanced_start(&ddr4, ChannelTopology::default(), 3_000, true).unwrap();
+        let seeds = vec![
+            (foreign, XorFold::identity()),
+            (native, XorFold::identity()),
+        ];
+        let portfolio = SearchSettings {
+            strategy: SearchStrategy::Portfolio,
+            restarts: 6,
+            ..settings(8)
+        };
+        let spec = InterleaverSpec::from_burst_count(3_000);
+        let outcome = MappingSearch::new(ddr4, spec, portfolio)
+            .with_transfer_seeds(&seeds)
+            .run()
+            .unwrap();
+        // Restart 5 consumes the first *valid* seed (the native one); the
+        // foreign seed is filtered out instead of failing the run.
+        assert!(outcome.evaluations <= outcome.budget);
+    }
+
+    #[test]
+    fn strategy_strings_round_trip() {
+        for strategy in [SearchStrategy::Greedy, SearchStrategy::Portfolio] {
+            let parsed: SearchStrategy = strategy.to_string().parse().unwrap();
+            assert_eq!(parsed, strategy);
+        }
+        assert!("annealed".parse::<SearchStrategy>().is_err());
     }
 
     #[test]

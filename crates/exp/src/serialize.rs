@@ -52,11 +52,13 @@ fn tenants_to_json(summary: &crate::record::TenantSummary) -> String {
         .map(|t| {
             format!(
                 "{{\"tenant\":{},\"qos\":{},\"requests\":{},\"mean_latency_cycles\":{},\
-                 \"p50_latency_cycles\":{},\"p99_latency_cycles\":{},\"deadline_misses\":{}}}",
+                 \"latency_saturated\":{},\"p50_latency_cycles\":{},\"p99_latency_cycles\":{},\
+                 \"deadline_misses\":{}}}",
                 json_string(&t.tenant),
                 json_string(&t.qos),
                 t.requests,
                 json_number(t.mean_latency_cycles),
+                t.latency_saturated,
                 t.p50_latency_cycles,
                 t.p99_latency_cycles,
                 t.deadline_misses,
@@ -236,21 +238,24 @@ pub fn records_to_csv(records: &[Record]) -> String {
 fn search_record_to_json(record: &SearchRecord) -> String {
     format!(
         "{{\"dram\":{},\"seed\":{},\"restarts\":{},\"budget\":{},\"evaluations\":{},\
-         \"accepted_moves\":{},\"bursts\":{},\"permutation\":{},\
-         \"discovered_row_hit_rate\":{},\"optimized_row_hit_rate\":{},\
-         \"matches_or_beats_optimized\":{},\"row_hit_gain\":{},\"utilization_gain\":{},\
-         \"best\":{},\"row_major\":{},\"optimized\":{}}}",
+         \"surrogate_evaluations\":{},\"accepted_moves\":{},\"bursts\":{},\"permutation\":{},\
+         \"fold\":{},\"discovered_row_hit_rate\":{},\"optimized_row_hit_rate\":{},\
+         \"matches_or_beats_optimized\":{},\"beats_optimized\":{},\"row_hit_gain\":{},\
+         \"utilization_gain\":{},\"best\":{},\"row_major\":{},\"optimized\":{}}}",
         json_string(&record.dram_label),
         record.seed,
         record.restarts,
         record.budget,
         record.evaluations,
+        record.surrogate_evaluations,
         record.accepted_moves,
         record.bursts,
         json_string(&record.permutation),
+        json_string(&record.fold),
         json_number(record.discovered_row_hit_rate()),
         json_number(record.optimized_row_hit_rate()),
         record.matches_or_beats_optimized(),
+        record.beats_optimized(),
         json_number(record.row_hit_gain()),
         json_number(record.utilization_gain()),
         record_to_json(&record.best),
@@ -277,10 +282,11 @@ pub fn search_records_to_json(records: &[SearchRecord]) -> String {
     out
 }
 
-/// The CSV header emitted by [`search_records_to_csv`] (15 columns).
-pub const SEARCH_CSV_HEADER: &str = "dram,seed,restarts,budget,evaluations,accepted_moves,\
-bursts,permutation,discovered_row_hit_rate,optimized_row_hit_rate,row_major_row_hit_rate,\
-discovered_min_utilization,optimized_min_utilization,row_hit_gain,utilization_gain";
+/// The CSV header emitted by [`search_records_to_csv`] (18 columns).
+pub const SEARCH_CSV_HEADER: &str = "dram,seed,restarts,budget,evaluations,\
+surrogate_evaluations,accepted_moves,bursts,permutation,fold,discovered_row_hit_rate,\
+optimized_row_hit_rate,row_major_row_hit_rate,discovered_min_utilization,\
+optimized_min_utilization,row_hit_gain,utilization_gain,beats_optimized";
 
 /// Serializes search records as flat CSV (summary metrics only; use the
 /// JSON form for the full embedded records).
@@ -290,15 +296,17 @@ pub fn search_records_to_csv(records: &[SearchRecord]) -> String {
     out.push('\n');
     for r in records {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(&r.dram_label),
             r.seed,
             r.restarts,
             r.budget,
             r.evaluations,
+            r.surrogate_evaluations,
             r.accepted_moves,
             r.bursts,
             csv_field(&r.permutation),
+            csv_field(&r.fold),
             json_number(r.discovered_row_hit_rate()),
             json_number(r.optimized_row_hit_rate()),
             json_number(crate::search::round_trip_row_hit_rate(&r.row_major)),
@@ -306,6 +314,7 @@ pub fn search_records_to_csv(records: &[SearchRecord]) -> String {
             json_number(r.optimized.min_utilization),
             json_number(r.row_hit_gain()),
             json_number(r.utilization_gain()),
+            r.beats_optimized(),
         ));
     }
     out
@@ -408,6 +417,7 @@ mod tests {
                     qos: "premium".to_string(),
                     requests: 1_000,
                     mean_latency_cycles: 1_234.5,
+                    latency_saturated: false,
                     p50_latency_cycles: 1_000,
                     p99_latency_cycles: 4_000,
                     deadline_misses: 0,
@@ -417,6 +427,7 @@ mod tests {
                     qos: "best_effort".to_string(),
                     requests: 1_000,
                     mean_latency_cycles: 6_789.0,
+                    latency_saturated: false,
                     p50_latency_cycles: 8_000,
                     p99_latency_cycles: 12_000,
                     deadline_misses: 3,

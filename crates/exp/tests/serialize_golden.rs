@@ -90,6 +90,7 @@ fn golden_records() -> Vec<Record> {
                         qos: "premium".to_string(),
                         requests: 20_100,
                         mean_latency_cycles: 768.5,
+                        latency_saturated: false,
                         p50_latency_cycles: 511,
                         p99_latency_cycles: 2_047,
                         deadline_misses: 0,
@@ -99,6 +100,7 @@ fn golden_records() -> Vec<Record> {
                         qos: "standard".to_string(),
                         requests: 20_100,
                         mean_latency_cycles: 3_072.25,
+                        latency_saturated: true,
                         p50_latency_cycles: 2_047,
                         p99_latency_cycles: 16_383,
                         deadline_misses: 1,
@@ -253,6 +255,10 @@ fn committed_json_fixture_round_trips_through_the_parser() {
                     assert_eq!(
                         entry.get("p99_latency_cycles").and_then(JsonValue::as_f64),
                         Some(tenant.p99_latency_cycles as f64)
+                    );
+                    assert_eq!(
+                        entry.get("latency_saturated").and_then(JsonValue::as_bool),
+                        Some(tenant.latency_saturated)
                     );
                 }
             }

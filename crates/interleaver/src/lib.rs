@@ -72,7 +72,7 @@ pub use block::BlockInterleaver;
 pub use config::InterleaverSpec;
 pub use mapping::{
     ChannelMapping, ChannelTraceGenerator, DramMapping, MappingKind, OptimizedMapping,
-    RowMajorMapping,
+    RowMajorMapping, TileOrder,
 };
 pub use throughput::{
     ChannelPhaseReport, ChannelUtilizationReport, PhaseReport, ThroughputEvaluator,

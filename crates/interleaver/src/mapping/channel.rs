@@ -53,6 +53,87 @@ struct StripeShifts {
     channels: u32,
 }
 
+/// The lane-ordering scheme of the stripe-tile router: which function of the
+/// tile coordinates `(i/T, j/T)` picks the `(channel, rank)` lane.
+///
+/// [`TileOrder::Diagonal`] is the legacy order (and the default): both
+/// phases rotate lanes along the anti-diagonal.  The other orders enlarge
+/// the searchable lane-ordering family: X-major stripes lanes along rows,
+/// Y-major along columns, and a rotated order shears the diagonal by an
+/// arbitrary factor.
+///
+/// The per-channel column compaction (`j' = (j/(T·C))·T + j mod T`) is only
+/// applied for orders where the channel determines `(j/T) mod C` (diagonal
+/// and X-major); Y-major and rotated orders route the uncompacted column so
+/// routing stays injective for every rotation factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum TileOrder {
+    /// `lane = (i/T + j/T) mod L` — the legacy anti-diagonal rotation.
+    #[default]
+    Diagonal,
+    /// `lane = (j/T) mod L` — lanes stripe along the row (write) direction.
+    XMajor,
+    /// `lane = (i/T) mod L` — lanes stripe along the column (read)
+    /// direction.
+    YMajor,
+    /// `lane = (i/T + r·(j/T)) mod L` — the diagonal sheared by rotation
+    /// factor `r` (`r = 1` is the uncompacted diagonal).
+    Rotated(u32),
+}
+
+impl TileOrder {
+    /// All fixed orders plus two representative rotations (for tests and
+    /// search enumeration).
+    pub const ALL: [TileOrder; 5] = [
+        TileOrder::Diagonal,
+        TileOrder::XMajor,
+        TileOrder::YMajor,
+        TileOrder::Rotated(1),
+        TileOrder::Rotated(3),
+    ];
+
+    /// Whether the per-channel column compaction is sound for this order
+    /// (the channel must pin down `(j/T) mod C`).
+    fn compacts(self) -> bool {
+        matches!(self, TileOrder::Diagonal | TileOrder::XMajor)
+    }
+
+    /// Lane of tile coordinates, generic divide chain.
+    fn lane_generic(self, i: u32, j: u32, tile: u32, lanes: u32) -> u32 {
+        let (ti, tj) = (u64::from(i / tile), u64::from(j / tile));
+        let mixed = match self {
+            TileOrder::Diagonal => ti + tj,
+            TileOrder::XMajor => tj,
+            TileOrder::YMajor => ti,
+            TileOrder::Rotated(r) => ti + u64::from(r) * tj,
+        };
+        (mixed % u64::from(lanes)) as u32
+    }
+
+    /// Lane of tile coordinates, pow2 shift/mask fast path.
+    fn lane_shift(self, i: u32, j: u32, tile_shift: u32, lanes_mask: u32) -> u32 {
+        let (ti, tj) = (i >> tile_shift, j >> tile_shift);
+        let mixed = match self {
+            TileOrder::Diagonal => ti.wrapping_add(tj),
+            TileOrder::XMajor => tj,
+            TileOrder::YMajor => ti,
+            TileOrder::Rotated(r) => ti.wrapping_add(r.wrapping_mul(tj)),
+        };
+        mixed & lanes_mask
+    }
+}
+
+impl std::fmt::Display for TileOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileOrder::Diagonal => f.write_str("diagonal"),
+            TileOrder::XMajor => f.write_str("xmajor"),
+            TileOrder::YMajor => f.write_str("ymajor"),
+            TileOrder::Rotated(r) => write!(f, "rot{r}"),
+        }
+    }
+}
+
 /// How positions are routed to channels/ranks.
 enum Router {
     /// `channel = linear mod C`, rank bits inside the decode chain.
@@ -65,6 +146,7 @@ enum Router {
         inner: Box<dyn DramMapping>,
         tile: u32,
         shifts: Option<StripeShifts>,
+        order: TileOrder,
     },
     /// Bit-permutation routing: the permutation's own channel/rank bits
     /// select the lane directly (see [`PermutedMapping`]).
@@ -118,7 +200,39 @@ impl ChannelMapping {
     /// Returns [`InterleaverError`] if `n` is zero or the index space does
     /// not fit the subsystem under this scheme.
     pub fn new(kind: MappingKind, config: &DramConfig, n: u32) -> Result<Self, InterleaverError> {
+        Self::with_tile_order(kind, config, n, TileOrder::default())
+    }
+
+    /// Builds the channel-aware variant of `kind` routed with `order` (see
+    /// [`TileOrder`]).  The default order reproduces
+    /// [`ChannelMapping::new`] bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelMapping::new`], plus
+    /// [`InterleaverError::InvalidDimension`] when a non-default order is
+    /// requested for a scheme that does not route through the stripe-tile
+    /// router (row-major and permutation/fold mappings route linearly).
+    pub fn with_tile_order(
+        kind: MappingKind,
+        config: &DramConfig,
+        n: u32,
+        order: TileOrder,
+    ) -> Result<Self, InterleaverError> {
         let topology = config.topology;
+        if order != TileOrder::default()
+            && matches!(
+                kind,
+                MappingKind::RowMajor | MappingKind::Permutation(_) | MappingKind::XorFolded(..)
+            )
+        {
+            return Err(InterleaverError::InvalidDimension {
+                reason: format!(
+                    "tile order {order} applies to coordinate schemes, not {}",
+                    kind.name()
+                ),
+            });
+        }
         let router = match kind {
             MappingKind::RowMajor => {
                 let interleaver = TriangularInterleaver::new(n)?;
@@ -148,6 +262,15 @@ impl ChannelMapping {
                     n,
                 )?),
             },
+            MappingKind::XorFolded(permutation, fold) => Router::Permuted {
+                mapping: Box::new(PermutedMapping::with_fold(
+                    config.geometry,
+                    topology,
+                    permutation,
+                    fold,
+                    n,
+                )?),
+            },
             _ => {
                 let inner = kind.build_for_geometry(config.geometry, n)?;
                 let tile = stripe_tile(n, topology.units());
@@ -161,14 +284,20 @@ impl ChannelMapping {
                     inner,
                     tile,
                     shifts,
+                    order,
                 }
             }
+        };
+        let label = if order == TileOrder::default() {
+            kind.label()
+        } else {
+            format!("{}@{order}", kind.label())
         };
         Ok(Self {
             router,
             topology,
             dimension: n,
-            label: kind.label(),
+            label,
         })
     }
 
@@ -221,16 +350,25 @@ impl ChannelMapping {
                 inner,
                 tile,
                 shifts,
+                order,
             } => {
                 let (lane, j_inner) = match shifts {
                     Some(s) => {
-                        let lane = ((i >> s.tile) + (j >> s.tile)) & (channels * ranks - 1);
-                        let j_inner = ((j >> (s.tile + s.channels)) << s.tile) | (j & (tile - 1));
+                        let lane = order.lane_shift(i, j, s.tile, channels * ranks - 1);
+                        let j_inner = if order.compacts() {
+                            ((j >> (s.tile + s.channels)) << s.tile) | (j & (tile - 1))
+                        } else {
+                            j
+                        };
                         (lane, j_inner)
                     }
                     None => {
-                        let lane = (i / tile + j / tile) % (channels * ranks);
-                        let j_inner = (j / (tile * channels)) * tile + j % tile;
+                        let lane = order.lane_generic(i, j, *tile, channels * ranks);
+                        let j_inner = if order.compacts() {
+                            (j / (tile * channels)) * tile + j % tile
+                        } else {
+                            j
+                        };
                         (lane, j_inner)
                     }
                 };
@@ -292,6 +430,7 @@ impl ChannelMapping {
                 inner,
                 tile,
                 shifts,
+                order,
             } => {
                 let channels = self.topology.channels;
                 let lanes_total = channels * self.topology.ranks;
@@ -306,9 +445,12 @@ impl ChannelMapping {
                             for ((slot, lane_slot), &(i, j)) in
                                 staged.iter_mut().zip(lanes_staged.iter_mut()).zip(chunk)
                             {
-                                *lane_slot = ((i >> s.tile) + (j >> s.tile)) & (lanes_total - 1);
-                                let j_inner =
-                                    ((j >> (s.tile + s.channels)) << s.tile) | (j & (tile - 1));
+                                *lane_slot = order.lane_shift(i, j, s.tile, lanes_total - 1);
+                                let j_inner = if order.compacts() {
+                                    ((j >> (s.tile + s.channels)) << s.tile) | (j & (tile - 1))
+                                } else {
+                                    j
+                                };
                                 *slot = (i, j_inner);
                             }
                         }
@@ -316,8 +458,12 @@ impl ChannelMapping {
                             for ((slot, lane_slot), &(i, j)) in
                                 staged.iter_mut().zip(lanes_staged.iter_mut()).zip(chunk)
                             {
-                                *lane_slot = (i / tile + j / tile) % lanes_total;
-                                let j_inner = (j / (tile * channels)) * tile + j % tile;
+                                *lane_slot = order.lane_generic(i, j, *tile, lanes_total);
+                                let j_inner = if order.compacts() {
+                                    (j / (tile * channels)) * tile + j % tile
+                                } else {
+                                    j
+                                };
                                 *slot = (i, j_inner);
                             }
                         }

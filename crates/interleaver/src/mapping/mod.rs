@@ -14,14 +14,19 @@
 //! | [`OptimizedMapping`] (no stagger) | ✓ | ✓ | – | Fig. 1c |
 //! | [`OptimizedMapping`] | ✓ | ✓ | ✓ | Fig. 1d (Table I "Optimized") |
 //! | [`PermutedMapping`] | depends | depends | – | searchable bit-permutation family (`docs/MAPPING.md`) |
+//! | [`GeneralTiledMapping`] | ✓ | free-shape | – | searchable `tile_h × tile_w ≤ page` family (`docs/MAPPING.md`) |
 
 mod channel;
+mod general_tiled;
 mod optimized;
 mod permuted;
 mod row_major;
 mod simple;
 
-pub use channel::{channel_mapping_for_spec, ChannelMapping, ChannelTrace, ChannelTraceGenerator};
+pub use channel::{
+    channel_mapping_for_spec, ChannelMapping, ChannelTrace, ChannelTraceGenerator, TileOrder,
+};
+pub use general_tiled::GeneralTiledMapping;
 pub use optimized::OptimizedMapping;
 pub use permuted::PermutedMapping;
 pub use row_major::RowMajorMapping;
@@ -29,6 +34,7 @@ pub use simple::{BankRoundRobinMapping, TiledMapping};
 
 use tbi_dram::{
     AddressBatch, BitPermutation, ChannelTopology, DeviceGeometry, DramConfig, PhysicalAddress,
+    XorFold,
 };
 
 use crate::InterleaverError;
@@ -108,6 +114,23 @@ pub enum MappingKind {
     /// [`MappingKind::ALL`] because it is parameterized rather than fixed;
     /// `tbi_exp`'s mapping search generates these.
     Permutation(BitPermutation),
+    /// A hybrid permutation+fold layout: decoded like
+    /// [`MappingKind::Permutation`], then the field values are rewritten by
+    /// the [`XorFold`]'s XOR/ADD steps (e.g. `bank = (bank + row) mod
+    /// banks`, the optimized scheme's diagonal term, inexpressible as a pure
+    /// bit permutation).  Generated by `tbi_exp`'s portfolio search.
+    XorFolded(BitPermutation, XorFold),
+    /// A free-shape diagonal tiling: tiles of `tile_h × tile_w ≤ page`
+    /// positions, one page prefix per tile, the optimized scheme's diagonal
+    /// bank term between tiles (see [`GeneralTiledMapping`]).  Tile edges
+    /// need not be powers of two — the family the bit-sliced layouts cannot
+    /// reach.  Generated by `tbi_exp`'s portfolio search.
+    GeneralTiled {
+        /// Tile height in index-space rows.
+        tile_h: u32,
+        /// Tile width in index-space columns.
+        tile_w: u32,
+    },
 }
 
 impl MappingKind {
@@ -134,12 +157,16 @@ impl MappingKind {
             MappingKind::OptimizedNoStagger => "optimized-no-stagger",
             MappingKind::Optimized => "optimized",
             MappingKind::Permutation(_) => "permutation",
+            MappingKind::XorFolded(..) => "xorfold",
+            MappingKind::GeneralTiled { .. } => "general-tiled",
         }
     }
 
     /// Fully qualified label: equal to [`MappingKind::name`] for the named
-    /// schemes, and `permutation:<MSB-first bit codes>` for permutations —
-    /// so scenario IDs and records distinguish individual design points.
+    /// schemes, `permutation:<MSB-first bit codes>` for permutations,
+    /// `xorfold:<codes>|<fold steps>` for hybrid permutation+fold layouts,
+    /// and `tiled:<h>x<w>` for free-shape tilings — so scenario IDs and
+    /// records distinguish individual design points.
     ///
     /// # Examples
     ///
@@ -152,14 +179,75 @@ impl MappingKind {
     ///     MappingKind::Permutation(permutation).label(),
     ///     "permutation:RRCCBBGG"
     /// );
+    /// let fold = "B^R1".parse()?;
+    /// assert_eq!(
+    ///     MappingKind::XorFolded(permutation, fold).label(),
+    ///     "xorfold:RRCCBBGG|B^R1"
+    /// );
+    /// assert_eq!(
+    ///     MappingKind::GeneralTiled { tile_h: 11, tile_w: 11 }.label(),
+    ///     "tiled:11x11"
+    /// );
     /// # Ok::<(), tbi_dram::ConfigError>(())
     /// ```
     #[must_use]
     pub fn label(&self) -> String {
         match self {
             MappingKind::Permutation(permutation) => format!("permutation:{permutation}"),
+            MappingKind::XorFolded(permutation, fold) => {
+                format!("xorfold:{permutation}|{fold}")
+            }
+            MappingKind::GeneralTiled { tile_h, tile_w } => format!("tiled:{tile_h}x{tile_w}"),
             other => other.name().to_string(),
         }
+    }
+
+    /// Parses a label produced by [`MappingKind::label`] back into the kind
+    /// — so recorded design points (e.g. `BENCH_dse.json` rows) replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterleaverError::InvalidDimension`] when the label names
+    /// no known scheme and is not a well-formed `permutation:`/`xorfold:`
+    /// form.
+    pub fn parse_label(label: &str) -> Result<Self, InterleaverError> {
+        for kind in MappingKind::ALL {
+            if label == kind.name() {
+                return Ok(kind);
+            }
+        }
+        let invalid = |reason: String| InterleaverError::InvalidDimension { reason };
+        if let Some(codes) = label.strip_prefix("permutation:") {
+            let permutation = codes
+                .parse()
+                .map_err(|e| invalid(format!("bad permutation label `{label}`: {e}")))?;
+            return Ok(MappingKind::Permutation(permutation));
+        }
+        if let Some(body) = label.strip_prefix("xorfold:") {
+            let (codes, fold) = body
+                .split_once('|')
+                .ok_or_else(|| invalid(format!("xorfold label `{label}` lacks a `|`")))?;
+            let permutation = codes
+                .parse()
+                .map_err(|e| invalid(format!("bad permutation in `{label}`: {e}")))?;
+            let fold = fold
+                .parse()
+                .map_err(|e| invalid(format!("bad fold in `{label}`: {e}")))?;
+            return Ok(MappingKind::XorFolded(permutation, fold));
+        }
+        if let Some(body) = label.strip_prefix("tiled:") {
+            let (h, w) = body
+                .split_once('x')
+                .ok_or_else(|| invalid(format!("tiled label `{label}` lacks an `x`")))?;
+            let tile_h = h
+                .parse()
+                .map_err(|e| invalid(format!("bad tile height in `{label}`: {e}")))?;
+            let tile_w = w
+                .parse()
+                .map_err(|e| invalid(format!("bad tile width in `{label}`: {e}")))?;
+            return Ok(MappingKind::GeneralTiled { tile_h, tile_w });
+        }
+        Err(invalid(format!("unknown mapping label `{label}`")))
     }
 
     /// Builds the mapping for a DRAM configuration and an index space of
@@ -235,6 +323,16 @@ impl MappingKind {
                 permutation,
                 dimension,
             )?),
+            MappingKind::XorFolded(permutation, fold) => Box::new(PermutedMapping::with_fold(
+                geometry,
+                ChannelTopology::default(),
+                permutation,
+                fold,
+                dimension,
+            )?),
+            MappingKind::GeneralTiled { tile_h, tile_w } => Box::new(GeneralTiledMapping::new(
+                geometry, dimension, tile_h, tile_w,
+            )?),
         })
     }
 }
@@ -242,7 +340,9 @@ impl MappingKind {
 impl std::fmt::Display for MappingKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MappingKind::Permutation(_) => f.write_str(&self.label()),
+            MappingKind::Permutation(_)
+            | MappingKind::XorFolded(..)
+            | MappingKind::GeneralTiled { .. } => f.write_str(&self.label()),
             other => f.write_str(other.name()),
         }
     }

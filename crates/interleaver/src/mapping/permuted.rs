@@ -18,7 +18,7 @@
 
 use tbi_dram::{
     AddressBatch, BitPermutation, ChannelTopology, DeviceGeometry, PermutationMapping,
-    PhysicalAddress,
+    PhysicalAddress, XorFold,
 };
 
 use crate::mapping::{DramMapping, BATCH_CHUNK};
@@ -106,12 +106,30 @@ impl PermutedMapping {
         permutation: BitPermutation,
         n: u32,
     ) -> Result<Self, InterleaverError> {
+        Self::with_fold(geometry, topology, permutation, XorFold::identity(), n)
+    }
+
+    /// Creates a mapping whose decoded field values are rewritten by `fold`
+    /// after the bit permutation — the hybrid permutation+fold family (e.g.
+    /// `bank = (bank + row) mod banks`, the optimized scheme's diagonal).
+    ///
+    /// # Errors
+    ///
+    /// As [`PermutedMapping::new`], plus [`InterleaverError::Dram`] when the
+    /// fold touches a zero-width field or shifts past its source.
+    pub fn with_fold(
+        geometry: DeviceGeometry,
+        topology: ChannelTopology,
+        permutation: BitPermutation,
+        fold: XorFold,
+        n: u32,
+    ) -> Result<Self, InterleaverError> {
         if n == 0 {
             return Err(InterleaverError::InvalidDimension {
                 reason: "mapping dimension must be non-zero".to_string(),
             });
         }
-        let decoder = PermutationMapping::new(geometry, topology, permutation)?;
+        let decoder = PermutationMapping::with_fold(geometry, topology, permutation, fold)?;
         let jbits = index_bits(n);
         let needed = 2 * jbits;
         if needed > permutation.total_bits() {
@@ -175,6 +193,12 @@ impl PermutedMapping {
     pub fn permutation(&self) -> &BitPermutation {
         self.decoder.permutation()
     }
+
+    /// The fold applied after decode (identity for plain permutations).
+    #[must_use]
+    pub fn fold(&self) -> &XorFold {
+        self.decoder.fold()
+    }
 }
 
 impl DramMapping for PermutedMapping {
@@ -193,7 +217,11 @@ impl DramMapping for PermutedMapping {
     }
 
     fn name(&self) -> &'static str {
-        "permutation"
+        if self.fold().is_identity() {
+            "permutation"
+        } else {
+            "xorfold"
+        }
     }
 
     fn geometry(&self) -> &DeviceGeometry {

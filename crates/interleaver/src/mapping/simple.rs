@@ -5,7 +5,7 @@ use tbi_dram::{DeviceGeometry, PhysicalAddress};
 use crate::mapping::DramMapping;
 use crate::InterleaverError;
 
-fn split_bank(flat_bank: u32, geometry: &DeviceGeometry) -> (u32, u32) {
+pub(crate) fn split_bank(flat_bank: u32, geometry: &DeviceGeometry) -> (u32, u32) {
     // The paper presumes the lower bank-address bits denote the bank group so
     // that incrementing the flat bank index switches bank groups first.
     (

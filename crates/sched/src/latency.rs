@@ -36,6 +36,9 @@ pub struct LatencyHistogram {
     sum: u64,
     min: u64,
     max: u64,
+    /// Sticky flag: the running sum overflowed `u64` at least once, so
+    /// [`LatencyHistogram::mean`] understates the true mean.
+    saturated: bool,
 }
 
 impl LatencyHistogram {
@@ -48,6 +51,7 @@ impl LatencyHistogram {
             sum: 0,
             min: u64::MAX,
             max: 0,
+            saturated: false,
         }
     }
 
@@ -68,23 +72,51 @@ impl LatencyHistogram {
     }
 
     /// Records one latency sample.
+    ///
+    /// If the running sum would overflow `u64` it saturates instead — but
+    /// the overflow is detected and latched (see
+    /// [`LatencyHistogram::is_saturated`]) rather than silently producing a
+    /// plausible-looking understated mean.
     pub fn record(&mut self, latency: u64) {
         self.buckets[Self::bucket_of(latency)] += 1;
         self.count += 1;
-        self.sum = self.sum.saturating_add(latency);
+        self.sum = match self.sum.checked_add(latency) {
+            Some(sum) => sum,
+            None => {
+                self.saturated = true;
+                u64::MAX
+            }
+        };
         self.min = self.min.min(latency);
         self.max = self.max.max(latency);
     }
 
-    /// Merges `other` into `self`.
+    /// Merges `other` into `self` (saturation is sticky: the merged
+    /// histogram is saturated if either input was, or if the merged sum
+    /// overflows).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine += theirs;
         }
         self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
+        self.sum = match self.sum.checked_add(other.sum) {
+            Some(sum) => sum,
+            None => {
+                self.saturated = true;
+                u64::MAX
+            }
+        };
+        self.saturated |= other.saturated;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Whether the running sum ever overflowed `u64` — when `true`,
+    /// [`LatencyHistogram::mean`] is a lower bound on the true mean, not
+    /// its value.  Counts, quantiles, min and max remain exact.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Number of recorded samples.
@@ -109,7 +141,8 @@ impl LatencyHistogram {
         self.max
     }
 
-    /// Mean latency (0.0 when empty; never NaN).
+    /// Mean latency (0.0 when empty; never NaN).  A lower bound when
+    /// [`LatencyHistogram::is_saturated`] is `true`.
     #[must_use]
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -255,6 +288,30 @@ mod tests {
         }
         left.merge(&right);
         assert_eq!(left, combined);
+    }
+
+    #[test]
+    fn saturation_is_detected_and_sticky() {
+        let mut histogram = LatencyHistogram::new();
+        histogram.record(u64::MAX);
+        assert!(!histogram.is_saturated(), "one sample fits exactly");
+        histogram.record(1);
+        assert!(histogram.is_saturated(), "overflow must latch the flag");
+        // The mean is now a (large) lower bound, not a silent small value.
+        assert!(histogram.mean() >= (u64::MAX / 2) as f64);
+        histogram.record(0);
+        assert!(histogram.is_saturated(), "the flag never clears");
+        // Merge propagates the flag both ways.
+        let mut clean = LatencyHistogram::new();
+        clean.record(7);
+        let mut merged = clean.clone();
+        merged.merge(&histogram);
+        assert!(merged.is_saturated());
+        let mut other = LatencyHistogram::new();
+        other.record(u64::MAX);
+        let mut also = other.clone();
+        also.merge(&other);
+        assert!(also.is_saturated(), "merge overflow is detected too");
     }
 
     #[test]

@@ -125,6 +125,16 @@ pub struct TenantReport {
     pub latency: LatencyHistogram,
 }
 
+impl TenantReport {
+    /// Whether the tenant's latency sum overflowed `u64` — when `true`, the
+    /// histogram's mean is a lower bound, not the true mean (see
+    /// [`LatencyHistogram::is_saturated`]).
+    #[must_use]
+    pub fn latency_saturated(&self) -> bool {
+        self.latency.is_saturated()
+    }
+}
+
 /// Aggregate results of a scheduler run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchedReport {

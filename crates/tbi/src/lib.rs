@@ -62,7 +62,7 @@ pub use tbi_exp::{
 pub use tbi_interleaver::{
     AccessPhase, BlockInterleaver, ChannelMapping, ChannelUtilizationReport, DramMapping,
     InterleaverSpec, MappingKind, OptimizedMapping, RowMajorMapping, ThroughputEvaluator,
-    TraceGenerator, TriangularInterleaver, TwoStageInterleaver, UtilizationReport,
+    TileOrder, TraceGenerator, TriangularInterleaver, TwoStageInterleaver, UtilizationReport,
 };
 pub use tbi_satcom::{
     BandwidthBudget, CoherenceFading, GilbertElliott, LinkConfig, LinkReport, LinkSimulation,

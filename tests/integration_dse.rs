@@ -14,6 +14,7 @@ fn settings(workers: usize) -> SearchSettings {
         budget: 10,
         neighbors: 4,
         workers,
+        ..SearchSettings::default()
     }
 }
 
