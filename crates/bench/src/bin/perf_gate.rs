@@ -1,7 +1,7 @@
 //! Performance-trajectory regression gate over the committed `BENCH_*.json`
 //! artifacts.
 //!
-//! For every artifact on the command line (default: all five committed
+//! For every artifact on the command line (default: all six committed
 //! benchmarks), re-runs a **scaled-down** version of the same workload and
 //! compares the headline metrics against the committed baseline with
 //! per-metric tolerances (see [`tbi_bench::gate`]).  Identity flags
@@ -21,11 +21,12 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use tbi_bench::gate::{evaluate, Check, CheckKind, GateReport};
-use tbi_bench::{run_table1, HarnessOptions};
+use tbi_bench::{build_campaign, run_table1, HarnessOptions};
 use tbi_dram::standards::ALL_CONFIGS;
 use tbi_dram::{
     AddressBatch, BitPermutation, ChannelTopology, DramConfig, DramStandard, TimingEngine,
 };
+use tbi_exp::campaign::DEFAULT_CODE_RATES;
 use tbi_exp::json::{parse, JsonValue};
 use tbi_exp::search::{MappingSearch, SearchSettings, SearchStrategy};
 use tbi_exp::serialize::json_number;
@@ -35,12 +36,13 @@ use tbi_interleaver::{InterleaverSpec, MappingKind};
 use tbi_sched::SchedPolicyKind;
 
 /// The committed artifacts gated when no paths are given.
-const DEFAULT_ARTIFACTS: [&str; 5] = [
+const DEFAULT_ARTIFACTS: [&str; 6] = [
     "BENCH_engine.json",
     "BENCH_channels.json",
     "BENCH_dse.json",
     "BENCH_mapgen.json",
     "BENCH_tenants.json",
+    "BENCH_campaign.json",
 ];
 
 /// Re-runs use this many bursts unless `--bursts` overrides it — a small
@@ -60,7 +62,7 @@ fn usage() -> String {
      --bursts <n>   interleaver size per re-run scenario (default 20000)\n  \
      --workers <n>  worker threads for sweep re-runs, 0 = auto (default 0)\n  \
      --help         print this help\n\n\
-     With no artifact paths, gates all five committed artifacts:\n  "
+     With no artifact paths, gates all six committed artifacts:\n  "
         .to_string()
         + &DEFAULT_ARTIFACTS.join(", ")
 }
@@ -209,11 +211,21 @@ fn rerun_channel_sweep(options: &GateOptions) -> Result<(JsonValue, Vec<Check>),
 
 /// Reads an integer setting from the committed artifact.
 fn committed_u64(committed: &JsonValue, key: &str) -> Result<u64, String> {
-    committed
+    let n = committed
         .get(key)
         .and_then(JsonValue::as_f64)
-        .map(|n| n as u64)
-        .ok_or_else(|| format!("committed artifact has no numeric `{key}`"))
+        .ok_or_else(|| format!("committed artifact has no numeric `{key}`"))?;
+    // The JSON layer carries numbers as f64, which is only exact for
+    // integers up to 2^53 — reject anything that cannot have survived the
+    // round-trip unchanged (a silently rounded seed would re-run the
+    // workload with different channel realisations).
+    if n.fract() != 0.0 || !(0.0..=9_007_199_254_740_992.0).contains(&n) {
+        return Err(format!(
+            "committed `{key}` ({n}) is not an exactly-representable integer"
+        ));
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    Ok(n as u64)
 }
 
 /// Replay budget cap for the mapping-search gate: the committed artifact
@@ -463,6 +475,58 @@ fn rerun_tenant_sweep(
     ))
 }
 
+/// `campaign_sweep`: replays the committed campaign — same seed and trial
+/// budget — at the gate's burst count.  The link simulations are sized by
+/// the campaign itself rather than the DRAM burst count, so the
+/// interleaving-gain waterfall and the frontier shape must reproduce
+/// exactly at any scale; only the DRAM-side bandwidth shrinks with
+/// `--bursts`, which is why the mapping-shift check is an absolute floor
+/// and the aggregate check a loose ratio.
+fn rerun_campaign_sweep(
+    options: &GateOptions,
+    committed: &JsonValue,
+) -> Result<(JsonValue, Vec<Check>), String> {
+    let seed = committed_u64(committed, "seed")?;
+    let trials = u32::try_from(committed_u64(committed, "trials")?)
+        .map_err(|_| "committed `trials` out of range".to_string())?;
+    let campaign =
+        build_campaign(options.bursts, options.workers, seed, trials).map_err(|e| e.to_string())?;
+    let report = campaign.run().map_err(|e| e.to_string())?;
+    let monotone = report.ber_strictly_decreases_with_depth(&DEFAULT_CODE_RATES);
+    let all_frontiers_nonempty = report.frontiers.iter().all(|f| !f.points.is_empty());
+    let mut min_shift = f64::INFINITY;
+    let mut max_aggregate: f64 = 0.0;
+    for frontier in &report.frontiers {
+        min_shift = min_shift.min(report.mapping_bandwidth_shift(&frontier.dram_label));
+    }
+    for record in &report.records {
+        max_aggregate = max_aggregate.max(record.aggregate_gbps);
+    }
+    eprintln!(
+        "  waterfall strict: {monotone}, min mapping shift x{:.3}, peak {max_aggregate:.2} Gb/s",
+        1.0 + min_shift
+    );
+    let doc = current_doc(&format!(
+        "{{\"ber_strictly_decreases_with_depth\":{monotone},\
+         \"all_frontiers_nonempty\":{all_frontiers_nonempty},\
+         \"min_mapping_bandwidth_shift\":{},\"max_aggregate_gbps\":{}}}",
+        json_number(min_shift),
+        json_number(max_aggregate)
+    ));
+    Ok((
+        doc,
+        vec![
+            Check::new("ber_strictly_decreases_with_depth", CheckKind::MustBeTrue),
+            Check::new("all_frontiers_nonempty", CheckKind::MustBeTrue),
+            // The mappings are distinguishable even at gate scale, but the
+            // absolute shift grows with burst count, so gate on a floor
+            // rather than a ratio against the full-size committed value.
+            Check::new("min_mapping_bandwidth_shift", CheckKind::AbsFloor(0.01)),
+            Check::new("max_aggregate_gbps", CheckKind::MinRatio(0.5)),
+        ],
+    ))
+}
+
 fn gate_artifact(options: &GateOptions, path: &PathBuf) -> Result<GateReport, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -479,6 +543,7 @@ fn gate_artifact(options: &GateOptions, path: &PathBuf) -> Result<GateReport, St
         "mapping_search" => rerun_mapping_search(options, &committed)?,
         "mapgen_speed" => rerun_mapgen_speed(options)?,
         "tenant_sweep" => rerun_tenant_sweep(options, &committed)?,
+        "campaign_sweep" => rerun_campaign_sweep(options, &committed)?,
         other => return Err(format!("{}: unknown bench tag `{other}`", path.display())),
     };
     Ok(evaluate(&bench, &current, &committed, &checks))

@@ -11,9 +11,10 @@ pub mod gate;
 
 use std::path::PathBuf;
 
-use tbi_dram::{ControllerConfig, RefreshMode, TimingEngine};
-use tbi_exp::{serialize, ExpError, Record, RefreshSetting, SweepGrid};
+use tbi_dram::{ControllerConfig, DramStandard, RefreshMode, TimingEngine};
+use tbi_exp::{serialize, Campaign, CampaignConfig, ExpError, Record, RefreshSetting, SweepGrid};
 use tbi_interleaver::MappingKind;
+use tbi_satcom::{LinkProfile, Weather};
 
 /// Default interleaver size (in DRAM bursts) used by the harness binaries.
 ///
@@ -365,6 +366,57 @@ pub fn run_table1(options: &HarnessOptions) -> Result<Vec<Record>, ExpError> {
         .refresh(options.refresh_setting())
         .controller(options.controller());
     options.run_grid(grid)
+}
+
+/// Device axis of the downlink campaign bench: the paper's DDR4 baseline
+/// plus the three modern presets with their baked native topologies.
+pub const CAMPAIGN_PRESETS: [(DramStandard, u32); 4] = [
+    (DramStandard::Ddr4, 3200),
+    (DramStandard::Hbm2, 2400),
+    (DramStandard::Gddr6, 16000),
+    (DramStandard::Ddr5Stacked, 6400),
+];
+
+/// Peak pass elevation of the campaign's link profile (degrees).  High
+/// enough that the fade rate varies meaningfully over the pass, while the
+/// low-elevation edges keep every depth's post-FEC BER nonzero.
+pub const CAMPAIGN_PEAK_ELEVATION_DEG: f64 = 45.0;
+
+/// Weather of the campaign's link profile.
+pub const CAMPAIGN_WEATHER: Weather = Weather::Clear;
+
+/// The campaign bench's shared pass profile: a clear-sky LEO pass whose
+/// edge segments dominate the error budget.
+#[must_use]
+pub fn campaign_profile() -> LinkProfile {
+    LinkProfile::leo_pass(CAMPAIGN_PEAK_ELEVATION_DEG, CAMPAIGN_WEATHER)
+}
+
+/// Builds the campaign gated by `perf_gate` and emitted by the
+/// `campaign_sweep` binary: [`CAMPAIGN_PRESETS`] × the Table I mapping
+/// pair × the default depth and code-rate axes under [`campaign_profile`].
+/// The seed and trial count are parameters so the gate can replay the
+/// committed artifact's exact link simulations.
+///
+/// # Errors
+///
+/// Returns [`ExpError::Dram`] if a campaign preset is unknown (which would
+/// mean the preset tables and this list drifted apart).
+pub fn build_campaign(
+    bursts: u64,
+    workers: usize,
+    seed: u64,
+    trials: u32,
+) -> Result<Campaign, ExpError> {
+    let mut config = CampaignConfig::new(campaign_profile())
+        .size(bursts)
+        .workers(workers)
+        .seed(seed)
+        .trials(trials);
+    for (standard, rate) in CAMPAIGN_PRESETS {
+        config = config.preset(standard, rate)?;
+    }
+    Ok(config.build())
 }
 
 #[cfg(test)]

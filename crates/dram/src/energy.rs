@@ -62,6 +62,29 @@ impl EnergyParams {
                 background_mw: 250.0,
                 ..base
             },
+            // In-package stacked DRAM: short interconnect, cheap transfers,
+            // but the stack's shared logic keeps background power up.
+            DramStandard::Hbm2 => Self {
+                act_pre_nj: base.act_pre_nj * 0.7,
+                read_nj: base.read_nj * 0.4,
+                write_nj: base.write_nj * 0.4,
+                background_mw: 150.0,
+                ..base
+            },
+            // High-speed graphics I/O costs more per transferred burst.
+            DramStandard::Gddr6 => Self {
+                read_nj: base.read_nj * 1.4,
+                write_nj: base.write_nj * 1.4,
+                background_mw: 300.0,
+                ..base
+            },
+            // Four stacked dies refresh and idle behind one interface.
+            DramStandard::Ddr5Stacked => Self {
+                refresh_ab_nj: base.refresh_ab_nj * 1.5,
+                refresh_pb_nj: base.refresh_pb_nj * 1.5,
+                background_mw: 320.0,
+                ..base
+            },
             _ => base,
         }
     }

@@ -32,6 +32,14 @@ pub enum DramStandard {
     Lpddr4,
     /// LPDDR5 (4 bank groups, BL16).
     Lpddr5,
+    /// HBM2 pseudo-channel (4 bank groups, BL8, 64-bit pseudo-channel; a
+    /// stack exposes eight pseudo-channels via the preset's topology).
+    Hbm2,
+    /// GDDR6 (4 bank groups, BL16, 32-bit channel; two channels per die).
+    Gddr6,
+    /// DDR5 3DS multi-rank stack (DDR5 sub-channel geometry with four
+    /// stacked logical ranks behind one channel).
+    Ddr5Stacked,
 }
 
 impl DramStandard {
@@ -44,8 +52,17 @@ impl DramStandard {
         DramStandard::Lpddr5,
     ];
 
-    /// Returns the two speed grades (data rates in MT/s) simulated in the
-    /// paper for this standard.
+    /// The three modern scale-out standards beyond the paper's Table I:
+    /// HBM2 pseudo-channels, GDDR6 and DDR5 3DS multi-rank stacks.
+    pub const MODERN: [DramStandard; 3] = [
+        DramStandard::Hbm2,
+        DramStandard::Gddr6,
+        DramStandard::Ddr5Stacked,
+    ];
+
+    /// Returns the two speed grades (data rates in MT/s) simulated for this
+    /// standard — the paper's Table I grades for the five paper standards,
+    /// representative datasheet grades for the modern presets.
     #[must_use]
     pub fn paper_speed_grades(self) -> [u32; 2] {
         match self {
@@ -54,6 +71,9 @@ impl DramStandard {
             DramStandard::Ddr5 => [3200, 6400],
             DramStandard::Lpddr4 => [2133, 4266],
             DramStandard::Lpddr5 => [4267, 8533],
+            DramStandard::Hbm2 => [2000, 2400],
+            DramStandard::Gddr6 => [14000, 16000],
+            DramStandard::Ddr5Stacked => [4800, 6400],
         }
     }
 
@@ -61,10 +81,7 @@ impl DramStandard {
     /// `t_ccd_l`/`t_ccd_s` distinction).
     #[must_use]
     pub fn has_bank_groups(self) -> bool {
-        matches!(
-            self,
-            DramStandard::Ddr4 | DramStandard::Ddr5 | DramStandard::Lpddr5
-        )
+        !matches!(self, DramStandard::Ddr3 | DramStandard::Lpddr4)
     }
 
     /// Display name matching the paper ("DDR4", "LPDDR5", ...).
@@ -76,6 +93,9 @@ impl DramStandard {
             DramStandard::Ddr5 => "DDR5",
             DramStandard::Lpddr4 => "LPDDR4",
             DramStandard::Lpddr5 => "LPDDR5",
+            DramStandard::Hbm2 => "HBM2",
+            DramStandard::Gddr6 => "GDDR6",
+            DramStandard::Ddr5Stacked => "DDR5-3DS",
         }
     }
 }
@@ -98,6 +118,20 @@ pub const ALL_CONFIGS: &[(DramStandard, u32)] = &[
     (DramStandard::Lpddr4, 4266),
     (DramStandard::Lpddr5, 4267),
     (DramStandard::Lpddr5, 8533),
+];
+
+/// The six modern (standard, data rate) pairs beyond the paper's Table I:
+/// HBM2 pseudo-channel stacks, GDDR6 and DDR5 3DS multi-rank devices.  These
+/// presets bake a non-trivial [`ChannelTopology`] into the configuration
+/// (eight pseudo-channels for HBM2, two channels for GDDR6, four stacked
+/// ranks for DDR5-3DS) so topology-aware mappings are exercised end to end.
+pub const MODERN_CONFIGS: &[(DramStandard, u32)] = &[
+    (DramStandard::Hbm2, 2000),
+    (DramStandard::Hbm2, 2400),
+    (DramStandard::Gddr6, 14000),
+    (DramStandard::Gddr6, 16000),
+    (DramStandard::Ddr5Stacked, 4800),
+    (DramStandard::Ddr5Stacked, 6400),
 ];
 
 /// A complete single-channel DRAM configuration: standard, speed grade,
@@ -133,9 +167,11 @@ pub struct DramConfig {
     /// Default linear-address decode scheme used by
     /// [`DramConfig::decode_linear`].
     pub decode_scheme: DecodeScheme,
-    /// Channel/rank scale-out of the subsystem.  The presets default to the
-    /// paper's single-channel, single-rank device; use
-    /// [`DramConfig::with_topology`] (or the builder) to scale out.
+    /// Channel/rank scale-out of the subsystem.  The paper's ten Table I
+    /// presets default to a single-channel, single-rank device; the modern
+    /// presets ([`MODERN_CONFIGS`]) bake their native scale-out (HBM2
+    /// pseudo-channels, GDDR6 dual channels, DDR5-3DS stacked ranks).  Use
+    /// [`DramConfig::with_topology`] (or the builder) to override.
     pub topology: ChannelTopology,
 }
 
@@ -416,6 +452,126 @@ fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
             };
             (geometry, timing, RefreshMode::PerBank)
         }
+        (DramStandard::Hbm2, _) => {
+            // One 64-bit pseudo-channel with BL8 (a 64-byte burst); the
+            // stack's eight pseudo-channels come from the baked topology.
+            // 2^15 rows so a pseudo-channel holds the paper's full-size
+            // interleaver under the optimized mapping's padded footprint
+            // (each channel addresses the whole padded frame; the stripe
+            // router interleaves accesses, not capacity).
+            let geometry = DeviceGeometry {
+                bank_groups: 4,
+                banks_per_group: 4,
+                rows: 1 << 15,
+                columns_per_row: 64,
+                burst_length: 8,
+                bus_width_bits: 64,
+            };
+            let timing = TimingParams {
+                cl: c(14.0),
+                cwl: c(7.0),
+                t_rcd: c(14.0),
+                t_rp: c(14.0),
+                t_ras: c(33.0),
+                t_rc: c(33.0) + c(14.0),
+                t_rrd_s: c(4.0).max(4),
+                t_rrd_l: c(6.0).max(4),
+                t_faw: c(30.0),
+                t_ccd_s: 4,
+                t_ccd_l: c(4.0).max(4),
+                t_wr: c(15.0),
+                t_wtr_s: c(2.5).max(2),
+                t_wtr_l: c(7.5).max(4),
+                t_rtp: c(7.5).max(4),
+                t_rfc_ab: c(260.0),
+                t_rfc_pb: c(160.0),
+                t_refi: c(3900.0),
+                t_bus_turn: 2,
+                t_rank_to_rank: 2,
+            };
+            (geometry, timing, RefreshMode::PerBank)
+        }
+        (DramStandard::Gddr6, _) => {
+            // One 32-bit channel with BL16 (a 64-byte burst); a die exposes
+            // two such channels via the baked topology.  2^15 rows for the
+            // same full-size capacity reason as HBM2 above.
+            let geometry = DeviceGeometry {
+                bank_groups: 4,
+                banks_per_group: 4,
+                rows: 1 << 15,
+                columns_per_row: 64,
+                burst_length: 16,
+                bus_width_bits: 32,
+            };
+            let timing = TimingParams {
+                cl: c(18.0),
+                cwl: c(6.0),
+                t_rcd: c(18.0),
+                t_rp: c(18.0),
+                t_ras: c(28.0),
+                t_rc: c(28.0) + c(18.0),
+                t_rrd_s: c(6.0).max(8),
+                t_rrd_l: c(6.0).max(8),
+                t_faw: c(24.0),
+                t_ccd_s: 8,
+                t_ccd_l: c(1.5).max(8),
+                t_wr: c(15.0),
+                t_wtr_s: c(2.5).max(4),
+                t_wtr_l: c(5.0).max(8),
+                t_rtp: c(2.0).max(8),
+                t_rfc_ab: c(110.0),
+                t_rfc_pb: c(60.0),
+                t_refi: c(1900.0),
+                t_bus_turn: 2,
+                t_rank_to_rank: 2,
+            };
+            (geometry, timing, RefreshMode::PerBank)
+        }
+        (DramStandard::Ddr5Stacked, _) => {
+            // DDR5 sub-channel geometry; the 3DS stack adds four logical
+            // ranks behind the channel (baked topology), a longer refresh
+            // (all dies refresh through one interface) and a slower
+            // rank-to-rank bus turnaround through the TSV mux.
+            let geometry = DeviceGeometry {
+                bank_groups: 8,
+                banks_per_group: 4,
+                rows: 1 << 16,
+                columns_per_row: 64,
+                burst_length: 16,
+                bus_width_bits: 32,
+            };
+            let cl = c(16.0).max(22);
+            let timing = TimingParams {
+                cl,
+                cwl: cl.saturating_sub(2).max(20),
+                t_rcd: c(16.0).max(22),
+                t_rp: c(16.0).max(22),
+                t_ras: c(32.0),
+                t_rc: c(32.0) + c(16.0).max(22),
+                t_rrd_s: 8,
+                t_rrd_l: c(5.0).max(8),
+                t_faw: c(13.333).max(32),
+                t_ccd_s: 8,
+                t_ccd_l: c(5.0).max(8),
+                t_wr: c(30.0),
+                t_wtr_s: c(2.5).max(4),
+                t_wtr_l: c(10.0).max(16),
+                t_rtp: c(7.5).max(12),
+                t_rfc_ab: c(410.0),
+                t_rfc_pb: c(190.0),
+                t_refi: c(3900.0),
+                t_bus_turn: 2,
+                t_rank_to_rank: 4,
+            };
+            (geometry, timing, RefreshMode::PerBank)
+        }
+    };
+
+    let topology = match standard {
+        DramStandard::Hbm2 => ChannelTopology::new(8, 1),
+        DramStandard::Gddr6 => ChannelTopology::new(2, 1),
+        DramStandard::Ddr5Stacked => ChannelTopology::new(1, 4),
+        _ => ChannelTopology::default(),
     };
 
     DramConfig {
@@ -425,7 +581,7 @@ fn build_preset(standard: DramStandard, rate: u32) -> DramConfig {
         timing,
         default_refresh: refresh,
         decode_scheme: DecodeScheme::RowColumnBankBankGroup,
-        topology: ChannelTopology::default(),
+        topology,
     }
 }
 
@@ -443,6 +599,52 @@ mod tests {
             // All configurations use 64-byte bursts so that the interleaver's
             // burst-level index space is comparable across standards.
             assert_eq!(cfg.geometry.burst_bytes(), 64, "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn all_six_modern_presets_build_and_validate() {
+        for (standard, rate) in MODERN_CONFIGS {
+            let cfg = DramConfig::preset(*standard, *rate).expect("preset must exist");
+            assert_eq!(cfg.standard, *standard);
+            assert_eq!(cfg.data_rate_mtps, *rate);
+            assert!(cfg.validate().is_ok(), "{}", cfg.label());
+            // The modern presets keep the 64-byte burst so the interleaver's
+            // burst-level index space stays comparable with Table I.
+            assert_eq!(cfg.geometry.burst_bytes(), 64, "{}", cfg.label());
+            // Each modern preset bakes a non-trivial scale-out topology.
+            assert!(!cfg.topology.is_single(), "{}", cfg.label());
+        }
+    }
+
+    #[test]
+    fn modern_presets_bake_their_native_topology() {
+        let hbm = DramConfig::preset(DramStandard::Hbm2, 2400).unwrap();
+        assert_eq!((hbm.topology.channels, hbm.topology.ranks), (8, 1));
+        let gddr = DramConfig::preset(DramStandard::Gddr6, 16000).unwrap();
+        assert_eq!((gddr.topology.channels, gddr.topology.ranks), (2, 1));
+        let tds = DramConfig::preset(DramStandard::Ddr5Stacked, 6400).unwrap();
+        assert_eq!((tds.topology.channels, tds.topology.ranks), (1, 4));
+    }
+
+    #[test]
+    fn modern_labels_and_capacity() {
+        let tds = DramConfig::preset(DramStandard::Ddr5Stacked, 6400).unwrap();
+        // The 3DS label cannot collide with the plain DDR5 presets.
+        assert_eq!(tds.label(), "DDR5-3DS-6400");
+        for (standard, rate) in MODERN_CONFIGS {
+            let cfg = DramConfig::preset(*standard, *rate).unwrap();
+            // Even a single channel of each modern preset holds the paper's
+            // full-size 12.5-million-burst interleaver *under the optimized
+            // mapping's padded square footprint* (~25.4 M bursts at
+            // n = 5000): the channel stripe router interleaves accesses, not
+            // capacity, so every channel addresses the whole padded frame.
+            assert!(
+                cfg.geometry.total_bursts() >= 25_400_000,
+                "{} too small: {} bursts",
+                cfg.label(),
+                cfg.geometry.total_bursts()
+            );
         }
     }
 

@@ -32,8 +32,18 @@ fn small_config(
     cols_log2: u32,
     ranks: u32,
 ) -> DramConfig {
-    let presets = tbi_dram::standards::ALL_CONFIGS;
-    let (standard, rate) = presets[preset_idx % presets.len()];
+    // One combined axis: the paper's Table I presets followed by the modern
+    // scale-out presets (HBM2, GDDR6, DDR5-3DS), so their timing sets are
+    // differentially tested too.  The baked multi-channel topologies are
+    // replaced below — the engines are per-channel.
+    let paper = tbi_dram::standards::ALL_CONFIGS;
+    let modern = tbi_dram::standards::MODERN_CONFIGS;
+    let index = preset_idx % (paper.len() + modern.len());
+    let (standard, rate) = if index < paper.len() {
+        paper[index]
+    } else {
+        modern[index - paper.len()]
+    };
     let mut config = DramConfig::preset(standard, rate).expect("preset exists");
     config.geometry.bank_groups = bank_groups;
     config.geometry.banks_per_group = banks_per_group;
@@ -95,7 +105,7 @@ proptest! {
     /// page-policy × queue × pattern) combinations.
     #[test]
     fn cycle_and_event_engines_agree_on_random_configurations(
-        preset_idx in 0usize..10,
+        preset_idx in 0usize..16,
         bank_groups_log2 in 0u32..3,
         banks_per_group_log2 in 1u32..3,
         rows_log2 in 6u32..8,
@@ -148,7 +158,7 @@ proptest! {
     /// refresh deadlines.
     #[test]
     fn engines_agree_across_stats_windows(
-        preset_idx in 0usize..10,
+        preset_idx in 0usize..16,
         ranks_log2 in 0u32..2,
         seed in 0u64..u64::MAX,
     ) {

@@ -20,6 +20,10 @@
 //!   sustained bandwidth, row-hit rates, energy, optional link-level error
 //!   rates), serializable to JSON and CSV without external dependencies
 //!   ([`serialize`]);
+//! * [`Campaign`] — end-to-end downlink campaigns: interleaver depth ×
+//!   code rate × mapping × device preset under a shared time-varying
+//!   [`LinkProfile`](tbi_satcom::LinkProfile) pass, reduced to per-preset
+//!   post-FEC BER vs aggregate-bandwidth frontiers ([`campaign`]);
 //! * [`MappingSearch`] — design-space exploration over bit-permutation
 //!   address mappings: a seeded greedy bit-swap hill-climb with random
 //!   restarts that *generates* mapping configurations instead of evaluating
@@ -54,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod grid;
 pub mod json;
 pub mod record;
@@ -62,6 +67,7 @@ pub mod scenario;
 pub mod search;
 pub mod serialize;
 
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, FrontierPoint, PresetFrontier};
 pub use grid::{RefreshSetting, SweepGrid};
 pub use record::{LinkRecord, Record, TenantLatency, TenantSummary};
 pub use runner::Experiment;

@@ -9,6 +9,12 @@ pub struct LinkRecord {
     pub channel_symbol_error_rate: f64,
     /// Residual (post-decoding) symbol error rate.
     pub residual_symbol_error_rate: f64,
+    /// Post-FEC bit error rate over the payload data bits.
+    pub post_fec_ber: f64,
+    /// Reed–Solomon code rate `k/n` of the link stage.
+    pub code_rate: f64,
+    /// Interleaver depth of the link stage, in code words per block.
+    pub interleaver_depth: u64,
 }
 
 /// Per-tenant latency metrics of one stream in a multi-tenant run.

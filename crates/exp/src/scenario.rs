@@ -9,7 +9,7 @@ use tbi_dram::{
 };
 use tbi_interleaver::mapping::DramMapping;
 use tbi_interleaver::{InterleaverSpec, MappingKind, ThroughputEvaluator};
-use tbi_satcom::{GilbertElliott, LinkConfig, LinkSimulation};
+use tbi_satcom::{GilbertElliott, LinkConfig, LinkProfile, LinkSimulation};
 
 use tbi_sched::{
     PhasePattern, QosClass, SchedConfig, SchedPolicyKind, StreamScheduler, StreamSpec,
@@ -21,16 +21,26 @@ use crate::ExpError;
 /// An optional end-to-end channel/FEC stage attached to a scenario.
 ///
 /// When present, [`Scenario::run`] additionally pushes Reed–Solomon code
-/// words through a [`GilbertElliott`] burst channel (seeded, so results are
-/// reproducible) and reports the link-level error rates in the record.
+/// words through a burst channel (seeded, so results are reproducible) and
+/// reports the link-level error rates in the record.  The channel is either
+/// the static [`GilbertElliott`] optical-downlink model or — when a
+/// [`LinkProfile`] is attached — a time-varying pass whose segments retune
+/// the burst statistics over elevation and weather.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkStage {
     /// Code and interleaver-choice parameters of the link simulation.
     pub config: LinkConfig,
-    /// Burst (bad-state) error rate of the Gilbert–Elliott optical channel.
+    /// Burst (bad-state) error rate of the Gilbert–Elliott optical channel
+    /// (ignored when `profile` is set).
     pub burst_error_rate: f64,
     /// RNG seed; identical seeds reproduce identical link records.
     pub seed: u64,
+    /// Optional time-varying pass profile replacing the static channel.
+    pub profile: Option<LinkProfile>,
+    /// Number of independent interleaver blocks pushed through the channel
+    /// (their counters accumulate before the rates are computed; clamped to
+    /// at least 1).  More trials smooth the error-rate estimates.
+    pub trials: u32,
 }
 
 impl LinkStage {
@@ -42,6 +52,8 @@ impl LinkStage {
             config: LinkConfig::default(),
             burst_error_rate,
             seed: 0x7B1_5EED,
+            profile: None,
+            trials: 1,
         }
     }
 
@@ -59,7 +71,25 @@ impl LinkStage {
         self
     }
 
+    /// Attaches a time-varying pass profile (replaces the static channel).
+    #[must_use]
+    pub fn with_profile(mut self, profile: LinkProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Sets the number of independent interleaver blocks per run.
+    #[must_use]
+    pub fn with_trials(mut self, trials: u32) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
     /// Runs the link simulation and summarizes it as a [`LinkRecord`].
+    ///
+    /// All trials draw from one seeded RNG stream in order, so the record is
+    /// a pure function of the stage (bit-identical across repeat runs,
+    /// worker counts and host threads).
     ///
     /// # Errors
     ///
@@ -67,13 +97,30 @@ impl LinkStage {
     /// invalid.
     pub fn run(&self) -> Result<LinkRecord, ExpError> {
         let simulation = LinkSimulation::new(self.config)?;
-        let channel = GilbertElliott::optical_downlink(self.burst_error_rate);
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let report = simulation.run(&channel, &mut rng)?;
+        let trials = self.trials.max(1);
+        let mut total: Option<tbi_satcom::LinkReport> = None;
+        for _ in 0..trials {
+            let report = match &self.profile {
+                Some(profile) => simulation.run(profile, &mut rng)?,
+                None => {
+                    let channel = GilbertElliott::optical_downlink(self.burst_error_rate);
+                    simulation.run(&channel, &mut rng)?
+                }
+            };
+            match &mut total {
+                Some(total) => total.accumulate(&report),
+                None => total = Some(report),
+            }
+        }
+        let report = total.expect("at least one trial ran");
         Ok(LinkRecord {
             frame_error_rate: report.frame_error_rate(),
             channel_symbol_error_rate: report.channel_symbol_error_rate(),
             residual_symbol_error_rate: report.residual_symbol_error_rate(),
+            post_fec_ber: report.post_fec_ber(),
+            code_rate: self.config.rs_data_len as f64 / self.config.rs_code_len as f64,
+            interleaver_depth: self.config.codewords as u64,
         })
     }
 }

@@ -82,10 +82,14 @@ fn record_to_json(record: &Record) -> String {
     let link = match &record.link {
         None => "null".to_string(),
         Some(l) => format!(
-            "{{\"frame_error_rate\":{},\"channel_symbol_error_rate\":{},\"residual_symbol_error_rate\":{}}}",
+            "{{\"frame_error_rate\":{},\"channel_symbol_error_rate\":{},\"residual_symbol_error_rate\":{},\
+             \"post_fec_ber\":{},\"code_rate\":{},\"interleaver_depth\":{}}}",
             json_number(l.frame_error_rate),
             json_number(l.channel_symbol_error_rate),
             json_number(l.residual_symbol_error_rate),
+            json_number(l.post_fec_ber),
+            json_number(l.code_rate),
+            l.interleaver_depth,
         ),
     };
     format!(
@@ -144,15 +148,17 @@ pub fn records_to_json(records: &[Record]) -> String {
     out
 }
 
-/// The CSV header emitted by [`records_to_csv`] (31 columns).  The five
-/// tenant columns are empty for records without a multi-tenant stage; the
-/// per-tenant breakdown is only available in the JSON form.
+/// The CSV header emitted by [`records_to_csv`] (34 columns).  The six link
+/// columns are empty for records without a channel/FEC stage and the five
+/// tenant columns for records without a multi-tenant stage; the per-tenant
+/// breakdown is only available in the JSON form.
 pub const CSV_HEADER: &str = "scenario_id,dram,mapping,bursts,dimension,refresh_disabled,\
 channels,ranks,threads,write_utilization,read_utilization,min_utilization,sustained_gbps,\
 aggregate_gbps,channel_utilization_spread,write_row_hit_rate,\
 read_row_hit_rate,activates,energy_total_mj,energy_nj_per_byte,simulated_cycles,\
 wall_time_s,sim_cycles_per_second,frame_error_rate,\
-channel_symbol_error_rate,residual_symbol_error_rate,tenant_policy,tenant_streams,\
+channel_symbol_error_rate,residual_symbol_error_rate,post_fec_ber,link_code_rate,\
+link_interleaver_depth,tenant_policy,tenant_streams,\
 tenant_fairness_index,tenant_worst_p50_cycles,tenant_worst_p99_cycles";
 
 /// Quotes a CSV field if it contains a comma, quote or newline.
@@ -164,19 +170,29 @@ fn csv_field(value: &str) -> String {
     }
 }
 
-/// Serializes records as CSV with a fixed header; the three link columns are
+/// Serializes records as CSV with a fixed header; the six link columns are
 /// empty for records without a channel/FEC stage.
 #[must_use]
 pub fn records_to_csv(records: &[Record]) -> String {
     let mut out = String::from(CSV_HEADER);
     out.push('\n');
     for r in records {
-        let (fer, cser, rser) = match &r.link {
-            None => (String::new(), String::new(), String::new()),
+        let (fer, cser, rser, ber, rate, depth) = match &r.link {
+            None => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
             Some(l) => (
                 json_number(l.frame_error_rate),
                 json_number(l.channel_symbol_error_rate),
                 json_number(l.residual_symbol_error_rate),
+                json_number(l.post_fec_ber),
+                json_number(l.code_rate),
+                l.interleaver_depth.to_string(),
             ),
         };
         let (policy, streams, fairness, p50, p99) = match &r.tenants {
@@ -196,7 +212,7 @@ pub fn records_to_csv(records: &[Record]) -> String {
             ),
         };
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             csv_field(&r.scenario_id),
             csv_field(&r.dram_label),
             csv_field(&r.mapping),
@@ -223,6 +239,9 @@ pub fn records_to_csv(records: &[Record]) -> String {
             fer,
             cser,
             rser,
+            ber,
+            rate,
+            depth,
             csv_field(&policy),
             streams,
             fairness,
@@ -398,6 +417,9 @@ mod tests {
                 frame_error_rate: 0.015625,
                 channel_symbol_error_rate: 0.05,
                 residual_symbol_error_rate: 0.001,
+                post_fec_ber: 0.000125,
+                code_rate: 223.0 / 255.0,
+                interleaver_depth: 64,
             }),
             tenants: None,
         }
@@ -463,6 +485,18 @@ mod tests {
             link.get("frame_error_rate").and_then(JsonValue::as_f64),
             Some(0.015625)
         );
+        assert_eq!(
+            link.get("post_fec_ber").and_then(JsonValue::as_f64),
+            Some(0.000125)
+        );
+        assert_eq!(
+            link.get("code_rate").and_then(JsonValue::as_f64),
+            Some(223.0 / 255.0)
+        );
+        assert_eq!(
+            link.get("interleaver_depth").and_then(JsonValue::as_f64),
+            Some(64.0)
+        );
     }
 
     #[test]
@@ -505,14 +539,15 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], CSV_HEADER);
-        assert_eq!(lines[0].split(',').count(), 31);
-        assert_eq!(lines[1].split(',').count(), 31);
+        assert_eq!(lines[0].split(',').count(), 34);
+        assert_eq!(lines[1].split(',').count(), 34);
         assert!(
-            lines[1].ends_with(",,,,,,,,"),
+            lines[1].ends_with(",,,,,,,,,,,"),
             "link and tenant columns empty: {}",
             lines[1]
         );
         assert!(lines[2].contains("0.015625"));
+        assert!(lines[2].contains("0.000125"));
     }
 
     #[test]
@@ -560,7 +595,7 @@ mod tests {
         // CSV carries the five summary columns.
         let csv = records_to_csv(&[record]);
         let line = csv.lines().nth(1).unwrap();
-        assert_eq!(line.split(',').count(), 31);
+        assert_eq!(line.split(',').count(), 34);
         assert!(
             line.ends_with("weighted_share,2,0.875,4000,12000"),
             "{line}"

@@ -136,6 +136,9 @@ fn golden_records() -> Vec<Record> {
                 frame_error_rate: 0.015625,
                 channel_symbol_error_rate: 0.05078125,
                 residual_symbol_error_rate: 0.0009765625,
+                post_fec_ber: 0.000244140625,
+                code_rate: 0.875,
+                interleaver_depth: 128,
             }),
             tenants: None,
         },
@@ -271,7 +274,7 @@ fn committed_csv_fixture_matches_the_header_contract() {
     let mut lines = CSV_FIXTURE.lines();
     assert_eq!(lines.next(), Some(CSV_HEADER));
     let columns = CSV_HEADER.split(',').count();
-    assert_eq!(columns, 31, "column additions must update this contract");
+    assert_eq!(columns, 34, "column additions must update this contract");
     for line in lines {
         // Quoted fields may embed commas; strip quoted sections first.
         let mut in_quotes = false;

@@ -10,23 +10,61 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use tbi_dram::standards::ALL_CONFIGS;
+use tbi_dram::standards::{ALL_CONFIGS, MODERN_CONFIGS};
 use tbi_dram::{
     AddressDecoder, AddressField, BitPermutation, ChannelTopology, DecodeScheme, DramConfig,
-    FoldOp, FoldStep, XorFold,
+    DramStandard, FoldOp, FoldStep, XorFold,
 };
 use tbi_interleaver::mapping::{ChannelMapping, PermutedMapping};
 use tbi_interleaver::{InterleaverSpec, MappingKind, RowMajorMapping, TileOrder};
+
+/// One combined preset axis: the paper's Table I configurations followed by
+/// the modern scale-out presets (HBM2 pseudo-channel, GDDR6, DDR5-3DS), so
+/// every property below covers the campaign devices alongside the paper's.
+fn preset_at(index: usize) -> (DramStandard, u32) {
+    if index < ALL_CONFIGS.len() {
+        ALL_CONFIGS[index]
+    } else {
+        MODERN_CONFIGS[index - ALL_CONFIGS.len()]
+    }
+}
+
+/// Length of the combined preset axis for strategy ranges.
+fn preset_count() -> usize {
+    ALL_CONFIGS.len() + MODERN_CONFIGS.len()
+}
+
+/// Every campaign device must hold the paper's full-size interleaver under
+/// both Table I mappings, baked topology included.  This is a construction
+/// (capacity) check, not a simulation: the optimized mapping's padded
+/// square footprint is roughly twice the triangular burst count, and the
+/// channel stripe router interleaves accesses — not capacity — so each
+/// channel must address the whole padded frame.
+#[test]
+fn modern_presets_hold_the_full_size_interleaver_under_both_mappings() {
+    let n = InterleaverSpec::from_burst_count(12_500_000).dimension();
+    for &(standard, rate) in MODERN_CONFIGS {
+        let dram = DramConfig::preset(standard, rate).unwrap();
+        for kind in MappingKind::TABLE1 {
+            ChannelMapping::new(kind, &dram, n).unwrap_or_else(|e| {
+                panic!(
+                    "{} / {kind} rejects the full-size interleaver: {e}",
+                    dram.label()
+                )
+            });
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
     fn every_mapping_is_a_bijection_within_device_bounds(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         kind_idx in 0usize..MappingKind::ALL.len(),
         bursts in 64u64..20_000,
     ) {
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let dram = DramConfig::preset(standard, rate).unwrap();
         let spec = InterleaverSpec::from_burst_count(bursts);
         let n = spec.dimension();
@@ -77,13 +115,13 @@ proptest! {
     /// [`AddressDecoder`] splicing plus bottom channel bits.
     #[test]
     fn scheme_permutations_decode_bit_identically_across_geometries_and_topologies(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         scheme_idx in 0usize..DecodeScheme::ALL.len(),
         channels_log2 in 0u32..3,
         ranks_log2 in 0u32..3,
         start in 0u64..(1u64 << 24),
     ) {
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let geometry = DramConfig::preset(standard, rate).unwrap().geometry;
         let scheme = DecodeScheme::ALL[scheme_idx];
         let channels = 1u32 << channels_log2;
@@ -114,10 +152,10 @@ proptest! {
     /// triangular rank equals the padded linear index).
     #[test]
     fn row_major_permutation_form_matches_on_the_first_row(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         n in 64u32..2000,
     ) {
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let geometry = DramConfig::preset(standard, rate).unwrap().geometry;
         let permutation = BitPermutation::for_scheme(
             DecodeScheme::default(),
@@ -141,12 +179,12 @@ proptest! {
     /// permutation that exercises the scatter-table slow path.
     #[test]
     fn map_batch_lanes_equal_scalar_map_for_all_presets_schemes_and_kinds(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         scheme_idx in 0usize..DecodeScheme::ALL.len(),
         kind_idx in 0usize..MappingKind::ALL.len() + 2,
         n in 64u32..300,
     ) {
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let mut dram = DramConfig::preset(standard, rate).unwrap();
         dram.decode_scheme = DecodeScheme::ALL[scheme_idx];
         let kind = if kind_idx < MappingKind::ALL.len() {
@@ -194,14 +232,14 @@ proptest! {
     /// gather forms).
     #[test]
     fn route_batch_equals_scalar_route_across_topologies_and_schemes(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         scheme_idx in 0usize..DecodeScheme::ALL.len(),
         kind_idx in 0usize..MappingKind::ALL.len() + 2,
         channels_log2 in 0u32..3,
         ranks_log2 in 0u32..2,
         n in 64u32..250,
     ) {
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let mut dram = DramConfig::preset(standard, rate).unwrap();
         dram.decode_scheme = DecodeScheme::ALL[scheme_idx];
         let topology = ChannelTopology::new(1 << channels_log2, 1 << ranks_log2);
@@ -244,7 +282,7 @@ proptest! {
     /// fast path, which the pow2-only topology proptest above never reaches.
     #[test]
     fn tile_rotate_route_batch_equals_scalar_route_including_non_pow2_lanes(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         kind_idx in 0usize..MappingKind::ALL.len(),
         channels in 1u32..7,
         ranks in 1u32..3,
@@ -258,7 +296,7 @@ proptest! {
             .filter(|&kind| kind != MappingKind::RowMajor)
             .collect();
         let kind = tile_kinds[kind_idx % tile_kinds.len()];
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let dram = DramConfig::preset(standard, rate)
             .unwrap()
             .with_topology(ChannelTopology::new(channels, ranks));
@@ -327,7 +365,7 @@ proptest! {
     /// hide.
     #[test]
     fn folded_mappings_are_injective_and_batch_consistent_everywhere(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         scheme_idx in 0usize..DecodeScheme::ALL.len(),
         channels_log2 in 0u32..3,
         ranks_log2 in 0u32..2,
@@ -335,7 +373,7 @@ proptest! {
         shift in 0u8..2,
         n in 64u32..250,
     ) {
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let mut dram = DramConfig::preset(standard, rate).unwrap();
         dram.decode_scheme = DecodeScheme::ALL[scheme_idx];
         let topology = ChannelTopology::new(1 << channels_log2, 1 << ranks_log2);
@@ -401,13 +439,13 @@ proptest! {
     /// packing arithmetic — which this walks completely.
     #[test]
     fn general_tiled_routes_injectively_for_every_preset_shape_and_topology(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         tile_h in 2u32..33,
         channels_log2 in 0u32..3,
         ranks_log2 in 0u32..2,
         n in 64u32..250,
     ) {
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let topology = ChannelTopology::new(1 << channels_log2, 1 << ranks_log2);
         let dram = DramConfig::preset(standard, rate)
             .unwrap()
@@ -458,7 +496,7 @@ proptest! {
     /// would break their injectivity.
     #[test]
     fn tile_orders_route_injectively_for_every_kind_preset_and_topology(
-        preset_idx in 0usize..ALL_CONFIGS.len(),
+        preset_idx in 0usize..preset_count(),
         kind_idx in 0usize..4,
         order_idx in 0usize..TileOrder::ALL.len(),
         channels_log2 in 0u32..3,
@@ -475,7 +513,7 @@ proptest! {
         ];
         let kind = tile_kinds[kind_idx];
         let order = TileOrder::ALL[order_idx];
-        let (standard, rate) = ALL_CONFIGS[preset_idx];
+        let (standard, rate) = preset_at(preset_idx);
         let topology = ChannelTopology::new(1 << channels_log2, 1 << ranks_log2);
         let dram = DramConfig::preset(standard, rate)
             .unwrap()

@@ -10,6 +10,8 @@
 //!   (RS(255, 223) by default), the classic FEC for satellite links;
 //! * [`channel`] — burst-error channel models (Gilbert–Elliott and a
 //!   coherence-time fading model of the optical channel);
+//! * [`profile`] — time-varying downlink passes: elevation/weather segments
+//!   that retune the burst channel's state probabilities over the pass;
 //! * [`link`] — the end-to-end pipeline
 //!   *encode → interleave → channel → de-interleave → decode* with
 //!   frame/bit error rate measurement, demonstrating the interleaving gain;
@@ -48,6 +50,7 @@ pub mod concatenated;
 pub mod convolutional;
 pub mod gf256;
 pub mod link;
+pub mod profile;
 pub mod reed_solomon;
 
 pub use budget::BandwidthBudget;
@@ -56,6 +59,7 @@ pub use concatenated::{ConcatenatedCode, ConcatenatedConfig};
 pub use convolutional::ConvolutionalCode;
 pub use gf256::Gf256;
 pub use link::{LinkConfig, LinkReport, LinkSimulation};
+pub use profile::{LinkProfile, PassSegment, Weather};
 pub use reed_solomon::ReedSolomon;
 
 /// Errors produced by the satcom substrate.

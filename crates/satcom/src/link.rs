@@ -60,6 +60,10 @@ pub struct LinkReport {
     pub channel_symbol_errors: usize,
     /// Number of data symbols that differ after decoding.
     pub residual_symbol_errors: usize,
+    /// Number of data *bits* that differ after decoding.
+    pub residual_bit_errors: usize,
+    /// Number of payload data symbols carried by the run (`codewords · k`).
+    pub data_symbols: usize,
     /// Total number of transmitted symbols.
     pub transmitted_symbols: usize,
 }
@@ -94,6 +98,29 @@ impl LinkReport {
         } else {
             self.residual_symbol_errors as f64 / data_symbols as f64
         }
+    }
+
+    /// Post-FEC bit error rate: residual data-bit errors over the payload
+    /// data bits (`codewords · k · 8`).
+    #[must_use]
+    pub fn post_fec_ber(&self) -> f64 {
+        if self.data_symbols == 0 {
+            0.0
+        } else {
+            self.residual_bit_errors as f64 / (self.data_symbols as f64 * 8.0)
+        }
+    }
+
+    /// Merges another report into this one (summing the counters), for
+    /// averaging several independent interleaver blocks of one pass.
+    pub fn accumulate(&mut self, other: &LinkReport) {
+        self.codewords += other.codewords;
+        self.codeword_failures += other.codeword_failures;
+        self.channel_symbol_errors += other.channel_symbol_errors;
+        self.residual_symbol_errors += other.residual_symbol_errors;
+        self.residual_bit_errors += other.residual_bit_errors;
+        self.data_symbols += other.data_symbols;
+        self.transmitted_symbols += other.transmitted_symbols;
     }
 }
 
@@ -211,25 +238,27 @@ impl LinkSimulation {
         // Decode and compare.
         let mut codeword_failures = 0usize;
         let mut residual_symbol_errors = 0usize;
+        let mut residual_bit_errors = 0usize;
+        let count_errors = |a: &[u8], b: &[u8]| {
+            let symbols = a.iter().zip(b).filter(|(x, y)| x != y).count();
+            let bits: u32 = a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum();
+            (symbols, bits as usize)
+        };
         for (block, original) in restored.chunks(n).zip(data_blocks.iter()) {
             match self.code.decode(block) {
                 Ok(decoded) if &decoded == original => {}
                 Ok(decoded) => {
                     codeword_failures += 1;
-                    residual_symbol_errors += decoded
-                        .iter()
-                        .zip(original.iter())
-                        .filter(|(a, b)| a != b)
-                        .count();
+                    let (symbols, bits) = count_errors(&decoded, original);
+                    residual_symbol_errors += symbols;
+                    residual_bit_errors += bits;
                 }
                 Err(_) => {
                     codeword_failures += 1;
                     // Count the uncorrected errors in the data portion.
-                    residual_symbol_errors += block[..k]
-                        .iter()
-                        .zip(original.iter())
-                        .filter(|(a, b)| a != b)
-                        .count();
+                    let (symbols, bits) = count_errors(&block[..k], original);
+                    residual_symbol_errors += symbols;
+                    residual_bit_errors += bits;
                 }
             }
         }
@@ -239,6 +268,8 @@ impl LinkSimulation {
             codeword_failures,
             channel_symbol_errors,
             residual_symbol_errors,
+            residual_bit_errors,
+            data_symbols: codewords * k,
             transmitted_symbols: tx.len(),
         })
     }
@@ -340,10 +371,51 @@ mod tests {
             codeword_failures: 2,
             channel_symbol_errors: 100,
             residual_symbol_errors: 30,
+            residual_bit_errors: 90,
+            data_symbols: 2230,
             transmitted_symbols: 2550,
         };
         assert!((report.frame_error_rate() - 0.2).abs() < 1e-12);
         assert!((report.channel_symbol_error_rate() - 100.0 / 2550.0).abs() < 1e-12);
         assert!(report.residual_symbol_error_rate() > 0.0);
+        assert!((report.post_fec_ber() - 90.0 / (2230.0 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_sums_counters() {
+        let mut total = LinkReport {
+            codewords: 4,
+            codeword_failures: 1,
+            channel_symbol_errors: 10,
+            residual_symbol_errors: 3,
+            residual_bit_errors: 7,
+            data_symbols: 892,
+            transmitted_symbols: 1020,
+        };
+        total.accumulate(&total.clone());
+        assert_eq!(total.codewords, 8);
+        assert_eq!(total.residual_bit_errors, 14);
+        assert_eq!(total.data_symbols, 1784);
+        assert!((total.frame_error_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_reports_bit_errors_consistent_with_symbol_errors() {
+        // A harsh channel without interleaving guarantees residual errors.
+        let channel = GilbertElliott::new(0.01, 0.01, 0.1, 0.8);
+        let config = LinkConfig {
+            codewords: 12,
+            interleaver: InterleaverChoice::None,
+            ..LinkConfig::default()
+        };
+        let simulation = LinkSimulation::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let report = simulation.run(&channel, &mut rng).unwrap();
+        assert_eq!(report.data_symbols, 12 * 223);
+        assert!(report.residual_symbol_errors > 0);
+        // Every wrong symbol contributes between 1 and 8 wrong bits.
+        assert!(report.residual_bit_errors >= report.residual_symbol_errors);
+        assert!(report.residual_bit_errors <= report.residual_symbol_errors * 8);
+        assert!(report.post_fec_ber() > 0.0);
     }
 }

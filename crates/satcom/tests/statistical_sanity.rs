@@ -1,0 +1,131 @@
+//! Statistical sanity of the time-varying pass model and the FEC
+//! waterfall: the empirical behaviour of every campaign channel must match
+//! its closed-form stationary description, and adding Reed–Solomon parity
+//! must never make the post-FEC error rate worse on the same pass.
+//!
+//! All tests are seeded, so they are deterministic; the tolerances are
+//! several standard errors wide at the chosen sample sizes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbi_satcom::channel::{GilbertElliott, SymbolChannel};
+use tbi_satcom::link::{InterleaverChoice, LinkConfig, LinkSimulation};
+use tbi_satcom::{LinkProfile, Weather};
+
+/// The campaign bench's pass shape (clear-sky 45° LEO pass).
+fn campaign_pass() -> LinkProfile {
+    LinkProfile::leo_pass(45.0, Weather::Clear)
+}
+
+/// Every segment's empirical symbol error rate must match the closed-form
+/// stationary value `π_bad · e_bad + (1 − π_bad) · e_good` of its retuned
+/// Gilbert–Elliott channel.
+#[test]
+fn per_segment_error_rate_matches_the_stationary_closed_form() {
+    const SYMBOLS: usize = 1_000_000;
+    for (index, segment) in campaign_pass().segments().iter().enumerate() {
+        let channel = segment.channel();
+        let expected = channel.average_symbol_error_rate();
+        assert!(expected > 0.0);
+        let mut rng = StdRng::seed_from_u64(0xA11CE + index as u64);
+        let received = channel.corrupt(&vec![0u8; SYMBOLS], &mut rng);
+        #[allow(clippy::cast_precision_loss)]
+        let observed = received.iter().filter(|&&b| b != 0).count() as f64 / SYMBOLS as f64;
+        assert!(
+            (observed - expected).abs() <= expected * 0.15,
+            "segment {index} ({}°): observed {observed:.3e}, stationary {expected:.3e}",
+            segment.elevation_deg
+        );
+    }
+}
+
+/// The Markov dynamics behind every segment: with the error rates pinned to
+/// (0, 1) the error process *is* the state process, so the empirical
+/// bad-state occupancy must match `p_g2b / (p_g2b + p_b2g)` and the mean
+/// error-run length must match the mean fade duration `1 / p_b2g`.
+#[test]
+fn per_segment_fade_occupancy_and_burst_length_match_the_markov_chain() {
+    const SYMBOLS: usize = 1_000_000;
+    for (index, segment) in campaign_pass().segments().iter().enumerate() {
+        let tuned = segment.channel();
+        let observable = GilbertElliott::new(tuned.p_good_to_bad, tuned.p_bad_to_good, 0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(0xFADE + index as u64);
+        let received = observable.corrupt(&vec![0u8; SYMBOLS], &mut rng);
+
+        let mut bad_symbols = 0usize;
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for &symbol in &received {
+            if symbol != 0 {
+                bad_symbols += 1;
+                current += 1;
+            } else if current > 0 {
+                runs.push(current);
+                current = 0;
+            }
+        }
+        if current > 0 {
+            runs.push(current);
+        }
+
+        #[allow(clippy::cast_precision_loss)]
+        let occupancy = bad_symbols as f64 / SYMBOLS as f64;
+        let expected_occupancy = tuned.bad_state_probability();
+        assert!(
+            (occupancy - expected_occupancy).abs() <= expected_occupancy * 0.15,
+            "segment {index}: occupancy {occupancy:.3e}, stationary {expected_occupancy:.3e}"
+        );
+
+        assert!(runs.len() > 100, "segment {index}: too few fades sampled");
+        #[allow(clippy::cast_precision_loss)]
+        let mean_run = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        let expected_run = tuned.mean_burst_length();
+        assert!(
+            (mean_run - expected_run).abs() <= expected_run * 0.15,
+            "segment {index}: mean fade {mean_run:.1}, Markov mean {expected_run:.1}"
+        );
+    }
+}
+
+/// The code-rate leg of the campaign waterfall: on the same pass, stepping
+/// to a lower code rate (more parity symbols) must never raise the post-FEC
+/// BER, and the extra parity across the whole axis must strictly help.
+#[test]
+fn more_parity_never_raises_the_post_fec_ber_on_the_campaign_pass() {
+    let pass = campaign_pass();
+    let mut bers = Vec::new();
+    for &(k, n) in &[(239usize, 255usize), (231, 255), (223, 255)] {
+        let simulation = LinkSimulation::new(LinkConfig {
+            rs_code_len: n,
+            rs_data_len: k,
+            codewords: 32,
+            interleaver: InterleaverChoice::Triangular,
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(0x5A11);
+        let mut total = simulation.run(&pass, &mut rng).unwrap();
+        for _ in 1..12 {
+            let report = simulation.run(&pass, &mut rng).unwrap();
+            total.accumulate(&report);
+        }
+        bers.push(total.post_fec_ber());
+    }
+    assert!(
+        bers[0] > 0.0,
+        "the lightest code must leave residual errors, or the axis pins nothing"
+    );
+    for (pair, rates) in bers.windows(2).zip([(239, 231), (231, 223)]) {
+        assert!(
+            pair[1] <= pair[0],
+            "rate {}→{}: BER rose from {:.3e} to {:.3e}",
+            rates.0,
+            rates.1,
+            pair[0],
+            pair[1]
+        );
+    }
+    assert!(
+        *bers.last().unwrap() < bers[0],
+        "the full parity sweep must strictly reduce the post-FEC BER"
+    );
+}

@@ -56,8 +56,9 @@ pub use tbi_dram::{
     RefreshMode, Request, SchedulingPolicy, Stats, TimingEngine,
 };
 pub use tbi_exp::{
-    ExpError, Experiment, LinkRecord, LinkStage, MappingSearch, Record, RefreshSetting, Scenario,
-    SearchRecord, SearchSettings, SweepGrid,
+    Campaign, CampaignConfig, CampaignReport, ExpError, Experiment, FrontierPoint, LinkRecord,
+    LinkStage, MappingSearch, PresetFrontier, Record, RefreshSetting, Scenario, SearchRecord,
+    SearchSettings, SweepGrid,
 };
 pub use tbi_interleaver::{
     AccessPhase, BlockInterleaver, ChannelMapping, ChannelUtilizationReport, DramMapping,
@@ -65,8 +66,8 @@ pub use tbi_interleaver::{
     TileOrder, TraceGenerator, TriangularInterleaver, TwoStageInterleaver, UtilizationReport,
 };
 pub use tbi_satcom::{
-    BandwidthBudget, CoherenceFading, GilbertElliott, LinkConfig, LinkReport, LinkSimulation,
-    ReedSolomon,
+    BandwidthBudget, CoherenceFading, GilbertElliott, LinkConfig, LinkProfile, LinkReport,
+    LinkSimulation, PassSegment, ReedSolomon, Weather,
 };
 pub use tbi_sched::{
     LatencyHistogram, QosClass, SchedConfig, SchedPolicyKind, SchedReport, StreamScheduler,
